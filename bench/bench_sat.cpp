@@ -1,0 +1,93 @@
+// E13 -- substrate benchmark: the CDCL SAT solver on pigeonhole (UNSAT),
+// random 3-SAT near the phase transition, and the actual synthesis CSP of
+// the paper's flagship case (4-colouring at k = 3).
+#include <benchmark/benchmark.h>
+
+#include "lcl/problems.hpp"
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+#include "support/numeric.hpp"
+#include "synthesis/synthesizer.hpp"
+
+namespace {
+
+using lclgrid::sat::Result;
+using lclgrid::sat::Solver;
+
+void buildPigeonhole(Solver& solver, int holes) {
+  int pigeons = holes + 1;
+  std::vector<std::vector<int>> var(
+      static_cast<std::size_t>(pigeons),
+      std::vector<int>(static_cast<std::size_t>(holes)));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) {
+      var[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)] =
+          solver.newVar();
+    }
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<int> clause;
+    for (int h = 0; h < holes; ++h) {
+      clause.push_back(
+          var[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)]);
+    }
+    solver.addClause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        solver.addClause(
+            {-var[static_cast<std::size_t>(p1)][static_cast<std::size_t>(h)],
+             -var[static_cast<std::size_t>(p2)][static_cast<std::size_t>(h)]});
+      }
+    }
+  }
+}
+
+void BM_PigeonholeUnsat(benchmark::State& state) {
+  for (auto _ : state) {
+    Solver solver;
+    buildPigeonhole(solver, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_PigeonholeUnsat)->Arg(5)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_RandomThreeSat(benchmark::State& state) {
+  const int numVars = static_cast<int>(state.range(0));
+  const int numClauses = static_cast<int>(4.26 * numVars);
+  for (auto _ : state) {
+    state.PauseTiming();
+    lclgrid::SplitMix64 rng(static_cast<std::uint64_t>(state.iterations()));
+    Solver solver;
+    for (int i = 0; i < numVars; ++i) solver.newVar();
+    for (int c = 0; c < numClauses; ++c) {
+      std::vector<int> clause;
+      for (int j = 0; j < 3; ++j) {
+        int var = static_cast<int>(rng.nextBelow(
+                      static_cast<std::uint64_t>(numVars))) + 1;
+        clause.push_back(rng.nextBelow(2) ? var : -var);
+      }
+      solver.addClause(clause);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_RandomThreeSat)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_FourColouringSynthesisCsp(benchmark::State& state) {
+  // The paper's flagship SAT instance: 2079 tiles, 4 labels each.
+  for (auto _ : state) {
+    auto attempt = lclgrid::synthesis::synthesizeForShape(
+        lclgrid::problems::vertexColouring(4), 3,
+        lclgrid::tiles::TileShape{7, 5});
+    if (!attempt.success) state.SkipWithError("synthesis failed");
+    benchmark::DoNotOptimize(attempt);
+  }
+}
+BENCHMARK(BM_FourColouringSynthesisCsp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// E14 -- substrate benchmark: throughput of the LOCAL-model building blocks
+// (Cole-Vishkin, Linial steps, power-graph MIS, tile window reads).
+#include <benchmark/benchmark.h>
+
+#include "local/cole_vishkin.hpp"
+#include "local/graph_view.hpp"
+#include "local/ids.hpp"
+#include "local/linial.hpp"
+#include "local/mis.hpp"
+#include "tiles/enumerator.hpp"
+
+namespace {
+
+using namespace lclgrid;
+
+void BM_ColeVishkinCycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto ids = local::randomIds(n, 3);
+  local::CycleFamily family{n, [n](int v) { return (v + 1) % n; }};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::colourCycleFamily3(family, ids));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ColeVishkinCycle)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_MisOnPowerGraph(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  Torus2D torus(n);
+  auto ids = local::randomIds(torus.size(), 5);
+  auto view = local::l1PowerView(torus, k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::computeMis(view, ids));
+  }
+  state.SetItemsProcessed(state.iterations() * torus.size());
+}
+BENCHMARK(BM_MisOnPowerGraph)->Args({32, 1})->Args({32, 3})->Args({64, 3});
+
+void BM_TileEnumeration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tiles::enumerateTiles(3, 7, 5, nullptr));
+  }
+}
+BENCHMARK(BM_TileEnumeration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// E7 -- Theorem 15: (2d+1)-edge-colouring in Theta(log* n), exercised for
+// d = 1 (3 colours on cycles, a size sweep) and d = 2 (5 colours, one
+// large torus -- the j,k-independent-set geometry needs n >= ~200, see
+// DESIGN.md).
+#include <cstdio>
+
+#include "algorithms/edge_colouring.hpp"
+#include "local/ids.hpp"
+#include "support/numeric.hpp"
+#include "support/table.hpp"
+
+using namespace lclgrid;
+using namespace lclgrid::algorithms;
+
+int main() {
+  std::printf("E7: (2d+1)-edge-colouring rounds (Theorem 15)\n\n");
+
+  std::printf("d = 1 (3-edge-colouring of the cycle):\n");
+  AsciiTable one({"n", "log* n", "rounds", "k", "row spacing", "verified"});
+  for (int n : {64, 128, 256, 512, 1024, 2048}) {
+    TorusD torus(1, n);
+    auto run = edgeColouringGrid(torus, local::randomIds(n, 13));
+    one.addRow({fmtInt(n), fmtInt(lclgrid::logStar(n)),
+                run.solved ? fmtInt(run.rounds) : "-", fmtInt(run.k),
+                fmtInt(run.rowSpacing),
+                run.solved && isProperEdgeColouringD(torus, run.colour, 3)
+                    ? "yes"
+                    : "NO"});
+  }
+  std::printf("%s\n", one.render().c_str());
+
+  std::printf("d = 2 (5-edge-colouring of the torus):\n");
+  AsciiTable two({"n", "rounds", "k", "row spacing", "verified"});
+  for (int n : {224, 288}) {
+    TorusD torus(2, n);
+    auto run = edgeColouringGrid(
+        torus, local::randomIds(static_cast<int>(torus.size()), 3));
+    two.addRow({fmtInt(n), run.solved ? fmtInt(run.rounds) : run.failure,
+                fmtInt(run.k), fmtInt(run.rowSpacing),
+                run.solved && isProperEdgeColouringD(torus, run.colour, 5)
+                    ? "yes"
+                    : "NO"});
+  }
+  std::printf("%s\n", two.render().c_str());
+  std::printf(
+      "Shape check: rounds are flat across a 32x size sweep for d = 1 and\n"
+      "essentially flat for d = 2 (the wobble comes from anchor-placement\n"
+      "variance, not from n). Compare the Theta(n) brute force: n/2 rounds\n"
+      "would dominate long before these constants at scale.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E8 -- Section 6: L_M is solvable by the fast anchor-tiling construction
+// iff M halts on the empty tape. Halting machines: the construction
+// materialises at step budget >= halting time and the labelling passes the
+// L_M verifier. Non-halting machines: the construction fails at every
+// budget (the finite face of undecidability) and only the Theta(n)
+// 3-colouring fallback P1 remains.
+#include <cstdio>
+
+#include "local/ids.hpp"
+#include "support/table.hpp"
+#include "turing/lm_builder.hpp"
+#include "turing/lm_verifier.hpp"
+#include "turing/zoo.hpp"
+
+using namespace lclgrid;
+using namespace lclgrid::turing;
+
+int main() {
+  std::printf("E8: the undecidability construction L_M (Section 6)\n\n");
+
+  AsciiTable table({"machine", "halts?", "halting steps",
+                    "fast construction", "verified", "rounds (const part)",
+                    "P1 fallback rounds"});
+  struct Case {
+    Machine machine;
+    int torusSize;
+  };
+  std::vector<Case> cases = {
+      {onesWriter(1), 32},    {onesWriter(2), 48},  {onesWriter(3), 60},
+      {bouncer(1), 48},       {bouncer(2), 72},     {unaryCounter(2), 80},
+      {rightRunner(), 48},    {blinker(), 48},
+  };
+  const int budget = 200;
+  for (auto& c : cases) {
+    auto oracle = lmOracle(c.machine, budget);
+    Torus2D torus(c.torusSize);
+    auto ids = local::randomIds(torus.size(), 11);
+    auto fast = solveLmLogStar(torus, c.machine, ids, budget);
+    std::string verified = "-";
+    if (fast.solved) {
+      verified = verifyLm(torus, c.machine, fast.labels) ? "yes" : "NO";
+    }
+    auto fallback = solveLmGlobal(torus);
+    table.addRow({c.machine.name(), oracle.halting ? "yes" : "no (budget 200)",
+                  oracle.halting ? fmtInt(oracle.haltingSteps) : "-",
+                  fast.solved ? "constructed" : fast.failure, verified,
+                  fast.solved ? fmtInt(fast.rounds) : "-",
+                  fmtInt(fallback.rounds)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Shape check: every halting machine admits the anchor-tiling solution\n"
+      "(=> Theta(log* n) with the S_k component of E12); every non-halting\n"
+      "machine fails at all budgets, leaving only the Theta(n) fallback --\n"
+      "deciding between the two complexities decides halting (Theorem 3).\n");
+  return 0;
+}

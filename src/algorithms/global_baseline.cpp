@@ -1,0 +1,20 @@
+#include "algorithms/global_baseline.hpp"
+
+#include "lcl/global_solver.hpp"
+
+namespace lclgrid::algorithms {
+
+BaselineRun solveByGathering(const Torus2D& torus, const GridLcl& lcl) {
+  BaselineRun run;
+  run.rounds = bruteForceRounds(torus.n());
+  auto global = solveGlobally(torus, lcl);
+  if (!global.feasible) {
+    run.failure = "no feasible labelling on this torus";
+    return run;
+  }
+  run.labels = std::move(global.labels);
+  run.solved = true;
+  return run;
+}
+
+}  // namespace lclgrid::algorithms

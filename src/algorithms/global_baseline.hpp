@@ -1,0 +1,27 @@
+// The Theta(n) brute-force baseline of Section 7: gather the whole torus
+// (diameter rounds) and solve the LCL centrally -- asymptotically optimal
+// for global problems. Wraps the SAT-backed solver in the same run-report
+// interface as the fast algorithms so benches can print them side by side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/torus2d.hpp"
+#include "lcl/grid_lcl.hpp"
+
+namespace lclgrid::algorithms {
+
+struct BaselineRun {
+  bool solved = false;
+  std::vector<int> labels;
+  int rounds = 0;  // torus diameter: the gather cost
+  std::string failure;
+};
+
+/// Gather-and-solve. The identifiers are unused (the central solve is
+/// deterministic), but accepted for interface uniformity.
+BaselineRun solveByGathering(const Torus2D& torus, const GridLcl& lcl);
+
+}  // namespace lclgrid::algorithms

@@ -1,0 +1,110 @@
+#include "algorithms/orientations.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "lcl/global_solver.hpp"
+#include "lcl/problems.hpp"
+#include "synthesis/normal_form.hpp"
+#include "synthesis/synthesizer.hpp"
+
+namespace lclgrid::algorithms {
+
+namespace {
+
+bool containsAll(const std::set<int>& x, std::initializer_list<int> needed) {
+  for (int v : needed) {
+    if (!x.contains(v)) return false;
+  }
+  return true;
+}
+
+/// Cache of synthesized rules per X (synthesis is deterministic; k = 1
+/// suffices for both log* cases, per Lemma 23).
+const synthesis::SynthesizedRule& synthesizedRuleFor(const std::set<int>& x) {
+  static std::map<std::set<int>, synthesis::SynthesizedRule> cache;
+  auto it = cache.find(x);
+  if (it != cache.end()) return it->second;
+  auto lcl = problems::orientation(x);
+  synthesis::SynthesisOptions options;
+  options.maxK = 2;
+  auto result = synthesis::synthesize(lcl, options);
+  if (!result.success) {
+    throw std::logic_error("orientation synthesis failed for a log* case");
+  }
+  return cache.emplace(x, std::move(*result.rule)).first->second;
+}
+
+}  // namespace
+
+OrientationClass classifyOrientationPaper(const std::set<int>& x) {
+  if (x.empty()) return OrientationClass::Unsolvable;
+  if (x.contains(2)) return OrientationClass::Constant;
+  if (containsAll(x, {1, 3, 4}) || containsAll(x, {0, 1, 3})) {
+    return OrientationClass::LogStar;
+  }
+  return OrientationClass::Global;
+}
+
+std::string orientationClassName(OrientationClass c) {
+  switch (c) {
+    case OrientationClass::Constant: return "Theta(1)";
+    case OrientationClass::LogStar: return "Theta(log* n)";
+    case OrientationClass::Global: return "global";
+    case OrientationClass::Unsolvable: return "unsolvable";
+  }
+  return "?";
+}
+
+OrientationRun solveOrientation(const Torus2D& torus, const std::set<int>& x,
+                                const std::vector<std::uint64_t>& ids) {
+  OrientationRun run;
+  run.algorithmClass = classifyOrientationPaper(x);
+
+  switch (run.algorithmClass) {
+    case OrientationClass::Unsolvable:
+      run.failure = "empty X";
+      return run;
+
+    case OrientationClass::Constant: {
+      // The input orientation: every node's E/N edges point away from it,
+      // giving in-degree exactly 2 everywhere.
+      run.labels.assign(static_cast<std::size_t>(torus.size()),
+                        problems::orientationLabel(true, true));
+      run.rounds = 0;
+      run.solved = true;
+      return run;
+    }
+
+    case OrientationClass::LogStar: {
+      const auto& rule = synthesizedRuleFor(x);
+      synthesis::NormalFormAlgorithm algorithm(rule);
+      if (torus.n() < algorithm.minimumN()) {
+        run.failure = "torus below the normal form's minimum n";
+        return run;
+      }
+      auto normalForm = algorithm.execute(torus, ids);
+      run.solved = normalForm.solved;
+      run.labels = std::move(normalForm.labels);
+      run.rounds = normalForm.rounds;
+      run.failure = normalForm.failure;
+      return run;
+    }
+
+    case OrientationClass::Global: {
+      auto lcl = problems::orientation(x);
+      auto global = solveGlobally(torus, lcl);
+      run.rounds = bruteForceRounds(torus.n());
+      if (!global.feasible) {
+        run.failure = "no X-orientation exists on this torus";
+        return run;
+      }
+      run.labels = std::move(global.labels);
+      run.solved = true;
+      return run;
+    }
+  }
+  return run;
+}
+
+}  // namespace lclgrid::algorithms

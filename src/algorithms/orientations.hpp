@@ -1,0 +1,48 @@
+// X-orientations (Section 11, Theorem 22): orient every edge of the
+// 2-dimensional torus so that each node's in-degree lies in X.
+//
+//  * 2 in X: the consistent input orientation (everything points north/east)
+//    already gives every node in-degree exactly 2 -- a Theta(1) algorithm.
+//  * {1,3,4} subset of X, or {0,1,3} subset of X: Theta(log* n) via the
+//    synthesis of Section 7 with k = 1 (Lemma 23); the {0,1,3} case is the
+//    edge-flip of the {1,3,4} case.
+//  * otherwise: global; solvable for some n only (e.g. no {1,3}-orientation
+//    exists for odd n, Lemma 24).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "grid/torus2d.hpp"
+
+namespace lclgrid::algorithms {
+
+enum class OrientationClass {
+  Constant,   // 2 in X
+  LogStar,    // {1,3,4} or {0,1,3} subset of X
+  Global,     // everything else (incl. unsolvable-for-some-n)
+  Unsolvable, // X empty (no orientation can ever satisfy it)
+};
+
+/// The classification *claimed by Theorem 22* (the paper side of the
+/// reproduction tables; the measured side comes from the synthesis oracle).
+OrientationClass classifyOrientationPaper(const std::set<int>& x);
+
+std::string orientationClassName(OrientationClass c);
+
+struct OrientationRun {
+  bool solved = false;
+  std::vector<int> labels;  // problems::orientation encoding (sigma = 4)
+  int rounds = 0;
+  OrientationClass algorithmClass = OrientationClass::Global;
+  std::string failure;
+};
+
+/// Solves the X-orientation problem with the asymptotically optimal
+/// algorithm for its class: O(1) / synthesized normal form / global SAT.
+OrientationRun solveOrientation(const Torus2D& torus, const std::set<int>& x,
+                                const std::vector<std::uint64_t>& ids);
+
+}  // namespace lclgrid::algorithms

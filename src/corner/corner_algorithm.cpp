@@ -1,0 +1,85 @@
+#include "corner/corner_algorithm.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace lclgrid::corner {
+
+CornerRun solveCornerCoordination(const BoundedGrid& grid,
+                                  const std::vector<std::uint64_t>& ids) {
+  if (static_cast<int>(ids.size()) != grid.size()) {
+    throw std::invalid_argument("solveCornerCoordination: id count mismatch");
+  }
+  const int m = grid.m();
+  CornerRun run;
+  run.labelling.edges.assign(static_cast<std::size_t>(2 * grid.size()),
+                             EdgeDir::None);
+  // Information has to travel the length of a side for the two corners of
+  // the side to be compared: m-1 hops each way, plus one announcement round.
+  run.rounds = m + 1;
+
+  // Directs the side from corner `a` towards corner `b` when id(a) < id(b).
+  // The side runs along `axis` (0 = bottom/top rows, 1 = left/right cols).
+  auto directSide = [&](int cornerA, int cornerB, bool horizontal) {
+    int from = ids[static_cast<std::size_t>(cornerA)] <
+                       ids[static_cast<std::size_t>(cornerB)]
+                   ? cornerA
+                   : cornerB;
+    int to = from == cornerA ? cornerB : cornerA;
+    // Walk from `from` to `to` setting each edge forward along the walk.
+    int steps = m - 1;
+    int sign = horizontal ? (grid.xOf(to) > grid.xOf(from) ? 1 : -1)
+                          : (grid.yOf(to) > grid.yOf(from) ? 1 : -1);
+    int current = from;
+    for (int i = 0; i < steps; ++i) {
+      int x = grid.xOf(current), y = grid.yOf(current);
+      if (horizontal) {
+        int owner = sign > 0 ? current : grid.id(x - 1, y);
+        run.labelling.edges[static_cast<std::size_t>(2 * owner + 1)] =
+            sign > 0 ? EdgeDir::Forward : EdgeDir::Backward;
+        current = grid.id(x + sign, y);
+      } else {
+        int owner = sign > 0 ? current : grid.id(x, y - 1);
+        run.labelling.edges[static_cast<std::size_t>(2 * owner)] =
+            sign > 0 ? EdgeDir::Forward : EdgeDir::Backward;
+        current = grid.id(x, y + sign);
+      }
+    }
+  };
+
+  int bl = grid.id(0, 0);
+  int br = grid.id(m - 1, 0);
+  int tl = grid.id(0, m - 1);
+  int tr = grid.id(m - 1, m - 1);
+  directSide(bl, br, /*horizontal=*/true);   // south side
+  directSide(tl, tr, /*horizontal=*/true);   // north side
+  directSide(bl, tl, /*horizontal=*/false);  // west side
+  directSide(br, tr, /*horizontal=*/false);  // east side
+
+  run.solved = true;
+  return run;
+}
+
+long long cornerBallSize(const BoundedGrid& grid, int radius) {
+  // BFS from corner (0,0).
+  std::vector<int> distance(static_cast<std::size_t>(grid.size()), -1);
+  std::deque<int> queue{grid.id(0, 0)};
+  distance[static_cast<std::size_t>(grid.id(0, 0))] = 0;
+  long long count = 0;
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    if (distance[static_cast<std::size_t>(v)] > radius) continue;
+    ++count;
+    for (int u : grid.neighbours(v)) {
+      if (distance[static_cast<std::size_t>(u)] < 0) {
+        distance[static_cast<std::size_t>(u)] =
+            distance[static_cast<std::size_t>(v)] + 1;
+        if (distance[static_cast<std::size_t>(u)] <= radius) queue.push_back(u);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace lclgrid::corner

@@ -1,0 +1,30 @@
+// The Theta(sqrt n) upper bound for corner coordination (Theorem 27): every
+// boundary node walks the boundary in both directions until it has seen the
+// two corners of its side (at most ~2*sqrt(n) hops, cf. Proposition 28),
+// then the side is directed from its smaller-identifier corner to the
+// larger one. Every side becomes one corner-to-corner path, satisfying all
+// five pseudotree rules; internal nodes output nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corner/corner_problem.hpp"
+#include "grid/bounded_grid.hpp"
+
+namespace lclgrid::corner {
+
+struct CornerRun {
+  bool solved = false;
+  CornerLabelling labelling;
+  int rounds = 0;
+};
+
+CornerRun solveCornerCoordination(const BoundedGrid& grid,
+                                  const std::vector<std::uint64_t>& ids);
+
+/// |B_r(corner)| on the bounded grid (Proposition 28: (r+2 choose 2) while
+/// the ball sees no other corner or boundary irregularity).
+long long cornerBallSize(const BoundedGrid& grid, int radius);
+
+}  // namespace lclgrid::corner

@@ -1,0 +1,154 @@
+#include "corner/corner_problem.hpp"
+
+#include <sstream>
+
+namespace lclgrid::corner {
+
+namespace {
+
+struct DirectedEdge {
+  int from;
+  int to;
+};
+
+}  // namespace
+
+std::vector<CornerViolation> listCornerViolations(
+    const BoundedGrid& grid, const CornerLabelling& labelling,
+    int maxReported) {
+  std::vector<CornerViolation> violations;
+  auto report = [&](const char* rule, const std::string& what) {
+    if (static_cast<int>(violations.size()) < maxReported) {
+      violations.push_back({rule, what});
+    }
+  };
+  if (static_cast<int>(labelling.edges.size()) != 2 * grid.size()) {
+    report("R0", "labelling size mismatch");
+    return violations;
+  }
+
+  // Collect directed edges; edge slots of nonexistent edges must be None.
+  std::vector<DirectedEdge> edges;
+  for (int v = 0; v < grid.size(); ++v) {
+    for (int slot = 0; slot < 2; ++slot) {
+      Dir direction = slot == 0 ? Dir::North : Dir::East;
+      EdgeDir state = labelling.edges[static_cast<std::size_t>(2 * v + slot)];
+      auto neighbour = grid.neighbour(v, direction);
+      if (!neighbour) {
+        if (state != EdgeDir::None) report("R0", "direction on missing edge");
+        continue;
+      }
+      if (state == EdgeDir::Forward) edges.push_back({v, *neighbour});
+      if (state == EdgeDir::Backward) edges.push_back({*neighbour, v});
+    }
+  }
+
+  std::vector<int> outDeg(static_cast<std::size_t>(grid.size()), 0);
+  std::vector<int> inDeg(static_cast<std::size_t>(grid.size()), 0);
+  std::vector<int> outEdge(static_cast<std::size_t>(grid.size()), -1);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    outDeg[static_cast<std::size_t>(edges[e].from)]++;
+    inDeg[static_cast<std::size_t>(edges[e].to)]++;
+    outEdge[static_cast<std::size_t>(edges[e].from)] = static_cast<int>(e);
+  }
+
+  // R1/R4: non-corner nodes lie on at most one tree: in- and out-degree at
+  // most 1. (Corners have only two incident edges, so their degrees are
+  // bounded automatically; they may join two trees.)
+  for (int v = 0; v < grid.size(); ++v) {
+    if (grid.isCorner(v)) continue;
+    if (outDeg[static_cast<std::size_t>(v)] > 1) {
+      report("R1", "non-corner node with two outgoing edges");
+    }
+    if (inDeg[static_cast<std::size_t>(v)] > 1) {
+      report("R4", "two trees meet at a non-corner node");
+    }
+  }
+  if (!violations.empty()) return violations;
+
+  // Segments: maximal directed paths, broken at corners. A segment must
+  // start and end at corners (R3) and respect row/column contiguity (R2).
+  std::vector<std::uint8_t> edgeVisited(edges.size(), 0);
+  auto walkSegment = [&](std::size_t firstEdge) {
+    int steps = 0;
+    // R2 bookkeeping: runs per row/column along the node sequence.
+    std::vector<int> rowEntries(static_cast<std::size_t>(grid.m()), 0);
+    std::vector<int> colEntries(static_cast<std::size_t>(grid.m()), 0);
+    int previousRow = -1, previousCol = -1;
+    auto visit = [&](int node) {
+      int row = grid.yOf(node), col = grid.xOf(node);
+      if (row != previousRow) {
+        rowEntries[static_cast<std::size_t>(row)]++;
+        if (rowEntries[static_cast<std::size_t>(row)] > 1) {
+          report("R2", "segment crosses a row twice");
+        }
+      }
+      if (col != previousCol) {
+        colEntries[static_cast<std::size_t>(col)]++;
+        if (colEntries[static_cast<std::size_t>(col)] > 1) {
+          report("R2", "segment crosses a column twice");
+        }
+      }
+      previousRow = row;
+      previousCol = col;
+    };
+
+    std::size_t e = firstEdge;
+    visit(edges[e].from);
+    while (true) {
+      if (edgeVisited[e]) break;  // safety against cycles
+      edgeVisited[e] = 1;
+      ++steps;
+      int node = edges[e].to;
+      visit(node);
+      if (grid.isCorner(node)) return;  // proper end (leaf at a corner)
+      int next = outEdge[static_cast<std::size_t>(node)];
+      if (next < 0) {
+        report("R3", "segment ends at a non-corner node");
+        return;
+      }
+      e = static_cast<std::size_t>(next);
+    }
+  };
+
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (edgeVisited[e]) continue;
+    int start = edges[e].from;
+    // A segment starts at a corner, or at a node with no incoming edge.
+    bool isStart = grid.isCorner(start) ||
+                   inDeg[static_cast<std::size_t>(start)] == 0;
+    if (!isStart) continue;
+    if (!grid.isCorner(start) && inDeg[static_cast<std::size_t>(start)] == 0) {
+      report("R3", "segment starts (roots) at a non-corner node");
+    }
+    walkSegment(e);
+  }
+  // Remaining unvisited edges belong to corner-free directed cycles.
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (!edgeVisited[e]) {
+      walkSegment(e);  // R2 flags the revisit inherent to grid cycles
+      report("R3", "directed cycle without corners");
+      break;
+    }
+  }
+
+  // R5: every corner is the root or leaf of at least one tree.
+  for (int cornerNode : grid.corners()) {
+    if (outDeg[static_cast<std::size_t>(cornerNode)] +
+            inDeg[static_cast<std::size_t>(cornerNode)] ==
+        0) {
+      std::ostringstream os;
+      os << "corner (" << grid.xOf(cornerNode) << "," << grid.yOf(cornerNode)
+         << ") is in no tree";
+      report("R5", os.str());
+    }
+  }
+  return violations;
+}
+
+bool verifyCornerLabelling(const BoundedGrid& grid,
+                           const CornerLabelling& labelling) {
+  return listCornerViolations(grid, labelling, 1).empty();
+}
+
+}  // namespace lclgrid::corner

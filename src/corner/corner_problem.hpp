@@ -1,0 +1,46 @@
+// The corner coordination problem (Appendix A.3): an LCL on general graphs
+// with complexity Theta(sqrt n). On a bounded grid, nodes must direct edges
+// so that the directed edges form pseudotrees satisfying:
+//   (1) within each tree, every node has at most one outgoing edge;
+//   (2) consistent orientation: a path of a tree crosses each row and each
+//       column at most once (equivalently, its visit to any row/column is
+//       one contiguous run);
+//   (3) only corner nodes can be roots or leaves;
+//   (4) distinct trees meet only at corners (or broken nodes);
+//   (5) every corner is the root or leaf of at least one tree.
+// The canonical solutions direct each boundary side corner-to-corner, which
+// requires the two side corners to agree -- coordination over distance
+// sqrt(n), hence the complexity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/bounded_grid.hpp"
+
+namespace lclgrid::corner {
+
+/// Orientation of an edge of the bounded grid; edges are identified by
+/// (node, direction) with direction in {North, East} owned by `node`.
+enum class EdgeDir : std::uint8_t { None, Forward, Backward };
+// Forward: node -> neighbour(North/East); Backward: the reverse.
+
+struct CornerLabelling {
+  /// edge (v, North) at index 2*v, edge (v, East) at 2*v+1; edges that do
+  /// not exist (boundary) must stay None.
+  std::vector<EdgeDir> edges;
+};
+
+struct CornerViolation {
+  std::string rule;  // "R1".."R5"
+  std::string description;
+};
+
+std::vector<CornerViolation> listCornerViolations(
+    const BoundedGrid& grid, const CornerLabelling& labelling,
+    int maxReported = 8);
+
+bool verifyCornerLabelling(const BoundedGrid& grid,
+                           const CornerLabelling& labelling);
+
+}  // namespace lclgrid::corner

@@ -1,0 +1,39 @@
+#include "cycle/classifier.hpp"
+
+namespace lclgrid::cycle {
+
+std::string complexityName(ComplexityClass c) {
+  switch (c) {
+    case ComplexityClass::Unsolvable: return "unsolvable";
+    case ComplexityClass::Constant: return "O(1)";
+    case ComplexityClass::LogStar: return "Theta(log* n)";
+    case ComplexityClass::Global: return "Theta(n)";
+  }
+  return "?";
+}
+
+Classification classifyCycleLcl(const CycleLcl& lcl) {
+  NeighbourhoodGraph graph(lcl);
+  Classification result;
+  result.hasSelfLoop = graph.hasSelfLoop();
+  result.hasCycle = graph.hasCycle();
+
+  if (!result.hasCycle) {
+    result.complexity = ComplexityClass::Unsolvable;
+    return result;
+  }
+  if (result.hasSelfLoop) {
+    result.complexity = ComplexityClass::Constant;
+    return result;
+  }
+  if (auto flexibility = graph.minimumFlexibility()) {
+    result.complexity = ComplexityClass::LogStar;
+    result.flexibleNode = flexibility->node;
+    result.flexibility = flexibility->flexibility;
+    return result;
+  }
+  result.complexity = ComplexityClass::Global;
+  return result;
+}
+
+}  // namespace lclgrid::cycle

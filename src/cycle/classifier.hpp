@@ -1,0 +1,40 @@
+// The decidable complexity classification of LCL problems on directed cycles
+// (Claim 1, Section 4): O(1) iff H has a self-loop, else Theta(log* n) iff
+// some node of H is flexible, else Theta(n) (or unsolvable when H is
+// acyclic). The contrast with 2-dimensional grids -- where the same
+// classification question is undecidable (Section 6) -- is the heart of the
+// paper.
+#pragma once
+
+#include <string>
+
+#include "cycle/cycle_lcl.hpp"
+#include "cycle/neighbourhood_graph.hpp"
+
+namespace lclgrid::cycle {
+
+enum class ComplexityClass {
+  Unsolvable,   // no feasible labelling for any large n
+  Constant,     // O(1)
+  LogStar,      // Theta(log* n)
+  Global,       // Theta(n)
+};
+
+std::string complexityName(ComplexityClass c);
+
+struct Classification {
+  ComplexityClass complexity = ComplexityClass::Unsolvable;
+  // For LogStar problems: the flexible node and its flexibility (the k used
+  // by the synthesized algorithm).
+  int flexibleNode = -1;
+  int flexibility = -1;
+  // Diagnostics.
+  bool hasSelfLoop = false;
+  bool hasCycle = false;
+};
+
+/// Decides the complexity class of a cycle LCL. Always terminates -- the
+/// 1-dimensional classification is decidable.
+Classification classifyCycleLcl(const CycleLcl& lcl);
+
+}  // namespace lclgrid::cycle

@@ -1,0 +1,116 @@
+#include "cycle/cycle_lcl.hpp"
+
+#include <stdexcept>
+
+namespace lclgrid::cycle {
+
+CycleLcl::CycleLcl(std::string name, int sigma, int radius, WindowPredicate ok)
+    : name_(std::move(name)), sigma_(sigma), radius_(radius), ok_(std::move(ok)) {
+  if (sigma < 1) throw std::invalid_argument("CycleLcl: empty alphabet");
+  if (radius < 1) throw std::invalid_argument("CycleLcl: radius must be >= 1");
+  if (!ok_) throw std::invalid_argument("CycleLcl: missing predicate");
+}
+
+bool CycleLcl::allowsWindow(const std::vector<int>& window) const {
+  if (static_cast<int>(window.size()) != windowLength()) {
+    throw std::invalid_argument("CycleLcl: wrong window length");
+  }
+  for (int label : window) {
+    if (label < 0 || label >= sigma_) return false;
+  }
+  return ok_(window);
+}
+
+int CycleLcl::firstViolation(const std::vector<int>& labels) const {
+  const int n = static_cast<int>(labels.size());
+  if (n < windowLength()) {
+    throw std::invalid_argument("CycleLcl: cycle shorter than window");
+  }
+  std::vector<int> window(static_cast<std::size_t>(windowLength()));
+  for (int start = 0; start < n; ++start) {
+    for (int offset = 0; offset < windowLength(); ++offset) {
+      window[static_cast<std::size_t>(offset)] =
+          labels[static_cast<std::size_t>((start + offset) % n)];
+    }
+    if (!allowsWindow(window)) return start;
+  }
+  return -1;
+}
+
+bool CycleLcl::verifyCycle(const std::vector<int>& labels) const {
+  return firstViolation(labels) == -1;
+}
+
+CycleLcl cycleColouring(int k) {
+  if (k < 1) throw std::invalid_argument("cycleColouring: k must be >= 1");
+  return CycleLcl("cycle-" + std::to_string(k) + "-colouring", k, 1,
+                  [](const std::vector<int>& w) {
+                    return w[0] != w[1] && w[1] != w[2];
+                  });
+}
+
+CycleLcl cycleMaximalIndependentSet() {
+  return CycleLcl("cycle-mis", 2, 1, [](const std::vector<int>& w) {
+    if (w[1] == 1) return w[0] == 0 && w[2] == 0;
+    return w[0] == 1 || w[2] == 1;
+  });
+}
+
+CycleLcl cycleIndependentSet() {
+  return CycleLcl("cycle-independent-set", 2, 1,
+                  [](const std::vector<int>& w) {
+                    if (w[1] == 1) return w[0] == 0 && w[2] == 0;
+                    return true;
+                  });
+}
+
+CycleLcl cycleMaximalMatching() {
+  // Label = the node's outgoing edge is matched (1) or not (0).
+  // Matching: consecutive outgoing edges cannot both be matched.
+  // Maximality: an edge with both endpoints unmatched is forbidden, i.e.
+  // labels (0,0,0) around a node would leave edge (v, succ v) augmentable
+  // when neither v's incoming nor succ's outgoing edge is matched.
+  return CycleLcl("cycle-maximal-matching", 2, 1,
+                  [](const std::vector<int>& w) {
+                    if (w[0] == 1 && w[1] == 1) return false;
+                    if (w[1] == 1 && w[2] == 1) return false;
+                    // Edge owned by w[1] is unmatched and both endpoints
+                    // unmatched: w[0] (incoming of w1) and w[2] (outgoing of
+                    // the successor) both unmatched too.
+                    if (w[0] == 0 && w[1] == 0 && w[2] == 0) return false;
+                    return true;
+                  });
+}
+
+CycleLcl cycleDominatingMarks(int spacing) {
+  if (spacing < 1 || spacing > 3) {
+    throw std::invalid_argument("cycleDominatingMarks: spacing must be 1..3");
+  }
+  // Radius-1 form: among any window of 3 consecutive nodes, at least one of
+  // the first `spacing` of them... for radius-1 we only support spacing <= 3:
+  // the window of length 3 must contain a mark among its first `spacing`+?
+  // Simplest faithful form: no window of 3 is completely unmarked when
+  // spacing == 3; tighter versions forbid unmarked pairs/singles.
+  return CycleLcl(
+      "cycle-dominating-marks-" + std::to_string(spacing), 2, 1,
+      [spacing](const std::vector<int>& w) {
+        int window = 0;
+        for (int i = 0; i < 3; ++i) window += w[static_cast<std::size_t>(i)];
+        if (spacing == 1) return w[1] == 1;           // everything marked
+        if (spacing == 2) return w[0] + w[1] >= 1;    // no 2 consecutive 0s
+        return window >= 1;                           // no 3 consecutive 0s
+      });
+}
+
+CycleLcl cycleExactSpacing(int period) {
+  if (period < 2) throw std::invalid_argument("cycleExactSpacing: period >= 2");
+  // Alphabet {0, ..., period-1}: a countdown to the next mark; label 0 is
+  // the mark. Feasible iff labels decrease by 1 mod period along the cycle.
+  return CycleLcl("cycle-exact-spacing-" + std::to_string(period), period, 1,
+                  [period](const std::vector<int>& w) {
+                    return w[1] == (w[0] + period - 1) % period &&
+                           w[2] == (w[1] + period - 1) % period;
+                  });
+}
+
+}  // namespace lclgrid::cycle

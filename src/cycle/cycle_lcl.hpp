@@ -1,0 +1,55 @@
+// LCL problems on directed cycles (1-dimensional grids), Section 4. A
+// radius-r problem is specified by its alphabet and the set of feasible
+// (2r+1)-windows of consecutive output labels, read in the direction of the
+// cycle's orientation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lclgrid::cycle {
+
+class CycleLcl {
+ public:
+  using WindowPredicate = std::function<bool(const std::vector<int>&)>;
+
+  /// `radius` is the checkability radius r; windows have length 2r+1.
+  CycleLcl(std::string name, int sigma, int radius, WindowPredicate ok);
+
+  const std::string& name() const { return name_; }
+  int sigma() const { return sigma_; }
+  int radius() const { return radius_; }
+  int windowLength() const { return 2 * radius_ + 1; }
+
+  bool allowsWindow(const std::vector<int>& window) const;
+
+  /// Verifies a full labelling of a directed cycle of length n >= window
+  /// length: every cyclic window must be feasible.
+  bool verifyCycle(const std::vector<int>& labels) const;
+  /// First violating position, or -1 when feasible.
+  int firstViolation(const std::vector<int>& labels) const;
+
+ private:
+  std::string name_;
+  int sigma_;
+  int radius_;
+  WindowPredicate ok_;
+};
+
+// --- the problem library of Figure 2 (plus friends) ------------------------
+
+CycleLcl cycleColouring(int k);
+CycleLcl cycleMaximalIndependentSet();
+CycleLcl cycleIndependentSet();
+/// Maximal matching on the directed cycle; each node labels its outgoing
+/// edge: 1 = matched, 0 = unmatched. Matched edges must not be adjacent and
+/// no two consecutive unmatched edges may leave an augmenting edge.
+CycleLcl cycleMaximalMatching();
+/// Orientation-free "at least one of k consecutive nodes is marked".
+CycleLcl cycleDominatingMarks(int spacing);
+/// Exact spacing problem: marked nodes must be exactly `period` apart
+/// (global for period >= 2; used as a Theta(n) witness beyond 2-colouring).
+CycleLcl cycleExactSpacing(int period);
+
+}  // namespace lclgrid::cycle

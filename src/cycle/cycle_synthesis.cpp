@@ -1,0 +1,156 @@
+#include "cycle/cycle_synthesis.hpp"
+
+#include <stdexcept>
+
+#include "local/graph_view.hpp"
+#include "local/ids.hpp"
+#include "local/mis.hpp"
+
+namespace lclgrid::cycle {
+
+namespace {
+
+/// GraphView of the k-th power of a directed n-cycle (nodes 0..n-1 in cycle
+/// order; the identifiers carry the symmetry-breaking input, not the node
+/// numbering, which distributed algorithms never inspect).
+local::GraphView cyclePowerView(int n, int k) {
+  local::GraphView view;
+  view.count = n;
+  view.maxDegree = std::min(2 * k, n - 1);
+  view.simulationFactor = k;
+  view.neighbours = [n, k](int v) {
+    std::vector<int> nbrs;
+    nbrs.reserve(static_cast<std::size_t>(2 * k));
+    for (int delta = 1; delta <= k; ++delta) {
+      int forward = (v + delta) % n;
+      int backward = (v - delta % n + n) % n;
+      if (forward != v) nbrs.push_back(forward);
+      if (backward != v && backward != forward) nbrs.push_back(backward);
+    }
+    return nbrs;
+  };
+  return view;
+}
+
+}  // namespace
+
+CycleAlgorithm::CycleAlgorithm(const CycleLcl& lcl)
+    : lcl_(lcl), classification_(classifyCycleLcl(lcl)) {
+  graph_ = std::make_unique<NeighbourhoodGraph>(lcl_);
+  if (classification_.complexity != ComplexityClass::LogStar) return;
+
+  // Anchors live on C^(k): gaps between consecutive anchors are in
+  // [k+1, 2k+1], so we need closed walks of the flexible node for every
+  // such length; flexibility f guarantees lengths >= f, hence k + 1 >= f.
+  anchorPower_ = std::max(1, classification_.flexibility - 1);
+  const int k = anchorPower_;
+  walks_.clear();
+  for (int gap = k + 1; gap <= 2 * k + 1; ++gap) {
+    auto walk = graph_->closedWalk(classification_.flexibleNode, gap);
+    if (!walk) {
+      throw std::logic_error(
+          "CycleAlgorithm: missing closed walk despite flexibility");
+    }
+    walks_.push_back(std::move(*walk));
+  }
+}
+
+CycleRun CycleAlgorithm::execute(const std::vector<std::uint64_t>& ids) const {
+  const int n = static_cast<int>(ids.size());
+  if (n < lcl_.windowLength()) {
+    throw std::invalid_argument("CycleAlgorithm: cycle too short");
+  }
+  switch (classification_.complexity) {
+    case ComplexityClass::Unsolvable:
+      return {};
+    case ComplexityClass::Constant:
+      return executeConstant(n);
+    case ComplexityClass::LogStar:
+      // Small instances fall back to gathering (constant rounds for fixed k).
+      if (n < 2 * (2 * anchorPower_ + 1)) return executeGlobal(n);
+      return executeLogStar(ids);
+    case ComplexityClass::Global:
+      return executeGlobal(n);
+  }
+  return {};
+}
+
+CycleRun CycleAlgorithm::executeConstant(int n) const {
+  // A self-loop in H is a constant feasible window; emit its label.
+  for (int label = 0; label < lcl_.sigma(); ++label) {
+    std::vector<int> window(static_cast<std::size_t>(lcl_.windowLength()),
+                            label);
+    if (lcl_.allowsWindow(window)) {
+      CycleRun run;
+      run.solved = true;
+      run.rounds = 0;
+      run.labels.assign(static_cast<std::size_t>(n), label);
+      return run;
+    }
+  }
+  throw std::logic_error("executeConstant: no constant window despite class");
+}
+
+CycleRun CycleAlgorithm::executeLogStar(
+    const std::vector<std::uint64_t>& ids) const {
+  const int n = static_cast<int>(ids.size());
+  const int k = anchorPower_;
+
+  // Problem-independent part: anchors = MIS of C^(k).
+  auto view = cyclePowerView(n, k);
+  auto mis = local::computeMis(view, ids);
+
+  CycleRun run;
+  run.rounds = mis.gridRounds;
+  run.labels.assign(static_cast<std::size_t>(n), -1);
+
+  // Problem-dependent part: each anchor fills the gap to the next anchor
+  // with the closed walk of the flexible node of matching length. Offset t
+  // of a gap takes the first label of the walk's H-node at step t. This is
+  // O(k) additional rounds.
+  std::vector<int> anchors;
+  for (int v = 0; v < n; ++v) {
+    if (mis.inSet[static_cast<std::size_t>(v)]) anchors.push_back(v);
+  }
+  if (anchors.empty()) throw std::logic_error("executeLogStar: no anchors");
+
+  for (std::size_t a = 0; a < anchors.size(); ++a) {
+    int v = anchors[a];
+    int next = anchors[(a + 1) % anchors.size()];
+    int gap = (next - v + n) % n;
+    if (gap == 0) gap = n;  // single anchor: whole cycle is one gap
+    if (gap < k + 1 || gap > 2 * k + 1) {
+      throw std::logic_error("executeLogStar: anchor gap out of range");
+    }
+    const auto& walk = walks_[static_cast<std::size_t>(gap - (k + 1))];
+    for (int t = 0; t < gap; ++t) {
+      int hNode = walk[static_cast<std::size_t>(t)];
+      run.labels[static_cast<std::size_t>((v + t) % n)] =
+          graph_->nodeLabels(hNode)[0];
+    }
+  }
+  run.rounds += 2 * k + 1;  // constant-time filling with radius O(k)
+  run.solved = true;
+  return run;
+}
+
+CycleRun CycleAlgorithm::executeGlobal(int n) const {
+  // Gather everything (diameter = floor(n/2) rounds), then find a length-n
+  // closed walk in H by dynamic programming from each potential start node.
+  CycleRun run;
+  run.rounds = n / 2 + 1;
+  for (int start = 0; start < graph_->nodeCount(); ++start) {
+    auto walk = graph_->closedWalk(start, n);
+    if (!walk) continue;
+    run.labels.assign(static_cast<std::size_t>(n), -1);
+    for (int t = 0; t < n; ++t) {
+      run.labels[static_cast<std::size_t>(t)] =
+          graph_->nodeLabels((*walk)[static_cast<std::size_t>(t)])[0];
+    }
+    run.solved = true;
+    return run;
+  }
+  return run;  // not solvable at this n
+}
+
+}  // namespace lclgrid::cycle

@@ -1,0 +1,59 @@
+// Automated synthesis of asymptotically optimal algorithms for LCL problems
+// on directed cycles (Section 4): everything here is decidable and the
+// produced algorithm matches the problem's complexity class.
+//
+//  * Constant problems output the self-loop label everywhere.
+//  * LogStar problems run the normal form: an MIS of the k-th power of the
+//    cycle (the anchors), followed by constant-time filling of the gaps
+//    with closed walks of the flexible node u in the neighbourhood graph H.
+//  * Global problems gather the whole cycle (n rounds) and fill in a
+//    feasible labelling found by dynamic programming over H.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cycle/classifier.hpp"
+#include "cycle/cycle_lcl.hpp"
+#include "cycle/neighbourhood_graph.hpp"
+
+namespace lclgrid::cycle {
+
+struct CycleRun {
+  bool solved = false;
+  std::vector<int> labels;
+  int rounds = 0;
+};
+
+class CycleAlgorithm {
+ public:
+  /// Builds the optimal algorithm for the problem; classification is
+  /// computed internally (and exposed for reporting).
+  explicit CycleAlgorithm(const CycleLcl& lcl);
+
+  const Classification& classification() const { return classification_; }
+  /// The power k such that anchors form an MIS of C^(k) (LogStar only).
+  int anchorPower() const { return anchorPower_; }
+
+  /// Executes the algorithm on a directed cycle of |ids| nodes with the
+  /// given unique identifiers. Counts LOCAL rounds faithfully: the MIS
+  /// subroutine's grid rounds plus the constant-time filling.
+  CycleRun execute(const std::vector<std::uint64_t>& ids) const;
+
+ private:
+  CycleRun executeConstant(int n) const;
+  CycleRun executeLogStar(const std::vector<std::uint64_t>& ids) const;
+  CycleRun executeGlobal(int n) const;
+
+  CycleLcl lcl_;
+  Classification classification_;
+  std::unique_ptr<NeighbourhoodGraph> graph_;
+  int anchorPower_ = 0;
+  // Precomputed closed walks of the flexible node, one per admissible gap
+  // length i in [k+1, 2k+1]; walks_[i - (k+1)][t] is the H-node covering
+  // offset t of a gap of length i.
+  std::vector<std::vector<int>> walks_;
+};
+
+}  // namespace lclgrid::cycle

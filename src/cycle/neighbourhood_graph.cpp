@@ -1,0 +1,226 @@
+#include "cycle/neighbourhood_graph.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "support/numeric.hpp"
+
+namespace lclgrid::cycle {
+
+namespace {
+long long intPow(int base, int exponent) {
+  long long result = 1;
+  for (int i = 0; i < exponent; ++i) result *= base;
+  return result;
+}
+}  // namespace
+
+NeighbourhoodGraph::NeighbourhoodGraph(const CycleLcl& lcl)
+    : sigma_(lcl.sigma()), radius_(lcl.radius()), seqLength_(2 * lcl.radius()) {
+  long long nodes = intPow(sigma_, seqLength_);
+  if (nodes > 2'000'000) {
+    throw std::invalid_argument(
+        "NeighbourhoodGraph: alphabet/radius too large to materialise");
+  }
+  adjacency_.assign(static_cast<std::size_t>(nodes), {});
+
+  // Every feasible (2r+1)-window u1..u_{2r+1} yields the edge
+  // (u1..u_{2r}) -> (u2..u_{2r+1}).
+  const long long windows = intPow(sigma_, seqLength_ + 1);
+  std::vector<int> window(static_cast<std::size_t>(seqLength_ + 1));
+  for (long long code = 0; code < windows; ++code) {
+    long long rest = code;
+    for (int i = 0; i <= seqLength_; ++i) {
+      window[static_cast<std::size_t>(i)] = static_cast<int>(rest % sigma_);
+      rest /= sigma_;
+    }
+    if (!lcl.allowsWindow(window)) continue;
+    int from = windowToNode(window, 0);
+    int to = windowToNode(window, 1);
+    adjacency_[static_cast<std::size_t>(from)].push_back(to);
+  }
+}
+
+int NeighbourhoodGraph::windowToNode(const std::vector<int>& window,
+                                     int offset) const {
+  int node = 0;
+  for (int i = seqLength_ - 1; i >= 0; --i) {
+    node = node * sigma_ + window[static_cast<std::size_t>(offset + i)];
+  }
+  return node;
+}
+
+int NeighbourhoodGraph::edgeCount() const {
+  int total = 0;
+  for (const auto& out : adjacency_) total += static_cast<int>(out.size());
+  return total;
+}
+
+std::vector<int> NeighbourhoodGraph::nodeLabels(int node) const {
+  std::vector<int> labels(static_cast<std::size_t>(seqLength_));
+  for (int i = 0; i < seqLength_; ++i) {
+    labels[static_cast<std::size_t>(i)] = node % sigma_;
+    node /= sigma_;
+  }
+  return labels;
+}
+
+int NeighbourhoodGraph::nodeOf(const std::vector<int>& labels) const {
+  if (static_cast<int>(labels.size()) != seqLength_) {
+    throw std::invalid_argument("nodeOf: wrong sequence length");
+  }
+  int node = 0;
+  for (int i = seqLength_ - 1; i >= 0; --i) {
+    node = node * sigma_ + labels[static_cast<std::size_t>(i)];
+  }
+  return node;
+}
+
+bool NeighbourhoodGraph::hasSelfLoop() const {
+  for (int v = 0; v < nodeCount(); ++v) {
+    for (int u : successors(v)) {
+      if (u == v) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<bool>> NeighbourhoodGraph::walkTable(
+    int from, int maxLength) const {
+  std::vector<std::vector<bool>> reachable(
+      static_cast<std::size_t>(maxLength + 1),
+      std::vector<bool>(static_cast<std::size_t>(nodeCount()), false));
+  reachable[0][static_cast<std::size_t>(from)] = true;
+  for (int t = 1; t <= maxLength; ++t) {
+    for (int v = 0; v < nodeCount(); ++v) {
+      if (!reachable[static_cast<std::size_t>(t - 1)][static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      for (int u : successors(v)) {
+        reachable[static_cast<std::size_t>(t)][static_cast<std::size_t>(u)] = true;
+      }
+    }
+  }
+  return reachable;
+}
+
+bool NeighbourhoodGraph::isFlexible(int node) const {
+  const int bound = nodeCount() * nodeCount() + 2 * nodeCount() + 2;
+  auto table = walkTable(node, bound);
+  // Shortest closed walk through node.
+  int shortest = -1;
+  for (int t = 1; t <= bound; ++t) {
+    if (table[static_cast<std::size_t>(t)][static_cast<std::size_t>(node)]) {
+      shortest = t;
+      break;
+    }
+  }
+  if (shortest < 0) return false;
+  // Flexible iff some run of `shortest` consecutive lengths all admit closed
+  // walks (then every larger length does too, by appending the short cycle).
+  int run = 0;
+  for (int t = 1; t <= bound; ++t) {
+    run = table[static_cast<std::size_t>(t)][static_cast<std::size_t>(node)]
+              ? run + 1
+              : 0;
+    if (run >= shortest) return true;
+  }
+  return false;
+}
+
+std::optional<NeighbourhoodGraph::Flexibility>
+NeighbourhoodGraph::minimumFlexibility() const {
+  std::optional<Flexibility> best;
+  const int bound = nodeCount() * nodeCount() + 2 * nodeCount() + 2;
+  for (int node = 0; node < nodeCount(); ++node) {
+    auto table = walkTable(node, bound);
+    int shortest = -1;
+    for (int t = 1; t <= bound; ++t) {
+      if (table[static_cast<std::size_t>(t)][static_cast<std::size_t>(node)]) {
+        shortest = t;
+        break;
+      }
+    }
+    if (shortest < 0) continue;
+    // The flexibility of `node` is the smallest k such that all lengths >= k
+    // admit closed walks: find the last length with no closed walk, within
+    // the provably sufficient bound.
+    int run = 0;
+    int flexibleFrom = -1;
+    for (int t = 1; t <= bound; ++t) {
+      bool closed =
+          table[static_cast<std::size_t>(t)][static_cast<std::size_t>(node)];
+      run = closed ? run + 1 : 0;
+      if (run >= shortest) {
+        flexibleFrom = t - run + 1;
+        break;
+      }
+    }
+    if (flexibleFrom < 0) continue;
+    if (!best || flexibleFrom < best->flexibility) {
+      best = Flexibility{node, flexibleFrom};
+    }
+  }
+  return best;
+}
+
+std::optional<std::vector<int>> NeighbourhoodGraph::closedWalk(
+    int node, int length) const {
+  if (length < 1) throw std::invalid_argument("closedWalk: length must be >= 1");
+  auto table = walkTable(node, length);
+  if (!table[static_cast<std::size_t>(length)][static_cast<std::size_t>(node)]) {
+    return std::nullopt;
+  }
+  // Reverse adjacency for backtracking.
+  std::vector<std::vector<int>> predecessors(
+      static_cast<std::size_t>(nodeCount()));
+  for (int v = 0; v < nodeCount(); ++v) {
+    for (int u : successors(v)) {
+      predecessors[static_cast<std::size_t>(u)].push_back(v);
+    }
+  }
+  std::vector<int> walk(static_cast<std::size_t>(length + 1));
+  walk[static_cast<std::size_t>(length)] = node;
+  int current = node;
+  for (int t = length; t >= 1; --t) {
+    for (int p : predecessors[static_cast<std::size_t>(current)]) {
+      if (table[static_cast<std::size_t>(t - 1)][static_cast<std::size_t>(p)]) {
+        walk[static_cast<std::size_t>(t - 1)] = p;
+        current = p;
+        break;
+      }
+    }
+  }
+  return walk;
+}
+
+bool NeighbourhoodGraph::hasCycle() const {
+  // Kahn-style peeling: repeatedly delete nodes with no outgoing edges; a
+  // nonempty remainder contains a cycle.
+  std::vector<int> outDegree(static_cast<std::size_t>(nodeCount()), 0);
+  std::vector<std::vector<int>> predecessors(
+      static_cast<std::size_t>(nodeCount()));
+  for (int v = 0; v < nodeCount(); ++v) {
+    outDegree[static_cast<std::size_t>(v)] =
+        static_cast<int>(successors(v).size());
+    for (int u : successors(v)) {
+      predecessors[static_cast<std::size_t>(u)].push_back(v);
+    }
+  }
+  std::vector<int> stack;
+  for (int v = 0; v < nodeCount(); ++v) {
+    if (outDegree[static_cast<std::size_t>(v)] == 0) stack.push_back(v);
+  }
+  int removed = 0;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    ++removed;
+    for (int p : predecessors[static_cast<std::size_t>(v)]) {
+      if (--outDegree[static_cast<std::size_t>(p)] == 0) stack.push_back(p);
+    }
+  }
+  return removed < nodeCount();
+}
+
+}  // namespace lclgrid::cycle

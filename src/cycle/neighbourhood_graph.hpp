@@ -1,0 +1,68 @@
+// The output neighbourhood graph H of a cycle LCL (Section 4, Figure 2):
+// nodes are sequences of 2r output labels, and each feasible (2r+1)-window
+// u1...u_{2r+1} induces the edge (u1...u_{2r}, u2...u_{2r+1}). Walks in H
+// correspond exactly to feasible labellings, so the complexity of the LCL
+// can be read off H: self-loops give O(1), flexible nodes give
+// Theta(log* n), anything else is Theta(n) (or unsolvable).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cycle/cycle_lcl.hpp"
+
+namespace lclgrid::cycle {
+
+class NeighbourhoodGraph {
+ public:
+  explicit NeighbourhoodGraph(const CycleLcl& lcl);
+
+  int sigma() const { return sigma_; }
+  int radius() const { return radius_; }
+  int nodeCount() const { return static_cast<int>(adjacency_.size()); }
+  int edgeCount() const;
+
+  /// Decodes a node id into its 2r-label sequence.
+  std::vector<int> nodeLabels(int node) const;
+  /// Node id of a 2r-label sequence.
+  int nodeOf(const std::vector<int>& labels) const;
+
+  const std::vector<int>& successors(int node) const {
+    return adjacency_[static_cast<std::size_t>(node)];
+  }
+
+  bool hasSelfLoop() const;
+
+  /// A node is flexible if it lies on closed walks of coprime lengths; the
+  /// flexibility of a node is the smallest k such that closed walks of every
+  /// length >= k exist through it (Section 4).
+  bool isFlexible(int node) const;
+  /// Smallest flexibility over all flexible nodes, with the node achieving
+  /// it; nullopt if no node is flexible.
+  struct Flexibility {
+    int node = -1;
+    int flexibility = -1;
+  };
+  std::optional<Flexibility> minimumFlexibility() const;
+
+  /// Closed walk from `node` to itself of exactly `length` steps, if one
+  /// exists (length >= 1). Used by the synthesis to fill segments between
+  /// anchors.
+  std::optional<std::vector<int>> closedWalk(int node, int length) const;
+
+  /// True iff some infinite walk exists (i.e. some cycle in H); otherwise
+  /// the LCL is unsolvable on all large cycles.
+  bool hasCycle() const;
+
+ private:
+  int windowToNode(const std::vector<int>& window, int offset) const;
+  /// reachable_[len][v]: a walk of length len from `from` reaches v.
+  std::vector<std::vector<bool>> walkTable(int from, int maxLength) const;
+
+  int sigma_;
+  int radius_;
+  int seqLength_;  // 2r
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace lclgrid::cycle

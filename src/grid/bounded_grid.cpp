@@ -1,0 +1,47 @@
+#include "grid/bounded_grid.hpp"
+
+#include <stdexcept>
+
+namespace lclgrid {
+
+BoundedGrid::BoundedGrid(int m) : m_(m) {
+  if (m < 2) throw std::invalid_argument("BoundedGrid: m must be at least 2");
+}
+
+int BoundedGrid::id(int x, int y) const {
+  if (!inRange(x, y)) throw std::out_of_range("BoundedGrid::id");
+  return y * m_ + x;
+}
+
+bool BoundedGrid::inRange(int x, int y) const {
+  return x >= 0 && x < m_ && y >= 0 && y < m_;
+}
+
+std::optional<int> BoundedGrid::neighbour(int v, Dir d) const {
+  int x = xOf(v) + dxOf(d);
+  int y = yOf(v) + dyOf(d);
+  if (!inRange(x, y)) return std::nullopt;
+  return id(x, y);
+}
+
+std::vector<int> BoundedGrid::neighbours(int v) const {
+  std::vector<int> result;
+  for (Dir d : kAllDirs) {
+    if (auto u = neighbour(v, d)) result.push_back(*u);
+  }
+  return result;
+}
+
+int BoundedGrid::degree(int v) const {
+  return static_cast<int>(neighbours(v).size());
+}
+
+bool BoundedGrid::isCorner(int v) const { return degree(v) == 2; }
+
+bool BoundedGrid::isBoundary(int v) const { return degree(v) < 4; }
+
+std::vector<int> BoundedGrid::corners() const {
+  return {id(0, 0), id(m_ - 1, 0), id(0, m_ - 1), id(m_ - 1, m_ - 1)};
+}
+
+}  // namespace lclgrid

@@ -1,0 +1,42 @@
+// Non-toroidal m x m grid with boundary (Appendix A.3): degree-2 corner
+// nodes, degree-3 side nodes and degree-4 internal nodes. Unlike Torus2D
+// there is no global orientation -- the corner-coordination problem is posed
+// on plain graphs, so the adjacency interface is port-based.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "grid/direction.hpp"
+
+namespace lclgrid {
+
+class BoundedGrid {
+ public:
+  explicit BoundedGrid(int m);
+
+  int m() const { return m_; }
+  int size() const { return m_ * m_; }
+
+  int id(int x, int y) const;  // requires coordinates in range
+  int xOf(int v) const { return v % m_; }
+  int yOf(int v) const { return v / m_; }
+  bool inRange(int x, int y) const;
+
+  /// Neighbour in a compass direction, if it exists.
+  std::optional<int> neighbour(int v, Dir d) const;
+  /// All neighbours of v (2, 3 or 4 of them).
+  std::vector<int> neighbours(int v) const;
+  int degree(int v) const;
+
+  bool isCorner(int v) const;
+  bool isBoundary(int v) const;  // degree < 4 (includes corners)
+
+  /// The four corner node ids, in (0,0), (m-1,0), (0,m-1), (m-1,m-1) order.
+  std::vector<int> corners() const;
+
+ private:
+  int m_;
+};
+
+}  // namespace lclgrid

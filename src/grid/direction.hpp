@@ -1,0 +1,44 @@
+// Compass directions on the consistently oriented toroidal grid (Section 3):
+// every node knows which incident edge points north / east / south / west.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace lclgrid {
+
+enum class Dir : std::uint8_t { North = 0, East = 1, South = 2, West = 3 };
+
+constexpr std::array<Dir, 4> kAllDirs = {Dir::North, Dir::East, Dir::South,
+                                         Dir::West};
+
+constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::North: return Dir::South;
+    case Dir::East: return Dir::West;
+    case Dir::South: return Dir::North;
+    case Dir::West: return Dir::East;
+  }
+  return Dir::North;  // unreachable
+}
+
+/// Unit displacement of a direction; x grows east, y grows north.
+constexpr int dxOf(Dir d) {
+  return d == Dir::East ? 1 : d == Dir::West ? -1 : 0;
+}
+constexpr int dyOf(Dir d) {
+  return d == Dir::North ? 1 : d == Dir::South ? -1 : 0;
+}
+
+inline std::string dirName(Dir d) {
+  switch (d) {
+    case Dir::North: return "N";
+    case Dir::East: return "E";
+    case Dir::South: return "S";
+    case Dir::West: return "W";
+  }
+  return "?";
+}
+
+}  // namespace lclgrid

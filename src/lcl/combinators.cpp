@@ -1,0 +1,93 @@
+#include "lcl/combinators.hpp"
+
+#include <stdexcept>
+
+#include "lcl/problems.hpp"
+
+namespace lclgrid::problems {
+
+GridLcl disjointUnion(const GridLcl& p, const GridLcl& q) {
+  const int sigmaP = p.sigma();
+  const int sigmaQ = q.sigma();
+  // Capture predicate copies by value: the combinator must not dangle.
+  GridLcl pCopy = p;
+  GridLcl qCopy = q;
+  GridLcl result(
+      p.name() + " u " + q.name(), sigmaP + sigmaQ, kDepAll,
+      [pCopy, qCopy, sigmaP](int c, int n, int e, int s, int w) {
+        bool cIsP = c < sigmaP;
+        // Family consistency: all five labels on the same side.
+        for (int other : {n, e, s, w}) {
+          if ((other < sigmaP) != cIsP) return false;
+        }
+        if (cIsP) return pCopy.allows(c, n, e, s, w);
+        return qCopy.allows(c - sigmaP, n - sigmaP, e - sigmaP, s - sigmaP,
+                            w - sigmaP);
+      });
+  return result;
+}
+
+GridLcl relabel(const GridLcl& p, const std::vector<int>& permutation) {
+  if (static_cast<int>(permutation.size()) != p.sigma()) {
+    throw std::invalid_argument("relabel: permutation arity mismatch");
+  }
+  // Invert the permutation: the new predicate sees new labels and must map
+  // them back before consulting the original.
+  std::vector<int> inverse(permutation.size(), -1);
+  for (std::size_t old = 0; old < permutation.size(); ++old) {
+    int fresh = permutation[old];
+    if (fresh < 0 || fresh >= p.sigma() || inverse[static_cast<std::size_t>(fresh)] != -1) {
+      throw std::invalid_argument("relabel: not a bijection");
+    }
+    inverse[static_cast<std::size_t>(fresh)] = static_cast<int>(old);
+  }
+  GridLcl pCopy = p;
+  return GridLcl(p.name() + "[relabelled]", p.sigma(), p.deps(),
+                 [pCopy, inverse](int c, int n, int e, int s, int w) {
+                   auto back = [&inverse](int label) {
+                     return inverse[static_cast<std::size_t>(label)];
+                   };
+                   return pCopy.allows(back(c), back(n), back(e), back(s),
+                                       back(w));
+                 });
+}
+
+GridLcl flipOrientation(const GridLcl& orientationProblem) {
+  if (orientationProblem.sigma() != 4) {
+    throw std::invalid_argument(
+        "flipOrientation: expects the 4-label orientation encoding");
+  }
+  GridLcl pCopy = orientationProblem;
+  // Flipping every edge complements both direction bits of every label.
+  auto flip = [](int label) { return label ^ 3; };
+  return GridLcl(orientationProblem.name() + "[flipped]", 4,
+                 orientationProblem.deps(),
+                 [pCopy, flip](int c, int n, int e, int s, int w) {
+                   return pCopy.allows(flip(c), flip(n), flip(e), flip(s),
+                                       flip(w));
+                 });
+}
+
+GridLcl restrictLabels(const GridLcl& p, const std::vector<bool>& keep) {
+  if (static_cast<int>(keep.size()) != p.sigma()) {
+    throw std::invalid_argument("restrictLabels: mask arity mismatch");
+  }
+  std::vector<int> toOld;
+  for (int label = 0; label < p.sigma(); ++label) {
+    if (keep[static_cast<std::size_t>(label)]) toOld.push_back(label);
+  }
+  if (toOld.empty()) {
+    throw std::invalid_argument("restrictLabels: empty alphabet");
+  }
+  GridLcl pCopy = p;
+  return GridLcl(p.name() + "[restricted]", static_cast<int>(toOld.size()),
+                 p.deps(),
+                 [pCopy, toOld](int c, int n, int e, int s, int w) {
+                   auto old = [&toOld](int label) {
+                     return toOld[static_cast<std::size_t>(label)];
+                   };
+                   return pCopy.allows(old(c), old(n), old(e), old(s), old(w));
+                 });
+}
+
+}  // namespace lclgrid::problems

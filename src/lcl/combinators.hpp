@@ -1,0 +1,34 @@
+// Problem combinators: structured ways to build new LCLs from old ones.
+//
+//  * disjointUnion -- "solve either P or Q" with family consistency between
+//    neighbours; exactly the construction L_M = P1 u P2 of Section 6.
+//  * relabel -- push the alphabet through a bijection (complexity-
+//    preserving; used e.g. to normalise colour names).
+//  * flipOrientation -- reverse every edge of an orientation problem; maps
+//    X-orientations to (4-X)-orientations, the paper's argument that
+//    {0,1,3} and {1,3,4} have the same complexity (Section 11).
+//  * restrictLabels -- forbid a subset of labels (monotone: can only make
+//    problems harder).
+#pragma once
+
+#include <vector>
+
+#include "lcl/grid_lcl.hpp"
+
+namespace lclgrid::problems {
+
+/// Labels [0, p.sigma()) solve P; labels [p.sigma(), p.sigma()+q.sigma())
+/// solve Q; adjacent nodes must use the same family.
+GridLcl disjointUnion(const GridLcl& p, const GridLcl& q);
+
+/// Applies a label bijection: newLabel = permutation[oldLabel].
+GridLcl relabel(const GridLcl& p, const std::vector<int>& permutation);
+
+/// Reverses all edge directions of an orientation problem (sigma must be 4,
+/// the problems::orientation encoding).
+GridLcl flipOrientation(const GridLcl& orientationProblem);
+
+/// Keeps only the labels with keep[label] == true (alphabet is re-indexed).
+GridLcl restrictLabels(const GridLcl& p, const std::vector<bool>& keep);
+
+}  // namespace lclgrid::problems

@@ -1,0 +1,44 @@
+// SAT-backed global solving of an LCL on a concrete torus. This plays three
+// roles in the reproduction:
+//  * the brute-force Theta(n) baseline ("gather everything and solve") that
+//    is optimal for global problems (Section 7),
+//  * a feasibility oracle (e.g. Theorem 21: 2d-edge-colouring is infeasible
+//    for odd n),
+//  * a generator of feasible labellings for the lower-bound invariant
+//    experiments of Section 9 (randomised solutions via seed-dependent
+//    symmetry-breaking assumptions).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "grid/torus2d.hpp"
+#include "lcl/grid_lcl.hpp"
+
+namespace lclgrid {
+
+struct GlobalSolveResult {
+  bool feasible = false;
+  /// False when the conflict budget ran out before the solver decided;
+  /// `feasible` is then meaningless.
+  bool decided = true;
+  std::vector<int> labels;          // set iff feasible
+  std::int64_t satConflicts = 0;
+};
+
+/// Decides feasibility of the LCL on the n x n torus and returns a solution
+/// if one exists. `seed` perturbs the search (variable order via decision
+/// polarity clauses) so different seeds can produce different solutions;
+/// seed 0 keeps the canonical deterministic search.
+GlobalSolveResult solveGlobally(const Torus2D& torus, const GridLcl& lcl,
+                                std::uint64_t seed = 0,
+                                std::int64_t conflictBudget = -1);
+
+/// The round cost of the brute-force LOCAL algorithm on an n x n torus:
+/// gathering the whole (toroidal) graph takes diameter = n rounds
+/// (2 * floor(n/2) hops in the worst case), after which the computation is
+/// local. Reported by benches next to synthesized algorithms' rounds.
+int bruteForceRounds(int n);
+
+}  // namespace lclgrid

@@ -1,0 +1,95 @@
+#include "lcl/grid_lcl.hpp"
+
+#include <stdexcept>
+
+namespace lclgrid {
+
+GridLcl::GridLcl(std::string name, int sigma, std::uint8_t deps, Predicate ok)
+    : name_(std::move(name)), sigma_(sigma), deps_(deps), ok_(std::move(ok)) {
+  if (sigma < 1) throw std::invalid_argument("GridLcl: empty alphabet");
+  if (!ok_) throw std::invalid_argument("GridLcl: missing predicate");
+}
+
+void GridLcl::setLabelNames(std::vector<std::string> names) {
+  if (static_cast<int>(names.size()) != sigma_) {
+    throw std::invalid_argument("GridLcl: label name count mismatch");
+  }
+  labelNames_ = std::move(names);
+}
+
+std::string GridLcl::labelName(int label) const {
+  if (label < 0 || label >= sigma_) return "?";
+  if (labelNames_.empty()) return std::to_string(label);
+  return labelNames_[label];
+}
+
+bool GridLcl::hasTrivialSolution() const { return trivialLabel() >= 0; }
+
+int GridLcl::trivialLabel() const {
+  for (int label = 0; label < sigma_; ++label) {
+    if (allows(label, label, label, label, label)) return label;
+  }
+  return -1;
+}
+
+void GridLcl::computeProjections() const {
+  if (projectionsComputed_) return;
+  projectionsComputed_ = true;
+  const int s = sigma_;
+  hPairs_.assign(static_cast<std::size_t>(s) * s, 0);
+  vPairs_.assign(static_cast<std::size_t>(s) * s, 0);
+
+  // Maximal candidate projections: a pair participates if it occurs in some
+  // allowed cross, viewed from either of the two nodes it touches. If a
+  // decomposition exists at all, it is witnessed by these relations (see the
+  // unit tests for the equivalence argument exercised on all problems).
+  for (int c = 0; c < s; ++c) {
+    for (int n = 0; n < s; ++n) {
+      for (int e = 0; e < s; ++e) {
+        for (int so = 0; so < s; ++so) {
+          for (int w = 0; w < s; ++w) {
+            if (!allows(c, n, e, so, w)) continue;
+            hPairs_[static_cast<std::size_t>(w) * s + c] = 1;
+            hPairs_[static_cast<std::size_t>(c) * s + e] = 1;
+            vPairs_[static_cast<std::size_t>(so) * s + c] = 1;
+            vPairs_[static_cast<std::size_t>(c) * s + n] = 1;
+          }
+        }
+      }
+    }
+  }
+
+  edgeDecomposable_ = true;
+  for (int c = 0; c < s && edgeDecomposable_; ++c) {
+    for (int n = 0; n < s && edgeDecomposable_; ++n) {
+      for (int e = 0; e < s && edgeDecomposable_; ++e) {
+        for (int so = 0; so < s && edgeDecomposable_; ++so) {
+          for (int w = 0; w < s && edgeDecomposable_; ++w) {
+            bool byPairs = hPairs_[static_cast<std::size_t>(w) * s + c] &&
+                           hPairs_[static_cast<std::size_t>(c) * s + e] &&
+                           vPairs_[static_cast<std::size_t>(so) * s + c] &&
+                           vPairs_[static_cast<std::size_t>(c) * s + n];
+            if (byPairs != allows(c, n, e, so, w)) edgeDecomposable_ = false;
+          }
+        }
+      }
+    }
+  }
+}
+
+bool GridLcl::isEdgeDecomposable() const {
+  computeProjections();
+  return edgeDecomposable_;
+}
+
+bool GridLcl::horizontalOk(int west, int east) const {
+  computeProjections();
+  return hPairs_[static_cast<std::size_t>(west) * sigma_ + east] != 0;
+}
+
+bool GridLcl::verticalOk(int south, int north) const {
+  computeProjections();
+  return vPairs_[static_cast<std::size_t>(south) * sigma_ + north] != 0;
+}
+
+}  // namespace lclgrid

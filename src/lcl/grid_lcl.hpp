@@ -1,0 +1,82 @@
+// LCL problems on the oriented 2-dimensional torus, in radius-1 *cross* form
+// (Section 3, "Radius-1 LCL problems"): the output alphabet is a finite set
+// [sigma], and feasibility of a labelling is the conjunction, over all nodes,
+// of a predicate over the node's own label and the labels of its four
+// neighbours (north, east, south, west -- the orientation is part of the
+// model, so the predicate may distinguish directions).
+//
+// Problems whose natural radius is larger (e.g. the Turing-machine problem
+// L_M of Section 6) get bespoke verifiers; per the paper this only shifts
+// running times by additive constants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lclgrid {
+
+/// Bitmask flags naming which neighbour labels a predicate actually reads.
+/// Constraint generators use this to avoid quantifying over irrelevant
+/// positions (e.g. edge colouring only reads C, S and W).
+enum DepBit : std::uint8_t {
+  kDepN = 1 << 0,
+  kDepE = 1 << 1,
+  kDepS = 1 << 2,
+  kDepW = 1 << 3,
+  kDepAll = kDepN | kDepE | kDepS | kDepW,
+};
+
+class GridLcl {
+ public:
+  using Predicate = std::function<bool(int c, int n, int e, int s, int w)>;
+
+  GridLcl(std::string name, int sigma, std::uint8_t deps, Predicate ok);
+
+  const std::string& name() const { return name_; }
+  int sigma() const { return sigma_; }
+  std::uint8_t deps() const { return deps_; }
+
+  bool allows(int c, int n, int e, int s, int w) const {
+    return ok_(c, n, e, s, w);
+  }
+
+  /// Optional human-readable label names (size sigma if set).
+  void setLabelNames(std::vector<std::string> names);
+  std::string labelName(int label) const;
+
+  /// True iff the constant labelling with some single label is feasible;
+  /// on toroidal grids this is exactly the O(1)-solvable case (Section 7).
+  bool hasTrivialSolution() const;
+  /// The trivial label if one exists, otherwise -1.
+  int trivialLabel() const;
+
+  /// True iff the predicate factorises into horizontal and vertical pair
+  /// constraints: ok(c,n,e,s,w) == H(w,c) && H(c,e) && V(s,c) && V(c,n).
+  /// Checked by exhaustive enumeration (alphabets are small).
+  bool isEdgeDecomposable() const;
+
+  /// Pair projections used when isEdgeDecomposable() holds:
+  /// horizontalOk(a, b): a immediately west of b may carry (a, b).
+  bool horizontalOk(int west, int east) const;
+  /// verticalOk(a, b): a immediately south of b may carry (a, b).
+  bool verticalOk(int south, int north) const;
+
+ private:
+  void computeProjections() const;
+
+  std::string name_;
+  int sigma_;
+  std::uint8_t deps_;
+  Predicate ok_;
+  std::vector<std::string> labelNames_;
+
+  // Lazily computed decomposability data.
+  mutable bool projectionsComputed_ = false;
+  mutable bool edgeDecomposable_ = false;
+  mutable std::vector<std::uint8_t> hPairs_;  // sigma x sigma
+  mutable std::vector<std::uint8_t> vPairs_;
+};
+
+}  // namespace lclgrid

@@ -1,0 +1,64 @@
+// The concrete LCL problems studied in the paper (Sections 1.3, 8-11), all
+// expressed in radius-1 cross form on the oriented torus.
+//
+// Edge labellings are encoded node-locally: every node owns its *east* and
+// *north* incident edges. An edge-colouring label is the pair
+// (colour of E-edge, colour of N-edge); an orientation label is the pair of
+// direction bits (E-edge points east?, N-edge points north?). A node's four
+// incident edges are then: its own E/N components plus the E component of
+// its western neighbour and the N component of its southern neighbour.
+#pragma once
+
+#include <set>
+
+#include "lcl/grid_lcl.hpp"
+
+namespace lclgrid::problems {
+
+/// Proper k-colouring of the nodes (k >= 1). Global for k <= 3 on grids,
+/// Theta(log* n) for k >= 4 (Theorems 4 and 9).
+GridLcl vertexColouring(int k);
+
+/// Maximal independent set: 1-labelled nodes are independent, and every
+/// 0-labelled node has a 1-labelled neighbour.
+GridLcl maximalIndependentSet();
+
+/// Independent set (no maximality): trivially solvable by all-0.
+GridLcl independentSet();
+
+/// Maximal matching. Labels: 0 = unmatched, 1..4 = matched through the
+/// N/E/S/W incident edge (pointing at the partner). Matched pairs must
+/// point at each other; no two unmatched nodes may be adjacent.
+GridLcl maximalMatching();
+
+// --- edge-labelled problems (labels are (E-edge, N-edge) pairs) -----------
+
+/// sigma = k*k; label l = eColour(l) * k + ... see helpers below.
+GridLcl edgeColouring(int k);
+int edgeColourOfE(int label, int k);
+int edgeColourOfN(int label, int k);
+int edgeLabelFrom(int eColour, int nColour, int k);
+
+/// X-orientation (Section 11): orient every edge such that each node's
+/// in-degree lies in X, X subset of {0,...,4}. sigma = 4: bit 0 set means
+/// the node's E-edge points east (away from the node), bit 1 set means the
+/// node's N-edge points north (away from the node).
+GridLcl orientation(const std::set<int>& allowedInDegrees);
+bool orientationEOut(int label);
+bool orientationNOut(int label);
+int orientationLabel(bool eOut, bool nOut);
+/// In-degree of a node given its own label and its west/south neighbours'.
+int orientationInDegree(int centre, int south, int west);
+
+/// Name helper: "{0,1,3}" etc.
+std::string orientationSetName(const std::set<int>& x);
+
+/// "Forbidden pattern" toy problem used in tests: no two horizontally
+/// adjacent 1s (and no constraint otherwise); trivially solvable.
+GridLcl noHorizontalOnePair();
+
+/// Weak variant of colouring used in tests: node label must differ from at
+/// least `mismatches` of its 4 neighbours.
+GridLcl weakColouring(int k, int mismatches);
+
+}  // namespace lclgrid::problems

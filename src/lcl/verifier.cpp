@@ -1,0 +1,58 @@
+#include "lcl/verifier.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lclgrid {
+
+std::vector<Violation> listViolations(const Torus2D& torus, const GridLcl& lcl,
+                                      std::span<const int> labels,
+                                      int maxReported) {
+  if (static_cast<int>(labels.size()) != torus.size()) {
+    throw std::invalid_argument("listViolations: labelling size mismatch");
+  }
+  std::vector<Violation> violations;
+  for (int v = 0; v < torus.size() &&
+                  static_cast<int>(violations.size()) < maxReported;
+       ++v) {
+    int c = labels[static_cast<std::size_t>(v)];
+    if (c < 0 || c >= lcl.sigma()) {
+      violations.push_back({v, "label out of alphabet"});
+      continue;
+    }
+    int n = labels[static_cast<std::size_t>(torus.step(v, Dir::North))];
+    int e = labels[static_cast<std::size_t>(torus.step(v, Dir::East))];
+    int s = labels[static_cast<std::size_t>(torus.step(v, Dir::South))];
+    int w = labels[static_cast<std::size_t>(torus.step(v, Dir::West))];
+    if (!lcl.allows(c, n, e, s, w)) {
+      std::ostringstream os;
+      auto [x, y] = torus.xy(v);
+      os << "constraint violated at (" << x << "," << y << "): c="
+         << lcl.labelName(c) << " n=" << lcl.labelName(n) << " e="
+         << lcl.labelName(e) << " s=" << lcl.labelName(s) << " w="
+         << lcl.labelName(w);
+      violations.push_back({v, os.str()});
+    }
+  }
+  return violations;
+}
+
+bool verify(const Torus2D& torus, const GridLcl& lcl,
+            std::span<const int> labels) {
+  return listViolations(torus, lcl, labels, 1).empty();
+}
+
+std::string renderLabelling(const Torus2D& torus, const GridLcl& lcl,
+                            std::span<const int> labels) {
+  std::ostringstream os;
+  for (int y = torus.n() - 1; y >= 0; --y) {
+    for (int x = 0; x < torus.n(); ++x) {
+      if (x > 0) os << " ";
+      os << lcl.labelName(labels[static_cast<std::size_t>(torus.id(x, y))]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lclgrid

@@ -1,0 +1,34 @@
+// Verification of LCL labellings on tori: the locally checkable predicate is
+// evaluated at every node. Used as the ground truth behind every algorithm
+// and every synthesis result in the library.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "grid/torus2d.hpp"
+#include "lcl/grid_lcl.hpp"
+
+namespace lclgrid {
+
+struct Violation {
+  int node = -1;
+  std::string description;
+};
+
+/// All violated node constraints (empty means the labelling is feasible).
+std::vector<Violation> listViolations(const Torus2D& torus, const GridLcl& lcl,
+                                      std::span<const int> labels,
+                                      int maxReported = 16);
+
+/// True iff the labelling is a feasible solution of the LCL on the torus.
+bool verify(const Torus2D& torus, const GridLcl& lcl,
+            std::span<const int> labels);
+
+/// Renders a labelling as an ASCII grid (row y = n-1 on top, matching the
+/// north-up orientation), using the problem's label names.
+std::string renderLabelling(const Torus2D& torus, const GridLcl& lcl,
+                            std::span<const int> labels);
+
+}  // namespace lclgrid

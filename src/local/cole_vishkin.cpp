@@ -1,0 +1,82 @@
+#include "local/cole_vishkin.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lclgrid::local {
+
+namespace {
+int lowestDifferingBit(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t diff = a ^ b;
+  if (diff == 0) throw std::logic_error("Cole-Vishkin: equal adjacent colours");
+  return __builtin_ctzll(diff);
+}
+}  // namespace
+
+std::vector<std::uint64_t> coleVishkinStep(
+    const CycleFamily& family, const std::vector<std::uint64_t>& colour) {
+  std::vector<std::uint64_t> next(colour.size());
+  for (int v = 0; v < family.count; ++v) {
+    std::uint64_t mine = colour[static_cast<std::size_t>(v)];
+    std::uint64_t theirs =
+        colour[static_cast<std::size_t>(family.successor(v))];
+    int bit = lowestDifferingBit(mine, theirs);
+    next[static_cast<std::size_t>(v)] =
+        2ULL * static_cast<std::uint64_t>(bit) + ((mine >> bit) & 1ULL);
+  }
+  return next;
+}
+
+CycleColouring colourCycleFamily3(const CycleFamily& family,
+                                  const std::vector<std::uint64_t>& ids) {
+  if (static_cast<int>(ids.size()) != family.count) {
+    throw std::invalid_argument("colourCycleFamily3: id count mismatch");
+  }
+  CycleColouring result;
+  std::vector<std::uint64_t> colour = ids;
+
+  // Phase 1: iterated Cole-Vishkin until the palette fits in {0, ..., 5}.
+  auto paletteTooLarge = [&]() {
+    return std::any_of(colour.begin(), colour.end(),
+                       [](std::uint64_t c) { return c > 5; });
+  };
+  while (paletteTooLarge()) {
+    colour = coleVishkinStep(family, colour);
+    result.rounds += 1;
+  }
+
+  // Phase 2: eliminate colours 5, 4, 3 one class per round. Each class is an
+  // independent set (the colouring is proper), so all its members recolour
+  // simultaneously, picking a free colour among {0,1,2} (two neighbours
+  // block at most two).
+  std::vector<int> predecessor(static_cast<std::size_t>(family.count), -1);
+  for (int v = 0; v < family.count; ++v) {
+    predecessor[static_cast<std::size_t>(family.successor(v))] = v;
+  }
+  for (std::uint64_t doomed = 5; doomed >= 3; --doomed) {
+    std::vector<std::uint64_t> next = colour;
+    for (int v = 0; v < family.count; ++v) {
+      if (colour[static_cast<std::size_t>(v)] != doomed) continue;
+      std::uint64_t succColour =
+          colour[static_cast<std::size_t>(family.successor(v))];
+      std::uint64_t predColour =
+          colour[static_cast<std::size_t>(predecessor[static_cast<std::size_t>(v)])];
+      for (std::uint64_t candidate = 0; candidate < 3; ++candidate) {
+        if (candidate != succColour && candidate != predColour) {
+          next[static_cast<std::size_t>(v)] = candidate;
+          break;
+        }
+      }
+    }
+    colour.swap(next);
+    result.rounds += 1;
+  }
+
+  result.colour.resize(colour.size());
+  for (std::size_t i = 0; i < colour.size(); ++i) {
+    result.colour[i] = static_cast<int>(colour[i]);
+  }
+  return result;
+}
+
+}  // namespace lclgrid::local

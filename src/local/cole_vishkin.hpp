@@ -1,0 +1,41 @@
+// Cole-Vishkin deterministic coin tossing [13]: 3-colouring a directed cycle
+// (or any disjoint union of directed cycles, e.g. the rows of the torus) in
+// O(log* n) rounds. The structure is generic over a successor function so
+// the same implementation colours standalone cycles, torus rows, torus
+// columns, and the 1-dimensional row-cycles used by the edge-colouring
+// algorithm of Section 10.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "local/rounds.hpp"
+
+namespace lclgrid::local {
+
+/// A disjoint union of directed cycles over nodes {0, ..., count-1}:
+/// successor(v) is the next node along v's cycle. Every node must lie on a
+/// cycle of length >= 3 for 3-colouring to exist.
+struct CycleFamily {
+  int count = 0;
+  std::function<int(int)> successor;
+};
+
+struct CycleColouring {
+  std::vector<int> colour;  // values in {0, 1, 2}
+  int rounds = 0;           // synchronous rounds used
+};
+
+/// 3-colours the cycle family from unique identifiers in O(log* n) rounds:
+/// iterated Cole-Vishkin bit reduction down to 6 colours, then three
+/// shift-out rounds to remove colours 5, 4, 3.
+CycleColouring colourCycleFamily3(const CycleFamily& family,
+                                  const std::vector<std::uint64_t>& ids);
+
+/// Internal step exposed for testing: one Cole-Vishkin reduction round.
+/// Requires colour[v] != colour[successor(v)] for all v.
+std::vector<std::uint64_t> coleVishkinStep(
+    const CycleFamily& family, const std::vector<std::uint64_t>& colour);
+
+}  // namespace lclgrid::local

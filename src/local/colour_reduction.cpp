@@ -1,0 +1,76 @@
+#include "local/colour_reduction.hpp"
+
+#include <stdexcept>
+
+namespace lclgrid::local {
+
+ReducedColouring reduceToDegreePlusOne(const GraphView& view,
+                                       const std::vector<long long>& colour,
+                                       long long paletteSize) {
+  if (static_cast<int>(colour.size()) != view.count) {
+    throw std::invalid_argument("reduceToDegreePlusOne: size mismatch");
+  }
+  const long long target = view.maxDegree + 1;
+  ReducedColouring result;
+  std::vector<long long> current = colour;
+  long long palette = paletteSize;
+
+  while (palette > target) {
+    // Blocks of 2*target colours; block b covers colours
+    // [b*2*target, (b+1)*2*target). Each block maps into [b*target,
+    // (b+1)*target): its lower half keeps (shifted) colours, its upper half
+    // recolours greedily, one colour class per round. Distinct blocks write
+    // into disjoint output ranges, so only same-block neighbours matter.
+    const long long blockSpan = 2 * target;
+    std::vector<long long> next(current.size());
+    for (int v = 0; v < view.count; ++v) {
+      long long c = current[static_cast<std::size_t>(v)];
+      long long block = c / blockSpan;
+      long long offset = c % blockSpan;
+      // Lower half: colour is final immediately.
+      next[static_cast<std::size_t>(v)] =
+          offset < target ? block * target + offset : -1;
+    }
+    // Upper half: target rounds, one offset class at a time. All nodes of the
+    // same class recolour simultaneously; the class is independent because
+    // the input colouring is proper.
+    for (long long doomed = target; doomed < blockSpan; ++doomed) {
+      for (int v = 0; v < view.count; ++v) {
+        long long c = current[static_cast<std::size_t>(v)];
+        if (c % blockSpan != doomed) continue;
+        long long block = c / blockSpan;
+        // Pick the smallest free colour within this block's output range.
+        std::vector<bool> used(static_cast<std::size_t>(target), false);
+        for (int u : view.neighbours(v)) {
+          long long uc = next[static_cast<std::size_t>(u)];
+          if (uc >= block * target && uc < (block + 1) * target) {
+            used[static_cast<std::size_t>(uc - block * target)] = true;
+          }
+        }
+        long long chosen = -1;
+        for (long long candidate = 0; candidate < target; ++candidate) {
+          if (!used[static_cast<std::size_t>(candidate)]) {
+            chosen = candidate;
+            break;
+          }
+        }
+        if (chosen < 0) {
+          throw std::logic_error("reduceToDegreePlusOne: no free colour");
+        }
+        next[static_cast<std::size_t>(v)] = block * target + chosen;
+      }
+      result.viewRounds += 1;
+    }
+    current.swap(next);
+    palette = (palette + blockSpan - 1) / blockSpan * target;
+  }
+
+  result.colour.resize(current.size());
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    result.colour[i] = static_cast<int>(current[i]);
+  }
+  result.paletteSize = static_cast<int>(target);
+  return result;
+}
+
+}  // namespace lclgrid::local

@@ -1,0 +1,25 @@
+// Kuhn-Wattenhofer style colour reduction: a proper m-colouring of a graph
+// with maximum degree Delta becomes a proper (Delta+1)-colouring in
+// O(Delta * log(m / Delta)) rounds by halving the palette -- colour classes
+// are grouped into blocks of 2(Delta+1), and each block independently
+// recolours its upper half greedily into its lower half.
+#pragma once
+
+#include <vector>
+
+#include "local/graph_view.hpp"
+
+namespace lclgrid::local {
+
+struct ReducedColouring {
+  std::vector<int> colour;  // values in [0, Delta+1)
+  int paletteSize = 0;
+  int viewRounds = 0;
+};
+
+/// Reduces a proper colouring with values < paletteSize to Delta+1 colours.
+ReducedColouring reduceToDegreePlusOne(const GraphView& view,
+                                       const std::vector<long long>& colour,
+                                       long long paletteSize);
+
+}  // namespace lclgrid::local

@@ -1,0 +1,46 @@
+#include "local/distance_colouring.hpp"
+
+#include "local/colour_reduction.hpp"
+#include "local/linial.hpp"
+
+namespace lclgrid::local {
+
+DistanceColouring colourView(const GraphView& view,
+                             const std::vector<std::uint64_t>& ids) {
+  IteratedColouring base = iteratedLinial(view, ids);
+  ReducedColouring reduced =
+      reduceToDegreePlusOne(view, base.colour, base.paletteSize);
+  DistanceColouring result;
+  result.colour = std::move(reduced.colour);
+  result.paletteSize = reduced.paletteSize;
+  result.viewRounds = base.viewRounds + reduced.viewRounds;
+  result.gridRounds = result.viewRounds * view.simulationFactor;
+  return result;
+}
+
+DistanceColouring distanceColouringLinf(const Torus2D& torus, int k,
+                                        const std::vector<std::uint64_t>& ids) {
+  return colourView(linfPowerView(torus, k), ids);
+}
+
+DistanceColouring distanceColouringL1(const Torus2D& torus, int k,
+                                      const std::vector<std::uint64_t>& ids) {
+  return colourView(l1PowerView(torus, k), ids);
+}
+
+bool isDistanceColouring(const Torus2D& torus, int k, bool metricL1,
+                         const std::vector<int>& colour) {
+  for (int v = 0; v < torus.size(); ++v) {
+    auto nbrs = metricL1 ? torus.l1PowerNeighbours(v, k)
+                         : torus.linfPowerNeighbours(v, k);
+    for (int u : nbrs) {
+      if (colour[static_cast<std::size_t>(u)] ==
+          colour[static_cast<std::size_t>(v)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace lclgrid::local

@@ -1,0 +1,40 @@
+// Distance-k colourings (Definition 16 / Lemma 17): a vertex colouring in
+// which nodes at L-infinity distance <= k receive distinct colours, computed
+// by running the colouring stack on the power graph G[k]. Also the L1
+// variant used by S_k.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "local/graph_view.hpp"
+
+namespace lclgrid::local {
+
+struct DistanceColouring {
+  std::vector<int> colour;
+  int paletteSize = 0;
+  int viewRounds = 0;  // rounds on the power view
+  int gridRounds = 0;  // after simulation overhead
+};
+
+/// Proper colouring of an arbitrary view with maxDegree+1 colours in
+/// O(log* n + poly(Delta)) view rounds (iterated Linial + KW reduction).
+DistanceColouring colourView(const GraphView& view,
+                             const std::vector<std::uint64_t>& ids);
+
+/// Colouring of L-infinity distance k of the 2-dimensional torus with at
+/// most (2k+1)^2 colours (compare Lemma 17's (2k+1)^d bound).
+DistanceColouring distanceColouringLinf(const Torus2D& torus, int k,
+                                        const std::vector<std::uint64_t>& ids);
+
+/// Colouring of L1 distance k (distinct within G^(k)).
+DistanceColouring distanceColouringL1(const Torus2D& torus, int k,
+                                      const std::vector<std::uint64_t>& ids);
+
+/// Validity check: no two distinct nodes within the metric ball share a
+/// colour. metricL1 selects between L1 and L-infinity.
+bool isDistanceColouring(const Torus2D& torus, int k, bool metricL1,
+                         const std::vector<int>& colour);
+
+}  // namespace lclgrid::local

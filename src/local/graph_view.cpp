@@ -1,0 +1,53 @@
+#include "local/graph_view.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lclgrid::local {
+
+GraphView l1PowerView(const Torus2D& torus, int k) {
+  GraphView view;
+  view.count = torus.size();
+  view.maxDegree = std::min(l1PowerDegreeBound(k), torus.size() - 1);
+  view.simulationFactor = k;
+  view.neighbours = [&torus, k](int v) { return torus.l1PowerNeighbours(v, k); };
+  return view;
+}
+
+GraphView linfPowerView(const Torus2D& torus, int k) {
+  GraphView view;
+  view.count = torus.size();
+  view.maxDegree = std::min(linfPowerDegreeBound(k), torus.size() - 1);
+  view.simulationFactor = 2 * k;
+  view.neighbours = [&torus, k](int v) {
+    return torus.linfPowerNeighbours(v, k);
+  };
+  return view;
+}
+
+GraphView linfPowerViewD(const TorusD& torus, int k) {
+  if (torus.size() > (1LL << 30)) {
+    throw std::invalid_argument("linfPowerViewD: torus too large for int ids");
+  }
+  GraphView view;
+  view.count = static_cast<int>(torus.size());
+  long long ballBound = 1;
+  for (int i = 0; i < torus.dims(); ++i) ballBound *= 2 * k + 1;
+  view.maxDegree = static_cast<int>(
+      std::min<long long>(ballBound - 1, torus.size() - 1));
+  view.simulationFactor = torus.dims() * k;
+  view.neighbours = [&torus, k](int v) {
+    auto ball = torus.linfBall(v, k);
+    std::vector<int> result;
+    result.reserve(ball.size() - 1);
+    for (long long u : ball) {
+      if (u != v) result.push_back(static_cast<int>(u));
+    }
+    return result;
+  };
+  return view;
+}
+
+GraphView torusView(const Torus2D& torus) { return l1PowerView(torus, 1); }
+
+}  // namespace lclgrid::local

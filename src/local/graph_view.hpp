@@ -1,0 +1,38 @@
+// A lightweight bounded-degree graph abstraction for the symmetry-breaking
+// stack. Power graphs of tori are exposed as views; algorithms running on a
+// view report view-rounds, which callers convert to grid rounds via the
+// simulation factor (Section 3).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "grid/torus2d.hpp"
+#include "grid/torusd.hpp"
+
+namespace lclgrid::local {
+
+struct GraphView {
+  int count = 0;
+  int maxDegree = 0;
+  /// Number of grid rounds needed to simulate one round on this view.
+  int simulationFactor = 1;
+  std::function<std::vector<int>(int)> neighbours;
+};
+
+/// View of G^(k): neighbours at L1 distance in [1, k]. One view round costs
+/// k grid rounds.
+GraphView l1PowerView(const Torus2D& torus, int k);
+
+/// View of G[k]: neighbours at L-infinity distance in [1, k]. One view round
+/// costs 2k grid rounds in 2 dimensions (||.||_1 <= 2 ||.||_inf).
+GraphView linfPowerView(const Torus2D& torus, int k);
+
+/// View of the L-infinity power of a d-dimensional torus (node count must
+/// fit in int). One view round costs d*k grid rounds.
+GraphView linfPowerViewD(const TorusD& torus, int k);
+
+/// View of the torus itself (k = 1).
+GraphView torusView(const Torus2D& torus);
+
+}  // namespace lclgrid::local

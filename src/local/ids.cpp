@@ -1,0 +1,26 @@
+#include "local/ids.hpp"
+
+#include "support/numeric.hpp"
+
+namespace lclgrid::local {
+
+std::uint64_t idSpace(int count) {
+  auto n = static_cast<std::uint64_t>(count);
+  return n * n * n + 1;
+}
+
+std::vector<std::uint64_t> randomIds(int count, std::uint64_t seed) {
+  auto ids = randomDistinct(count, idSpace(count) - 1, seed);
+  for (auto& id : ids) id += 1;  // identifiers start at 1
+  return ids;
+}
+
+std::vector<std::uint64_t> sequentialIds(int count) {
+  std::vector<std::uint64_t> ids(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ids[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(i) + 1;
+  }
+  return ids;
+}
+
+}  // namespace lclgrid::local

@@ -1,0 +1,20 @@
+// Unique-identifier assignment (Section 3: IDs come from {1, ..., poly(n)}
+// with O(log n) bits). Deterministic under a seed so experiments reproduce.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lclgrid::local {
+
+/// `count` distinct identifiers drawn from [1, count^3], randomly placed.
+std::vector<std::uint64_t> randomIds(int count, std::uint64_t seed);
+
+/// Worst-case-flavoured assignment: identifiers in sequential order along
+/// the node numbering (adversarial for algorithms that exploit randomness).
+std::vector<std::uint64_t> sequentialIds(int count);
+
+/// Upper bound (exclusive) on identifiers returned for `count` nodes.
+std::uint64_t idSpace(int count);
+
+}  // namespace lclgrid::local

@@ -1,0 +1,124 @@
+#include "local/linial.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/numeric.hpp"
+
+namespace lclgrid::local {
+
+LinialParams chooseLinialParams(long long paletteSize, int maxDegree) {
+  if (paletteSize < 2) throw std::invalid_argument("palette must have >= 2 colours");
+  LinialParams best;
+  bool haveBest = false;
+  // Degrees beyond ~60 are useless: q >= d*Delta+1 grows while q^(d+1)
+  // covers any conceivable palette long before.
+  for (int d = 1; d <= 60; ++d) {
+    // Smallest q with q^(d+1) >= paletteSize.
+    long long qFloor = static_cast<long long>(
+        std::ceil(std::pow(static_cast<double>(paletteSize),
+                           1.0 / static_cast<double>(d + 1))));
+    // Guard against floating point undershoot.
+    auto power = [&](long long base) {
+      long long value = 1;
+      for (int i = 0; i <= d; ++i) {
+        if (value > paletteSize / base + 1) return paletteSize;  // saturate
+        value *= base;
+      }
+      return value;
+    };
+    while (power(qFloor) < paletteSize) ++qFloor;
+    long long qMin = std::max<long long>(
+        qFloor, static_cast<long long>(d) * maxDegree + 1);
+    if (qMin > 1'000'000) continue;
+    int q = nextPrime(static_cast<int>(qMin));
+    LinialParams candidate{d, q};
+    if (!haveBest || candidate.newPaletteSize() < best.newPaletteSize()) {
+      best = candidate;
+      haveBest = true;
+    }
+  }
+  if (!haveBest) throw std::runtime_error("chooseLinialParams: no feasible (d,q)");
+  return best;
+}
+
+std::vector<long long> linialStep(const GraphView& view,
+                                  const std::vector<long long>& colour,
+                                  long long paletteSize,
+                                  const LinialParams& params) {
+  const int q = params.q;
+  const int d = params.degree;
+  std::vector<long long> next(colour.size());
+
+  // Precompute every node's polynomial evaluation table (q points each);
+  // this is the message a node sends to its neighbours.
+  std::vector<int> evals(static_cast<std::size_t>(view.count) *
+                         static_cast<std::size_t>(q));
+  for (int v = 0; v < view.count; ++v) {
+    std::vector<int> digits =
+        digitsBaseQ(colour[static_cast<std::size_t>(v)], q, d + 1);
+    int* row = &evals[static_cast<std::size_t>(v) * static_cast<std::size_t>(q)];
+    for (int a = 0; a < q; ++a) row[a] = evalPolyModQ(digits, a, q);
+  }
+
+  std::vector<bool> bad(static_cast<std::size_t>(q));
+  for (int v = 0; v < view.count; ++v) {
+    auto nbrs = view.neighbours(v);
+    if (static_cast<int>(nbrs.size()) > view.maxDegree) {
+      throw std::logic_error("linialStep: degree bound violated");
+    }
+    // Find an evaluation point a where my polynomial differs from every
+    // neighbour's. Each distinct neighbour polynomial agrees with mine on at
+    // most d points, so at most d*Delta < q points are bad.
+    std::fill(bad.begin(), bad.end(), false);
+    const int* mine =
+        &evals[static_cast<std::size_t>(v) * static_cast<std::size_t>(q)];
+    for (int u : nbrs) {
+      if (colour[static_cast<std::size_t>(u)] ==
+          colour[static_cast<std::size_t>(v)]) {
+        throw std::logic_error("linialStep: input colouring not proper");
+      }
+      const int* theirs =
+          &evals[static_cast<std::size_t>(u) * static_cast<std::size_t>(q)];
+      for (int a = 0; a < q; ++a) {
+        if (mine[a] == theirs[a]) bad[static_cast<std::size_t>(a)] = true;
+      }
+    }
+    int chosen = -1;
+    for (int a = 0; a < q; ++a) {
+      if (!bad[static_cast<std::size_t>(a)]) {
+        chosen = a;
+        break;
+      }
+    }
+    if (chosen < 0) throw std::logic_error("linialStep: no good evaluation point");
+    next[static_cast<std::size_t>(v)] =
+        static_cast<long long>(chosen) * q + mine[chosen];
+  }
+  (void)paletteSize;
+  return next;
+}
+
+IteratedColouring iteratedLinial(const GraphView& view,
+                                 const std::vector<std::uint64_t>& ids) {
+  if (static_cast<int>(ids.size()) != view.count) {
+    throw std::invalid_argument("iteratedLinial: id count mismatch");
+  }
+  IteratedColouring result;
+  result.colour.assign(ids.begin(), ids.end());
+  std::uint64_t maxId = 0;
+  for (std::uint64_t id : ids) maxId = std::max(maxId, id);
+  result.paletteSize = static_cast<long long>(maxId) + 1;
+
+  while (true) {
+    if (result.paletteSize <= view.maxDegree + 1) break;  // cannot improve
+    LinialParams params = chooseLinialParams(result.paletteSize, view.maxDegree);
+    if (params.newPaletteSize() >= result.paletteSize) break;  // fixpoint
+    result.colour = linialStep(view, result.colour, result.paletteSize, params);
+    result.paletteSize = params.newPaletteSize();
+    result.viewRounds += 1;
+  }
+  return result;
+}
+
+}  // namespace lclgrid::local

@@ -1,0 +1,44 @@
+// Linial's colour reduction [30] with explicit polynomial cover-free
+// families over GF(q): one communication round turns a proper m-colouring of
+// a graph with maximum degree Delta into a proper q^2-colouring, where q is
+// a prime with q > d*Delta and q^(d+1) >= m. Iterating reaches a palette of
+// size O(Delta^2 log Delta) in O(log* m) rounds -- the engine behind every
+// O(log* n) bound in the paper that is not a directed cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "local/graph_view.hpp"
+
+namespace lclgrid::local {
+
+struct LinialParams {
+  int degree = 1;     // polynomial degree d
+  int q = 2;          // field size (prime)
+  long long newPaletteSize() const { return static_cast<long long>(q) * q; }
+};
+
+/// Chooses (d, q) minimising the new palette size q^2 subject to
+/// q^(d+1) >= paletteSize and q > d * maxDegree.
+LinialParams chooseLinialParams(long long paletteSize, int maxDegree);
+
+/// One Linial reduction round. `colour` must be a proper colouring with
+/// values < paletteSize. Returns a proper colouring with values < q^2.
+std::vector<long long> linialStep(const GraphView& view,
+                                  const std::vector<long long>& colour,
+                                  long long paletteSize,
+                                  const LinialParams& params);
+
+struct IteratedColouring {
+  std::vector<long long> colour;
+  long long paletteSize = 0;
+  int viewRounds = 0;
+};
+
+/// Iterates linialStep from initial unique identifiers until the palette
+/// stops shrinking (the O(Delta^2 log Delta) fixpoint).
+IteratedColouring iteratedLinial(const GraphView& view,
+                                 const std::vector<std::uint64_t>& ids);
+
+}  // namespace lclgrid::local

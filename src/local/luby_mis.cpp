@@ -1,0 +1,64 @@
+#include "local/luby_mis.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "support/numeric.hpp"
+
+namespace lclgrid::local {
+
+LubyResult lubyMis(const GraphView& view, std::uint64_t seed) {
+  LubyResult result;
+  result.inSet.assign(static_cast<std::size_t>(view.count), 0);
+  // 0 = undecided, 1 = in MIS, 2 = dominated.
+  std::vector<std::uint8_t> state(static_cast<std::size_t>(view.count), 0);
+  SplitMix64 rng(seed);
+
+  int undecided = view.count;
+  while (undecided > 0) {
+    // Fresh priorities each iteration (each node draws locally).
+    std::vector<std::uint64_t> priority(static_cast<std::size_t>(view.count));
+    for (int v = 0; v < view.count; ++v) priority[static_cast<std::size_t>(v)] = rng.next();
+
+    // Join step: undecided local maxima enter the set.
+    std::vector<int> joiners;
+    for (int v = 0; v < view.count; ++v) {
+      if (state[static_cast<std::size_t>(v)] != 0) continue;
+      bool localMax = true;
+      for (int u : view.neighbours(v)) {
+        // Ties (astronomically unlikely with 64-bit draws) break on the
+        // node id so two adjacent maxima can never join together.
+        if (state[static_cast<std::size_t>(u)] == 0 &&
+            std::pair{priority[static_cast<std::size_t>(u)], u} >
+                std::pair{priority[static_cast<std::size_t>(v)], v}) {
+          localMax = false;
+          break;
+        }
+      }
+      if (localMax) joiners.push_back(v);
+    }
+    for (int v : joiners) {
+      state[static_cast<std::size_t>(v)] = 1;
+      result.inSet[static_cast<std::size_t>(v)] = 1;
+      --undecided;
+    }
+    // Notify step: neighbours of joiners become dominated.
+    for (int v : joiners) {
+      for (int u : view.neighbours(v)) {
+        if (state[static_cast<std::size_t>(u)] == 0) {
+          state[static_cast<std::size_t>(u)] = 2;
+          --undecided;
+        }
+      }
+    }
+    result.iterations += 1;
+    result.viewRounds += 2;
+    if (result.iterations > 64 * 32) {
+      throw std::logic_error("lubyMis: did not converge (priority bug?)");
+    }
+  }
+  result.gridRounds = result.viewRounds * view.simulationFactor;
+  return result;
+}
+
+}  // namespace lclgrid::local

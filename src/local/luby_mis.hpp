@@ -1,0 +1,26 @@
+// Luby-style randomised MIS: every undecided node joins when it holds the
+// locally largest random priority; O(log n) rounds in expectation. Section
+// 12 of the paper discusses the randomised complexity landscape (no LCL sits
+// between omega(log* n) and o(sqrt(log n)) on grids); this is the standard
+// randomised counterpart to the deterministic Linial-based S_k, and the
+// fig_randomised bench compares the two empirically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "local/graph_view.hpp"
+
+namespace lclgrid::local {
+
+struct LubyResult {
+  std::vector<std::uint8_t> inSet;
+  int iterations = 0;  // join rounds until every node is decided
+  int viewRounds = 0;  // 2 view-rounds per iteration (draw + notify)
+  int gridRounds = 0;
+};
+
+/// Randomised MIS on a view; the seed drives all random priorities.
+LubyResult lubyMis(const GraphView& view, std::uint64_t seed);
+
+}  // namespace lclgrid::local

@@ -1,0 +1,72 @@
+#include "local/mis.hpp"
+
+#include <stdexcept>
+
+#include "local/colour_reduction.hpp"
+#include "local/linial.hpp"
+
+namespace lclgrid::local {
+
+MisResult greedyMisByColour(const GraphView& view,
+                            const std::vector<int>& colour, int paletteSize) {
+  if (static_cast<int>(colour.size()) != view.count) {
+    throw std::invalid_argument("greedyMisByColour: size mismatch");
+  }
+  MisResult result;
+  result.inSet.assign(static_cast<std::size_t>(view.count), 0);
+  std::vector<std::uint8_t> dominated(static_cast<std::size_t>(view.count), 0);
+
+  // One round per colour class: all undominated nodes of the class join
+  // simultaneously (the class is independent, so this is safe), then their
+  // neighbours become dominated.
+  for (int c = 0; c < paletteSize; ++c) {
+    for (int v = 0; v < view.count; ++v) {
+      if (colour[static_cast<std::size_t>(v)] != c) continue;
+      if (dominated[static_cast<std::size_t>(v)]) continue;
+      result.inSet[static_cast<std::size_t>(v)] = 1;
+      dominated[static_cast<std::size_t>(v)] = 1;
+    }
+    // Notify neighbours (part of the same round).
+    for (int v = 0; v < view.count; ++v) {
+      if (colour[static_cast<std::size_t>(v)] != c ||
+          !result.inSet[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      for (int u : view.neighbours(v)) {
+        dominated[static_cast<std::size_t>(u)] = 1;
+      }
+    }
+    result.viewRounds += 1;
+  }
+  result.gridRounds = result.viewRounds * view.simulationFactor;
+  return result;
+}
+
+MisResult computeMis(const GraphView& view,
+                     const std::vector<std::uint64_t>& ids) {
+  IteratedColouring base = iteratedLinial(view, ids);
+  ReducedColouring reduced =
+      reduceToDegreePlusOne(view, base.colour, base.paletteSize);
+  MisResult mis = greedyMisByColour(view, reduced.colour, reduced.paletteSize);
+  mis.viewRounds += base.viewRounds + reduced.viewRounds;
+  mis.gridRounds = mis.viewRounds * view.simulationFactor;
+  return mis;
+}
+
+bool isMaximalIndependentSet(const GraphView& view,
+                             const std::vector<std::uint8_t>& inSet) {
+  for (int v = 0; v < view.count; ++v) {
+    bool inMis = inSet[static_cast<std::size_t>(v)] != 0;
+    bool neighbourInMis = false;
+    for (int u : view.neighbours(v)) {
+      if (inSet[static_cast<std::size_t>(u)]) {
+        neighbourInMis = true;
+        if (inMis) return false;  // independence violated
+      }
+    }
+    if (!inMis && !neighbourInMis) return false;  // maximality violated
+  }
+  return true;
+}
+
+}  // namespace lclgrid::local

@@ -1,0 +1,33 @@
+// Maximal independent set from a proper colouring: colour classes join
+// greedily, one class per round. Combined with iterated Linial and
+// Kuhn-Wattenhofer reduction this is the problem-independent component S_k
+// of the normal form (Section 5): an MIS of G^(k) in O(log* n) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "local/graph_view.hpp"
+
+namespace lclgrid::local {
+
+struct MisResult {
+  std::vector<std::uint8_t> inSet;  // indicator over view nodes
+  int viewRounds = 0;               // rounds on the view
+  int gridRounds = 0;               // view rounds * simulation factor
+};
+
+/// Greedy MIS by colour class; `paletteSize` rounds on the view.
+MisResult greedyMisByColour(const GraphView& view,
+                            const std::vector<int>& colour, int paletteSize);
+
+/// The full S_k pipeline on a view: identifiers -> iterated Linial ->
+/// Kuhn-Wattenhofer reduction -> greedy MIS.
+MisResult computeMis(const GraphView& view,
+                     const std::vector<std::uint64_t>& ids);
+
+/// Checks the MIS property on the view (independence + domination).
+bool isMaximalIndependentSet(const GraphView& view,
+                             const std::vector<std::uint8_t>& inSet);
+
+}  // namespace lclgrid::local

@@ -1,0 +1,23 @@
+// Round accounting for the LOCAL model. Every distributed subroutine in the
+// library reports how many synchronous communication rounds it used; running
+// a subroutine on the k-th power of the grid multiplies its round count by
+// the simulation overhead (Section 3: one power-graph round costs k grid
+// rounds under L1, and d*k under L-infinity in d dimensions, since
+// ||.||_1 <= d ||.||_inf).
+#pragma once
+
+namespace lclgrid::local {
+
+class RoundCounter {
+ public:
+  void add(int rounds) { total_ += rounds; }
+  /// Adds `rounds` power-graph rounds with a per-round simulation factor.
+  void addSimulated(int rounds, int factor) { total_ += rounds * factor; }
+  int total() const { return total_; }
+  void reset() { total_ = 0; }
+
+ private:
+  int total_ = 0;
+};
+
+}  // namespace lclgrid::local

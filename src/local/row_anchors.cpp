@@ -1,0 +1,147 @@
+#include "local/row_anchors.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "local/cole_vishkin.hpp"
+
+namespace lclgrid::local {
+
+namespace {
+
+/// All row representatives (nodes with coordinate 0 along `axis`).
+std::vector<long long> rowRepresentatives(const TorusD& torus, int axis) {
+  std::vector<long long> reps;
+  for (long long v = 0; v < torus.size(); ++v) {
+    if (torus.coord(v, axis) == 0) reps.push_back(v);
+  }
+  return reps;
+}
+
+}  // namespace
+
+RowAnchors sparseRowAnchors(const TorusD& torus, int axis, int D,
+                            const std::vector<std::uint64_t>& ids) {
+  if (D < 2) throw std::invalid_argument("sparseRowAnchors: D must be >= 2");
+  if (torus.n() < 2 * (D + 1)) {
+    throw std::invalid_argument(
+        "sparseRowAnchors: row too short to keep 2 anchors at spacing D");
+  }
+  const int n = torus.n();
+  RowAnchors result;
+
+  // Level 0: Cole-Vishkin 3-colouring of every row at once, then a greedy
+  // row-MIS by colour class (3 rounds).
+  CycleFamily rows{static_cast<int>(torus.size()), [&torus, axis](int v) {
+                     return static_cast<int>(torus.shiftAxis(v, axis, 1));
+                   }};
+  auto cv = colourCycleFamily3(rows, ids);
+  result.rounds += cv.rounds;
+
+  std::vector<std::uint8_t> anchor(static_cast<std::size_t>(torus.size()), 0);
+  for (int c = 0; c < 3; ++c) {
+    for (long long v = 0; v < torus.size(); ++v) {
+      if (cv.colour[static_cast<std::size_t>(v)] != c) continue;
+      if (anchor[static_cast<std::size_t>(torus.shiftAxis(v, axis, 1))] ||
+          anchor[static_cast<std::size_t>(torus.shiftAxis(v, axis, -1))] ||
+          anchor[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      anchor[static_cast<std::size_t>(v)] = 1;
+    }
+    result.rounds += 1;
+  }
+  int separation = 1;  // pairwise distance > 1
+  int domination = 1;
+
+  // Thinning levels: 3-colour the contracted cycle of surviving anchors,
+  // then greedily keep a subset at pairwise row-distance > T, doubling T
+  // until it reaches D.
+  auto reps = rowRepresentatives(torus, axis);
+  int T = separation;
+  while (T < D) {
+    T = std::min(2 * T + 1, D);
+
+    // Contracted cycles: per row, the anchors in cyclic order.
+    std::vector<long long> anchorNode;
+    std::vector<int> anchorRow;     // index into reps
+    std::vector<int> anchorPos;     // position along the row
+    std::vector<int> rowStart;      // first anchor index of each row
+    for (std::size_t rep = 0; rep < reps.size(); ++rep) {
+      rowStart.push_back(static_cast<int>(anchorNode.size()));
+      long long v = reps[rep];
+      for (int t = 0; t < n; ++t) {
+        if (anchor[static_cast<std::size_t>(v)]) {
+          anchorNode.push_back(v);
+          anchorRow.push_back(static_cast<int>(rep));
+          anchorPos.push_back(t);
+        }
+        v = torus.shiftAxis(v, axis, 1);
+      }
+    }
+    rowStart.push_back(static_cast<int>(anchorNode.size()));
+
+    // Cole-Vishkin handles contracted cycles down to length 2 (distinct
+    // identifiers keep adjacent colours distinct); stop thinning early if a
+    // row is about to run out entirely (the caller sees the achieved
+    // separation and can retry with other parameters).
+    bool rowTooSparse = false;
+    for (std::size_t rep = 0; rep < reps.size(); ++rep) {
+      if (rowStart[rep + 1] - rowStart[rep] < 2) rowTooSparse = true;
+    }
+    if (rowTooSparse) break;
+
+    // Successor = next anchor of the same row (cyclically).
+    CycleFamily contracted{static_cast<int>(anchorNode.size()), [&](int i) {
+                             int rep = anchorRow[static_cast<std::size_t>(i)];
+                             int next = i + 1;
+                             if (next == rowStart[static_cast<std::size_t>(rep + 1)]) {
+                               next = rowStart[static_cast<std::size_t>(rep)];
+                             }
+                             return next;
+                           }};
+    std::vector<std::uint64_t> anchorIds(anchorNode.size());
+    for (std::size_t i = 0; i < anchorNode.size(); ++i) {
+      anchorIds[i] = ids[static_cast<std::size_t>(anchorNode[i])];
+    }
+    auto levelCv = colourCycleFamily3(contracted, anchorIds);
+    // One contracted round costs up to the current anchor gap in real rounds.
+    const int hopCost = 2 * domination + 1;
+    result.rounds += levelCv.rounds * hopCost;
+
+    // Greedy thinning by colour class; `kept` holds positions per row.
+    std::vector<std::uint8_t> kept(anchorNode.size(), 0);
+    for (int c = 0; c < 3; ++c) {
+      for (std::size_t i = 0; i < anchorNode.size(); ++i) {
+        if (levelCv.colour[i] != c) continue;
+        bool blocked = false;
+        // Scan kept anchors of the same row within distance T.
+        int rep = anchorRow[i];
+        for (int j = rowStart[static_cast<std::size_t>(rep)];
+             j < rowStart[static_cast<std::size_t>(rep + 1)]; ++j) {
+          if (!kept[static_cast<std::size_t>(j)]) continue;
+          int delta = std::abs(anchorPos[static_cast<std::size_t>(j)] -
+                               anchorPos[i]);
+          if (std::min(delta, n - delta) <= T) {
+            blocked = true;
+            break;
+          }
+        }
+        if (!blocked) kept[i] = 1;
+      }
+      result.rounds += hopCost;
+    }
+    for (std::size_t i = 0; i < anchorNode.size(); ++i) {
+      if (!kept[i]) anchor[static_cast<std::size_t>(anchorNode[i])] = 0;
+    }
+    domination += T;  // every removed anchor had a kept one within T
+    separation = T;   // pairwise distance > T
+  }
+
+  result.inSet = std::move(anchor);
+  result.separation = separation;
+  result.domination = domination;
+  return result;
+}
+
+}  // namespace lclgrid::local

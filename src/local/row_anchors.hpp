@@ -1,0 +1,31 @@
+// Sparse anchors along grid rows: a (D, ~2D)-ruling set of every axis-q row
+// at once, computed by hierarchical contraction -- per-row Cole-Vishkin
+// 3-colouring, greedy MIS by colour class, then repeatedly 3-colour the
+// contracted cycle of surviving anchors and thin it to double the spacing.
+// O(log D) levels of O(log* n) rounds each; the cheap 1-dimensional
+// counterpart of the per-row "maximal independent set of large distance"
+// used by the edge-colouring algorithm of Section 10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/torusd.hpp"
+
+namespace lclgrid::local {
+
+struct RowAnchors {
+  std::vector<std::uint8_t> inSet;  // indicator over torus nodes
+  int rounds = 0;                   // LOCAL rounds on the grid
+  /// Guarantees: along every axis-`q` row, anchors are pairwise further
+  /// than `separation` apart, and every node has an anchor within
+  /// `domination` on its row.
+  int separation = 0;
+  int domination = 0;
+};
+
+/// Computes sparse anchors with separation > D on every axis-`axis` row.
+RowAnchors sparseRowAnchors(const TorusD& torus, int axis, int D,
+                            const std::vector<std::uint64_t>& ids);
+
+}  // namespace lclgrid::local

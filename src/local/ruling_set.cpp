@@ -1,0 +1,129 @@
+#include "local/ruling_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "local/graph_view.hpp"
+#include "local/mis.hpp"
+
+namespace lclgrid::local {
+
+RulingSet hierarchicalRulingSet(const Torus2D& torus, int targetSeparation,
+                                const std::vector<std::uint64_t>& ids) {
+  if (targetSeparation < 1) {
+    throw std::invalid_argument("hierarchicalRulingSet: target >= 1");
+  }
+  if (torus.n() <= 2 * targetSeparation + 1) {
+    throw std::invalid_argument("hierarchicalRulingSet: torus too small");
+  }
+  RulingSet result;
+
+  // Level 0: MIS of G[1].
+  auto baseView = linfPowerView(torus, 1);
+  auto baseMis = computeMis(baseView, ids);
+  result.rounds += baseMis.gridRounds;
+  std::vector<std::uint8_t> anchors(baseMis.inSet.begin(), baseMis.inSet.end());
+  result.separation = 1;
+  result.domination = 1;
+
+  while (result.separation < targetSeparation) {
+    const int threshold =
+        std::min(2 * result.separation + 1, targetSeparation);
+
+    // Candidate list and index map.
+    std::vector<int> candidates;
+    std::vector<int> indexOf(static_cast<std::size_t>(torus.size()), -1);
+    for (int v = 0; v < torus.size(); ++v) {
+      if (anchors[static_cast<std::size_t>(v)]) {
+        indexOf[static_cast<std::size_t>(v)] =
+            static_cast<int>(candidates.size());
+        candidates.push_back(v);
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Candidate adjacency: pairs within L-infinity `threshold`. Previous
+    // separation bounds the degree by a constant (~(2*threshold/sep + 1)^2).
+    std::vector<std::vector<int>> adj(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      for (int u : torus.linfBall(candidates[i], threshold)) {
+        int j = indexOf[static_cast<std::size_t>(u)];
+        if (j >= 0 && j != static_cast<int>(i)) {
+          adj[i].push_back(j);
+        }
+      }
+    }
+    int maxDegree = 1;
+    for (const auto& list : adj) {
+      maxDegree = std::max(maxDegree, static_cast<int>(list.size()));
+    }
+
+    GraphView view;
+    view.count = static_cast<int>(candidates.size());
+    view.maxDegree = maxDegree;
+    view.simulationFactor = 2 * threshold;
+    view.neighbours = [&adj](int v) { return adj[static_cast<std::size_t>(v)]; };
+    std::vector<std::uint64_t> candidateIds(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      candidateIds[i] = ids[static_cast<std::size_t>(candidates[i])];
+    }
+    auto levelMis = computeMis(view, candidateIds);
+    result.rounds += levelMis.gridRounds;
+
+    std::vector<std::uint8_t> next(static_cast<std::size_t>(torus.size()), 0);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (levelMis.inSet[i]) next[static_cast<std::size_t>(candidates[i])] = 1;
+    }
+    anchors.swap(next);
+    // Every removed candidate had a surviving one within `threshold`.
+    result.domination += threshold;
+    result.separation = threshold;
+  }
+
+  result.inSet = std::move(anchors);
+  return result;
+}
+
+RulingSet misOfLinfPower(const Torus2D& torus, int ell,
+                         const std::vector<std::uint64_t>& ids) {
+  RulingSet result = hierarchicalRulingSet(torus, ell, ids);
+
+  // Completion: undominated nodes (no anchor within ell) join whenever they
+  // hold the largest identifier among undominated nodes within ell.
+  while (true) {
+    std::vector<int> undominated;
+    std::vector<std::uint8_t> isUndominated(
+        static_cast<std::size_t>(torus.size()), 0);
+    for (int v = 0; v < torus.size(); ++v) {
+      bool dominated = false;
+      for (int u : torus.linfBall(v, ell)) {
+        if (result.inSet[static_cast<std::size_t>(u)]) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        undominated.push_back(v);
+        isUndominated[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+    if (undominated.empty()) break;
+    for (int v : undominated) {
+      bool localMax = true;
+      for (int u : torus.linfBall(v, ell)) {
+        if (u != v && isUndominated[static_cast<std::size_t>(u)] &&
+            ids[static_cast<std::size_t>(u)] > ids[static_cast<std::size_t>(v)]) {
+          localMax = false;
+          break;
+        }
+      }
+      if (localMax) result.inSet[static_cast<std::size_t>(v)] = 1;
+    }
+    result.rounds += 2 * ell + 2;  // one join iteration
+  }
+  result.separation = ell;
+  result.domination = ell;
+  return result;
+}
+
+}  // namespace lclgrid::local

@@ -1,0 +1,39 @@
+// Hierarchical ruling sets on the 2-dimensional torus (L-infinity metric):
+// a set of anchors with pairwise separation > target and bounded domination
+// radius, computed by O(log target) levels of cheap constant-degree MIS
+// (each level doubles the separation among the survivors of the previous
+// level). The standard substitute for an MIS of G[target] when target is
+// too large to simulate the power graph directly: every level's candidate
+// graph has degree <= 25, so the whole stack stays O(log* n) rounds with
+// small constants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/torus2d.hpp"
+
+namespace lclgrid::local {
+
+struct RulingSet {
+  std::vector<std::uint8_t> inSet;
+  int rounds = 0;
+  int separation = 0;  // pairwise L-infinity distance > separation
+  int domination = 0;  // every node within L-infinity `domination` of the set
+};
+
+/// Anchors with pairwise L-infinity separation > targetSeparation and
+/// domination radius <= ~2*targetSeparation.
+RulingSet hierarchicalRulingSet(const Torus2D& torus, int targetSeparation,
+                                const std::vector<std::uint64_t>& ids);
+
+/// An exact maximal independent set of G[ell] (pairwise separation > ell,
+/// domination radius <= ell): hierarchical ruling set followed by a
+/// Luby-style completion -- undominated nodes join when they hold the
+/// locally largest identifier. Completion takes O(log n) iterations in
+/// expectation (each costing ~2*ell rounds); the hierarchical part stays
+/// O(log* n).
+RulingSet misOfLinfPower(const Torus2D& torus, int ell,
+                         const std::vector<std::uint64_t>& ids);
+
+}  // namespace lclgrid::local

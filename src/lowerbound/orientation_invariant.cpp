@@ -1,0 +1,83 @@
+#include "lowerbound/orientation_invariant.hpp"
+
+#include <stdexcept>
+
+#include "lcl/problems.hpp"
+
+namespace lclgrid::lowerbound {
+
+std::vector<int> inDegrees(const Torus2D& torus,
+                           const std::vector<int>& orientationLabels) {
+  std::vector<int> degree(static_cast<std::size_t>(torus.size()));
+  for (int v = 0; v < torus.size(); ++v) {
+    int south = orientationLabels[static_cast<std::size_t>(
+        torus.step(v, Dir::South))];
+    int west = orientationLabels[static_cast<std::size_t>(
+        torus.step(v, Dir::West))];
+    degree[static_cast<std::size_t>(v)] = problems::orientationInDegree(
+        orientationLabels[static_cast<std::size_t>(v)], south, west);
+  }
+  return degree;
+}
+
+int verticalEdgeLabel(const Torus2D& torus, const std::vector<int>& inDegree,
+                      const std::vector<int>& orientationLabels, int x,
+                      int i) {
+  int lower = torus.id(x, i);
+  int upper = torus.id(x, i + 1);
+  // Rule 1: an endpoint with in-degree 0 labels the edge 0.
+  if (inDegree[static_cast<std::size_t>(lower)] == 0 ||
+      inDegree[static_cast<std::size_t>(upper)] == 0) {
+    return 0;
+  }
+  // Nearest 0-vertices in rows i, i+1 to the left and right. (Gaps between
+  // 0-columns are bounded for valid orientations; the scan is capped by n.)
+  auto findZero = [&](int direction) -> std::pair<int, int> {
+    for (int step = 1; step < torus.n(); ++step) {
+      int column = x + direction * step;
+      for (int row : {i, i + 1}) {
+        int node = torus.id(column, row);
+        if (inDegree[static_cast<std::size_t>(node)] == 0) {
+          return {step, row};  // column distance and row of the 0-vertex
+        }
+      }
+    }
+    return {-1, -1};
+  };
+  auto [leftSteps, leftRow] = findZero(-1);
+  auto [rightSteps, rightRow] = findZero(1);
+  if (leftSteps < 0 || rightSteps < 0) return 0;  // no 0-vertices at all
+  int l1 = leftSteps + rightSteps + (leftRow == rightRow ? 0 : 1);
+  if (l1 % 2 == 0) return 0;
+  // Odd distance: sign by the edge's direction ("up" = +1). The edge from
+  // (x,i) to (x,i+1) is the N-edge of the lower node.
+  bool pointsUp = problems::orientationNOut(
+      orientationLabels[static_cast<std::size_t>(lower)]);
+  return pointsUp ? 1 : -1;
+}
+
+long long verticalRowSum(const Torus2D& torus,
+                         const std::vector<int>& orientationLabels, int i) {
+  auto degree = inDegrees(torus, orientationLabels);
+  long long total = 0;
+  for (int x = 0; x < torus.n(); ++x) {
+    total += verticalEdgeLabel(torus, degree, orientationLabels, x, i);
+  }
+  return total;
+}
+
+std::vector<long long> allVerticalRowSums(
+    const Torus2D& torus, const std::vector<int>& orientationLabels) {
+  auto degree = inDegrees(torus, orientationLabels);
+  std::vector<long long> sums(static_cast<std::size_t>(torus.n()));
+  for (int i = 0; i < torus.n(); ++i) {
+    long long total = 0;
+    for (int x = 0; x < torus.n(); ++x) {
+      total += verticalEdgeLabel(torus, degree, orientationLabels, x, i);
+    }
+    sums[static_cast<std::size_t>(i)] = total;
+  }
+  return sums;
+}
+
+}  // namespace lclgrid::lowerbound

@@ -1,0 +1,32 @@
+// The {0,3,4}-orientation lower-bound machinery of Theorem 25: the vertical
+// edges between rows i and i+1 are labelled {-1, 0, +1} from the parity of
+// the L1 distance between the nearest in-degree-0 vertices to the left and
+// right; the row sum r(i) is invariant across rows, odd for odd n, and
+// bounded by n/2 -- reducing {0,3,4}-orientation to q-sum coordination.
+#pragma once
+
+#include <vector>
+
+#include "grid/torus2d.hpp"
+
+namespace lclgrid::lowerbound {
+
+/// In-degree of every node under an orientation labelling (the encoding of
+/// problems::orientation: bit 0 = own E-edge points east, bit 1 = own
+/// N-edge points north).
+std::vector<int> inDegrees(const Torus2D& torus,
+                           const std::vector<int>& orientationLabels);
+
+/// The label of the vertical edge between (x, i) and (x, i+1).
+int verticalEdgeLabel(const Torus2D& torus, const std::vector<int>& inDegree,
+                      const std::vector<int>& orientationLabels, int x, int i);
+
+/// r(i): the sum of vertical-edge labels between rows i and i+1.
+long long verticalRowSum(const Torus2D& torus,
+                         const std::vector<int>& orientationLabels, int i);
+
+/// r(i) for every i (Theorem 25 predicts all equal).
+std::vector<long long> allVerticalRowSums(
+    const Torus2D& torus, const std::vector<int>& orientationLabels);
+
+}  // namespace lclgrid::lowerbound

@@ -1,0 +1,38 @@
+#include "lowerbound/qsum.hpp"
+
+#include <cstdlib>
+
+namespace lclgrid::lowerbound {
+
+bool verifyQSum(const std::vector<int>& labels, long long target) {
+  long long total = 0;
+  for (int label : labels) {
+    if (label < -1 || label > 1) return false;
+    total += label;
+  }
+  return total == target;
+}
+
+QSumRun solveQSumGlobally(int n, long long target) {
+  QSumRun run;
+  run.rounds = n / 2 + 1;
+  if (std::abs(target) > n) {
+    run.failure = "target out of range";
+    return run;
+  }
+  run.labels.assign(static_cast<std::size_t>(n), 0);
+  // Deterministic assignment: the first |target| nodes output sign(target).
+  int sign = target > 0 ? 1 : -1;
+  for (long long i = 0; i < std::abs(target); ++i) {
+    run.labels[static_cast<std::size_t>(i)] = sign;
+  }
+  run.solved = true;
+  return run;
+}
+
+bool qSumConditionsHold(int n, long long target) {
+  if (n % 2 == 1 && target % 2 == 0) return false;
+  return std::abs(target) * 2 <= n;
+}
+
+}  // namespace lclgrid::lowerbound

@@ -1,0 +1,31 @@
+// The q-sum coordination problem (Section 9, Theorem 10): on a directed
+// n-cycle every node outputs a label in {-1, 0, +1} whose total equals q(n).
+// For any q with q(n) odd for odd n and |q(n)| <= n/2 the problem needs
+// Omega(n) rounds; 3-colouring (and {0,3,4}-orientation) of grids reduce to
+// it, which is how the paper proves their Omega(n) lower bounds.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lclgrid::lowerbound {
+
+/// Checks a q-sum output vector.
+bool verifyQSum(const std::vector<int>& labels, long long target);
+
+struct QSumRun {
+  bool solved = false;
+  std::vector<int> labels;
+  int rounds = 0;
+  std::string failure;
+};
+
+/// The optimal (Theta(n)) solver: gather the cycle, let the identifier-
+/// minimal node output the residue. Fails when |target| > n.
+QSumRun solveQSumGlobally(int n, long long target);
+
+/// The admissibility conditions of Theorem 10 on the function q.
+bool qSumConditionsHold(int n, long long target);
+
+}  // namespace lclgrid::lowerbound

@@ -1,0 +1,131 @@
+#include "lowerbound/three_colouring_invariant.hpp"
+
+#include <stdexcept>
+
+namespace lclgrid::lowerbound {
+
+namespace {
+
+/// H-edge test: is there a directed edge from colour-3 node `from` to
+/// colour-3 node `to`, where `to` = from + (dx, dy), dx, dy in {-1, +1}?
+/// The two shared neighbours are from+(dx,0) and from+(0,dy); the edge is
+/// directed so that the colour-1 (label 0) node lies to the LEFT of the
+/// direction of travel.
+bool hEdge(const Torus2D& torus, const std::vector<int>& colours, int from,
+           int dx, int dy) {
+  int to = torus.shift(from, dx, dy);
+  if (colours[static_cast<std::size_t>(from)] != 2 ||
+      colours[static_cast<std::size_t>(to)] != 2) {
+    return false;
+  }
+  int sideA = torus.shift(from, dx, 0);  // horizontal shared neighbour
+  int sideB = torus.shift(from, 0, dy);  // vertical shared neighbour
+  int colourA = colours[static_cast<std::size_t>(sideA)];
+  int colourB = colours[static_cast<std::size_t>(sideB)];
+  // Left of direction (dx, dy) is the side whose cross product
+  // (dx, dy) x (cell - from) is positive: for the horizontal cell (dx, 0):
+  // cross = dx*0 - dy*dx = -dx*dy; for the vertical cell (0, dy):
+  // cross = dx*dy. So the vertical cell is left iff dx*dy > 0.
+  int leftColour = dx * dy > 0 ? colourB : colourA;
+  int rightColour = dx * dy > 0 ? colourA : colourB;
+  return leftColour == 0 && rightColour == 1;
+}
+
+}  // namespace
+
+std::vector<int> makeGreedy(const Torus2D& torus, std::vector<int> colours) {
+  // Recolour classes 2 then 1 (each class is independent, so simultaneous
+  // recolouring keeps the colouring proper) and iterate to a fixpoint:
+  // lowering a node can strip a neighbour's support, so one sweep is not
+  // always enough. The total colour sum strictly decreases with every
+  // effective sweep, so termination is immediate; in practice 2-3 sweeps
+  // suffice (still O(1) rounds for the reduction's purposes).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int cls = 2; cls >= 1; --cls) {
+      std::vector<int> next = colours;
+      for (int v = 0; v < torus.size(); ++v) {
+        if (colours[static_cast<std::size_t>(v)] != cls) continue;
+        bool used[3] = {false, false, false};
+        for (Dir d : kAllDirs) {
+          int c = colours[static_cast<std::size_t>(torus.step(v, d))];
+          if (c >= 0 && c < 3) used[c] = true;
+        }
+        for (int candidate = 0; candidate < cls; ++candidate) {
+          if (!used[candidate]) {
+            next[static_cast<std::size_t>(v)] = candidate;
+            changed = true;
+            break;
+          }
+        }
+      }
+      colours.swap(next);
+    }
+  }
+  return colours;
+}
+
+bool isGreedyColouring(const Torus2D& torus, const std::vector<int>& colours) {
+  for (int v = 0; v < torus.size(); ++v) {
+    int c = colours[static_cast<std::size_t>(v)];
+    bool seen[3] = {false, false, false};
+    for (Dir d : kAllDirs) {
+      int nc = colours[static_cast<std::size_t>(torus.step(v, d))];
+      if (nc >= 0 && nc < 3) seen[nc] = true;
+      if (nc == c) return false;  // not even proper
+    }
+    for (int smaller = 0; smaller < c; ++smaller) {
+      if (!seen[smaller]) return false;
+    }
+  }
+  return true;
+}
+
+int crossingLabel(const Torus2D& torus, const std::vector<int>& colours,
+                  int node) {
+  if (colours[static_cast<std::size_t>(node)] != 2) return 0;
+  // Collect in- and out-neighbours over the four diagonal directions.
+  int inFrom = -2, outTo = -2;  // -2 = none, -1 = multiple
+  int inCount = 0, outCount = 0;
+  for (int dx : {-1, 1}) {
+    for (int dy : {-1, 1}) {
+      if (hEdge(torus, colours, node, dx, dy)) {
+        ++outCount;
+        outTo = outCount == 1 ? torus.shift(node, dx, dy) : -1;
+      }
+      int from = torus.shift(node, dx, dy);
+      if (hEdge(torus, colours, from, -dx, -dy)) {
+        ++inCount;
+        inFrom = inCount == 1 ? from : -1;
+      }
+    }
+  }
+  if (inCount != 1 || outCount != 1) return 0;
+  int y = torus.yOf(node);
+  int fromNorth = torus.yOf(inFrom) == (y + 1) % torus.n();
+  int toNorth = torus.yOf(outTo) == (y + 1) % torus.n();
+  if (!fromNorth && toNorth) return 1;   // northbound
+  if (fromNorth && !toNorth) return -1;  // southbound
+  return 0;
+}
+
+long long rowInvariant(const Torus2D& torus, const std::vector<int>& colours,
+                       int row) {
+  long long total = 0;
+  for (int x = 0; x < torus.n(); ++x) {
+    total += crossingLabel(torus, colours, torus.id(x, row));
+  }
+  return total;
+}
+
+std::vector<long long> allRowInvariants(const Torus2D& torus,
+                                        const std::vector<int>& colours) {
+  std::vector<long long> rows(static_cast<std::size_t>(torus.n()));
+  for (int r = 0; r < torus.n(); ++r) {
+    rows[static_cast<std::size_t>(r)] = rowInvariant(torus, colours, r);
+  }
+  return rows;
+}
+
+}  // namespace lclgrid::lowerbound

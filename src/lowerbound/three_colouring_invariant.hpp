@@ -1,0 +1,40 @@
+// The 3-colouring lower-bound machinery of Section 9 (Theorem 9): from any
+// *greedy* 3-colouring of the torus, an auxiliary directed graph H is built
+// on the colour-3 nodes (edges between diagonal pairs sharing a colour-1
+// and a colour-2 neighbour, directed so colour 1 is on the left). The
+// per-row balance of northbound minus southbound crossings,
+//   s_r(G) = sum over colour-3 nodes v of row r of l(v),
+// is invariant across rows (Lemma 12), odd for odd n and bounded by n/2
+// (Lemma 14) -- so a o(n)-round 3-colouring algorithm would solve q-sum
+// coordination, which is impossible (Theorem 10).
+#pragma once
+
+#include <vector>
+
+#include "grid/torus2d.hpp"
+
+namespace lclgrid::lowerbound {
+
+/// Greedy-ification preprocessing (2 rounds): recolour classes 2 then 1 so
+/// that every colour-c node has neighbours of all smaller colours. Input
+/// must be a proper 3-colouring (labels 0, 1, 2); output remains proper.
+std::vector<int> makeGreedy(const Torus2D& torus, std::vector<int> colours);
+
+/// True iff the colouring is greedy in the paper's sense.
+bool isGreedyColouring(const Torus2D& torus, const std::vector<int>& colours);
+
+/// The label l(v) in {-1, 0, +1} of a colour-3 node (Lemma 14): +1 for a
+/// northbound crossing, -1 southbound, 0 otherwise. Nodes of other colours
+/// get 0.
+int crossingLabel(const Torus2D& torus, const std::vector<int>& colours,
+                  int node);
+
+/// s_r(G) for one row.
+long long rowInvariant(const Torus2D& torus, const std::vector<int>& colours,
+                       int row);
+
+/// s_r(G) for every row (Lemma 12 predicts all entries equal).
+std::vector<long long> allRowInvariants(const Torus2D& torus,
+                                        const std::vector<int>& colours);
+
+}  // namespace lclgrid::lowerbound

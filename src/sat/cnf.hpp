@@ -1,0 +1,40 @@
+// Small CNF-encoding helpers on top of the Solver: variable blocks for
+// finite-domain variables and the standard exactly-one / at-most-one
+// encodings used by the synthesis and global-solver reductions.
+#pragma once
+
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace lclgrid::sat {
+
+/// A block of `domain` Boolean variables representing one finite-domain
+/// variable with values {0, ..., domain-1} (one-hot encoding).
+class DomainVar {
+ public:
+  DomainVar() = default;
+  DomainVar(Solver& solver, int domain);
+
+  int domain() const { return static_cast<int>(vars_.size()); }
+  /// DIMACS literal asserting "this variable takes value v".
+  int is(int v) const { return vars_[v]; }
+  /// DIMACS literal asserting "this variable does not take value v".
+  int isNot(int v) const { return -vars_[v]; }
+  /// Decoded value from the solver model (requires a Sat result).
+  int decode(const Solver& solver) const;
+
+ private:
+  std::vector<int> vars_;
+};
+
+/// Adds clauses enforcing at least one of the literals.
+void addAtLeastOne(Solver& solver, const std::vector<int>& lits);
+/// Adds pairwise at-most-one clauses (fine for the small domains used here).
+void addAtMostOne(Solver& solver, const std::vector<int>& lits);
+void addExactlyOne(Solver& solver, const std::vector<int>& lits);
+
+/// Creates a one-hot domain variable with its exactly-one constraint.
+DomainVar makeDomainVar(Solver& solver, int domain);
+
+}  // namespace lclgrid::sat

@@ -1,0 +1,67 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lclgrid::sat {
+
+Cnf parseDimacs(std::istream& in) {
+  Cnf cnf;
+  std::string token;
+  bool headerSeen = false;
+  std::vector<int> current;
+  while (in >> token) {
+    if (token == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (token == "p") {
+      std::string format;
+      int declaredClauses = 0;
+      if (!(in >> format >> cnf.numVars >> declaredClauses) || format != "cnf") {
+        throw std::runtime_error("parseDimacs: malformed header");
+      }
+      headerSeen = true;
+      continue;
+    }
+    if (!headerSeen) throw std::runtime_error("parseDimacs: literal before header");
+    int lit = std::stoi(token);
+    if (lit == 0) {
+      cnf.clauses.push_back(current);
+      current.clear();
+    } else {
+      if (std::abs(lit) > cnf.numVars) {
+        throw std::runtime_error("parseDimacs: literal out of range");
+      }
+      current.push_back(lit);
+    }
+  }
+  if (!current.empty()) throw std::runtime_error("parseDimacs: unterminated clause");
+  return cnf;
+}
+
+Cnf parseDimacsString(const std::string& text) {
+  std::istringstream in(text);
+  return parseDimacs(in);
+}
+
+void loadInto(const Cnf& cnf, Solver& solver) {
+  if (solver.numVars() != 0) {
+    throw std::invalid_argument("loadInto: solver must be empty");
+  }
+  for (int i = 0; i < cnf.numVars; ++i) solver.newVar();
+  for (const auto& clause : cnf.clauses) solver.addClause(clause);
+}
+
+std::string toDimacsString(const Cnf& cnf) {
+  std::ostringstream os;
+  os << "p cnf " << cnf.numVars << " " << cnf.clauses.size() << "\n";
+  for (const auto& clause : cnf.clauses) {
+    for (int lit : clause) os << lit << " ";
+    os << "0\n";
+  }
+  return os.str();
+}
+
+}  // namespace lclgrid::sat

@@ -1,0 +1,28 @@
+// DIMACS CNF import/export: handy for debugging synthesis instances with
+// external tools and for the SAT benchmark corpus.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace lclgrid::sat {
+
+struct Cnf {
+  int numVars = 0;
+  std::vector<std::vector<int>> clauses;
+};
+
+/// Parses DIMACS text ("p cnf V C" header, clauses terminated by 0).
+Cnf parseDimacs(std::istream& in);
+Cnf parseDimacsString(const std::string& text);
+
+/// Loads a CNF into a fresh set of solver variables (variable i of the CNF
+/// becomes variable i of the solver, which must be empty).
+void loadInto(const Cnf& cnf, Solver& solver);
+
+std::string toDimacsString(const Cnf& cnf);
+
+}  // namespace lclgrid::sat

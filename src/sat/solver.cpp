@@ -1,0 +1,484 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lclgrid::sat {
+
+namespace {
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kRescaleLimit = 1e100;
+constexpr std::int64_t kRestartBase = 128;
+}  // namespace
+
+Solver::Solver() = default;
+
+int Solver::newVar() {
+  int var = static_cast<int>(assigns_.size());
+  assigns_.push_back(kUnassigned);
+  savedPhase_.push_back(1);  // default phase: false (often good for EO encodings)
+  level_.push_back(0);
+  reason_.push_back(kUndef);
+  activity_.push_back(0.0);
+  heapPosition_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heapInsert(var);
+  return var + 1;
+}
+
+Solver::Lit Solver::fromDimacs(int d) const {
+  if (d == 0) throw std::invalid_argument("DIMACS literal 0");
+  int var = std::abs(d) - 1;
+  if (var >= numVars()) throw std::out_of_range("literal for unknown variable");
+  return mkLit(var, d < 0);
+}
+
+std::uint8_t Solver::litValue(Lit l) const {
+  std::uint8_t a = assigns_[varOf(l)];
+  if (a == kUnassigned) return kUnassigned;
+  return static_cast<std::uint8_t>(a ^ (signOf(l) ? 1 : 0));
+}
+
+bool Solver::addClause(const std::vector<int>& dimacsLits) {
+  if (unsatisfiable_) return false;
+  std::vector<Lit> lits;
+  lits.reserve(dimacsLits.size());
+  for (int d : dimacsLits) lits.push_back(fromDimacs(d));
+
+  // Normalise: sort, remove duplicates, detect tautologies, drop literals
+  // already false at level 0 and detect satisfied clauses.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> cleaned;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i + 1 < lits.size() && lits[i + 1] == negate(lits[i])) return true;
+    if (i > 0 && lits[i] == negate(lits[i - 1])) return true;
+    std::uint8_t value = litValue(lits[i]);
+    if (value == kTrue) return true;  // satisfied at level 0
+    if (value == kFalse) continue;    // permanently false literal
+    cleaned.push_back(lits[i]);
+  }
+
+  if (cleaned.empty()) {
+    unsatisfiable_ = true;
+    return false;
+  }
+  if (cleaned.size() == 1) {
+    enqueue(cleaned[0], kUndef);
+    if (propagate() != kUndef) {
+      unsatisfiable_ = true;
+      return false;
+    }
+    return true;
+  }
+  addClauseInternal(std::move(cleaned), /*learnt=*/false);
+  return true;
+}
+
+int Solver::addClauseInternal(std::vector<Lit> lits, bool learnt) {
+  int idx = static_cast<int>(clauses_.size());
+  Clause clause;
+  clause.lits = std::move(lits);
+  clause.learnt = learnt;
+  if (learnt) {
+    clause.lbd = computeLbd(clause.lits);
+    clause.activity = clauseActivityIncrement_;
+    learntIndices_.push_back(idx);
+    ++stats_.learnt;
+  }
+  clauses_.push_back(std::move(clause));
+  attachClause(idx);
+  return idx;
+}
+
+void Solver::attachClause(int idx) {
+  const Clause& clause = clauses_[idx];
+  watches_[negate(clause.lits[0])].push_back({idx, clause.lits[1]});
+  watches_[negate(clause.lits[1])].push_back({idx, clause.lits[0]});
+}
+
+void Solver::enqueue(Lit l, int reasonClause) {
+  int var = varOf(l);
+  assigns_[var] = signOf(l) ? kFalse : kTrue;
+  savedPhase_[var] = signOf(l) ? 1 : 0;
+  level_[var] = currentLevel();
+  reason_[var] = reasonClause;
+  trail_.push_back(l);
+}
+
+int Solver::propagate() {
+  while (propagationHead_ < static_cast<int>(trail_.size())) {
+    Lit propagated = trail_[propagationHead_++];
+    ++stats_.propagations;
+    std::vector<Watcher>& watchList = watches_[propagated];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watchList.size(); ++i) {
+      Watcher w = watchList[i];
+      if (litValue(w.blocker) == kTrue) {
+        watchList[keep++] = w;
+        continue;
+      }
+      Clause& clause = clauses_[w.clause];
+      if (clause.deleted) continue;  // drop watcher for deleted clause
+      // Ensure the falsified literal is at position 1.
+      Lit falseLit = negate(propagated);
+      if (clause.lits[0] == falseLit) std::swap(clause.lits[0], clause.lits[1]);
+      Lit first = clause.lits[0];
+      if (first != w.blocker && litValue(first) == kTrue) {
+        watchList[keep++] = {w.clause, first};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool foundWatch = false;
+      for (std::size_t j = 2; j < clause.lits.size(); ++j) {
+        if (litValue(clause.lits[j]) != kFalse) {
+          std::swap(clause.lits[1], clause.lits[j]);
+          watches_[negate(clause.lits[1])].push_back({w.clause, first});
+          foundWatch = true;
+          break;
+        }
+      }
+      if (foundWatch) continue;
+      // Clause is unit or conflicting.
+      watchList[keep++] = {w.clause, first};
+      if (litValue(first) == kFalse) {
+        // Conflict: keep remaining watchers, signal conflict.
+        for (std::size_t j = i + 1; j < watchList.size(); ++j) {
+          watchList[keep++] = watchList[j];
+        }
+        watchList.resize(keep);
+        propagationHead_ = static_cast<int>(trail_.size());
+        return w.clause;
+      }
+      enqueue(first, w.clause);
+    }
+    watchList.resize(keep);
+  }
+  return kUndef;
+}
+
+int Solver::computeLbd(const std::vector<Lit>& lits) {
+  // Number of distinct decision levels among the literals.
+  std::vector<int> levels;
+  levels.reserve(lits.size());
+  for (Lit l : lits) levels.push_back(level_[varOf(l)]);
+  std::sort(levels.begin(), levels.end());
+  return static_cast<int>(std::unique(levels.begin(), levels.end()) -
+                          levels.begin());
+}
+
+void Solver::analyze(int conflictClause, std::vector<Lit>& learnt,
+                     int& backtrackLevel) {
+  learnt.clear();
+  learnt.push_back(0);  // placeholder for the asserting literal
+  int counter = 0;
+  Lit asserting = kUndef;
+  int trailIndex = static_cast<int>(trail_.size()) - 1;
+  int clauseIdx = conflictClause;
+
+  // First-UIP resolution walk backwards over the trail.
+  do {
+    Clause& clause = clauses_[clauseIdx];
+    if (clause.learnt) bumpClause(clauseIdx);
+    std::size_t start = (asserting == kUndef) ? 0 : 1;
+    for (std::size_t i = start; i < clause.lits.size(); ++i) {
+      Lit q = clause.lits[i];
+      int var = varOf(q);
+      if (seen_[var] || level_[var] == 0) continue;
+      seen_[var] = 1;
+      bumpVar(var);
+      if (level_[var] == currentLevel()) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Find the next literal on the current level to resolve on.
+    while (!seen_[varOf(trail_[trailIndex])]) --trailIndex;
+    asserting = trail_[trailIndex];
+    --trailIndex;
+    seen_[varOf(asserting)] = 0;
+    clauseIdx = reason_[varOf(asserting)];
+    --counter;
+  } while (counter > 0);
+  learnt[0] = negate(asserting);
+
+  // Conflict-clause minimisation: drop literals implied by the rest.
+  std::uint32_t abstractLevels = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    abstractLevels |= 1u << (level_[varOf(learnt[i])] & 31);
+  }
+  std::vector<Lit> allMarked(learnt.begin(), learnt.end());
+  std::vector<Lit> minimised;
+  minimised.push_back(learnt[0]);
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    int var = varOf(learnt[i]);
+    if (reason_[var] == kUndef || !litRedundant(learnt[i], abstractLevels)) {
+      minimised.push_back(learnt[i]);
+    }
+  }
+  learnt.swap(minimised);
+
+  // Clear every flag set in the resolution walk, including literals that the
+  // minimisation dropped (litRedundant cleans up after itself).
+  for (Lit l : allMarked) seen_[varOf(l)] = 0;
+
+  // Compute the backtrack level: second-highest level in the clause.
+  if (learnt.size() == 1) {
+    backtrackLevel = 0;
+  } else {
+    std::size_t maxIdx = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[varOf(learnt[i])] > level_[varOf(learnt[maxIdx])]) maxIdx = i;
+    }
+    std::swap(learnt[1], learnt[maxIdx]);
+    backtrackLevel = level_[varOf(learnt[1])];
+  }
+}
+
+bool Solver::litRedundant(Lit l, std::uint32_t abstractLevels) {
+  analyzeStack_.clear();
+  analyzeStack_.push_back(l);
+  std::vector<int> toClear;
+  while (!analyzeStack_.empty()) {
+    Lit current = analyzeStack_.back();
+    analyzeStack_.pop_back();
+    const Clause& clause = clauses_[reason_[varOf(current)]];
+    for (std::size_t i = 1; i < clause.lits.size(); ++i) {
+      Lit p = clause.lits[i];
+      int var = varOf(p);
+      if (seen_[var] || level_[var] == 0) continue;
+      if (reason_[var] == kUndef ||
+          ((1u << (level_[var] & 31)) & abstractLevels) == 0) {
+        for (int cleared : toClear) seen_[cleared] = 0;
+        return false;
+      }
+      seen_[var] = 1;
+      toClear.push_back(var);
+      analyzeStack_.push_back(p);
+    }
+  }
+  for (int cleared : toClear) seen_[cleared] = 0;
+  return true;
+}
+
+void Solver::backtrackTo(int targetLevel) {
+  if (currentLevel() <= targetLevel) return;
+  int boundary = trailLimits_[targetLevel];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= boundary; --i) {
+    int var = varOf(trail_[i]);
+    assigns_[var] = kUnassigned;
+    reason_[var] = kUndef;
+    if (heapPosition_[var] < 0) heapInsert(var);
+  }
+  trail_.resize(boundary);
+  trailLimits_.resize(targetLevel);
+  propagationHead_ = boundary;
+}
+
+Solver::Lit Solver::pickBranchLit() {
+  while (!heapEmpty()) {
+    int var = heapPop();
+    if (assigns_[var] == kUnassigned) {
+      return mkLit(var, savedPhase_[var] != 0);
+    }
+  }
+  return kUndef;
+}
+
+void Solver::bumpVar(int var) {
+  activity_[var] += varActivityIncrement_;
+  if (activity_[var] > kRescaleLimit) {
+    for (double& a : activity_) a *= 1e-100;
+    varActivityIncrement_ *= 1e-100;
+  }
+  if (heapPosition_[var] >= 0) heapUpdate(var);
+}
+
+void Solver::bumpClause(int idx) {
+  Clause& clause = clauses_[idx];
+  clause.activity += clauseActivityIncrement_;
+  if (clause.activity > kRescaleLimit) {
+    for (int learntIdx : learntIndices_) clauses_[learntIdx].activity *= 1e-100;
+    clauseActivityIncrement_ *= 1e-100;
+  }
+}
+
+void Solver::decayActivities() {
+  varActivityIncrement_ /= kVarDecay;
+  clauseActivityIncrement_ /= kClauseDecay;
+}
+
+void Solver::reduceLearntDb() {
+  // Keep the better half (low LBD, high activity); never delete reasons.
+  std::vector<int> candidates;
+  for (int idx : learntIndices_) {
+    if (!clauses_[idx].deleted) candidates.push_back(idx);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    const Clause& ca = clauses_[a];
+    const Clause& cb = clauses_[b];
+    if (ca.lbd != cb.lbd) return ca.lbd < cb.lbd;
+    return ca.activity > cb.activity;
+  });
+  std::vector<bool> isReason(clauses_.size(), false);
+  for (Lit l : trail_) {
+    int r = reason_[varOf(l)];
+    if (r != kUndef) isReason[r] = true;
+  }
+  for (std::size_t i = candidates.size() / 2; i < candidates.size(); ++i) {
+    int idx = candidates[i];
+    if (isReason[idx] || clauses_[idx].lbd <= 2) continue;
+    clauses_[idx].deleted = true;
+    clauses_[idx].lits.clear();
+    clauses_[idx].lits.shrink_to_fit();
+  }
+  learntIndices_.assign(candidates.begin(), candidates.end());
+  learntIndices_.erase(
+      std::remove_if(learntIndices_.begin(), learntIndices_.end(),
+                     [&](int idx) { return clauses_[idx].deleted; }),
+      learntIndices_.end());
+}
+
+std::int64_t Solver::luby(std::int64_t i) {
+  // MiniSat's formulation: find the finite subsequence containing index i
+  // (0-based) and the position of i within it.
+  std::int64_t size = 1;
+  std::int64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return 1LL << seq;
+}
+
+Result Solver::solve(std::int64_t conflictBudget) {
+  if (unsatisfiable_) return Result::Unsat;
+  if (propagate() != kUndef) {
+    unsatisfiable_ = true;
+    return Result::Unsat;
+  }
+
+  std::int64_t restartNumber = 0;
+  std::int64_t conflictsUntilRestart = kRestartBase * luby(restartNumber);
+  std::int64_t conflictsAtStart = stats_.conflicts;
+  std::int64_t learntLimit =
+      std::max<std::int64_t>(2000, static_cast<std::int64_t>(clauses_.size()) / 3);
+
+  std::vector<Lit> learnt;
+  while (true) {
+    int conflictClause = propagate();
+    if (conflictClause != kUndef) {
+      ++stats_.conflicts;
+      if (currentLevel() == 0) {
+        unsatisfiable_ = true;
+        return Result::Unsat;
+      }
+      int backtrackLevel = 0;
+      analyze(conflictClause, learnt, backtrackLevel);
+      backtrackTo(backtrackLevel);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kUndef);
+      } else {
+        int idx = addClauseInternal(learnt, /*learnt=*/true);
+        enqueue(clauses_[idx].lits[0], idx);
+      }
+      decayActivities();
+
+      if (conflictBudget >= 0 &&
+          stats_.conflicts - conflictsAtStart >= conflictBudget) {
+        backtrackTo(0);
+        return Result::Unknown;
+      }
+      if (--conflictsUntilRestart <= 0) {
+        ++stats_.restarts;
+        ++restartNumber;
+        conflictsUntilRestart = kRestartBase * luby(restartNumber);
+        backtrackTo(0);
+      }
+      if (static_cast<std::int64_t>(learntIndices_.size()) > learntLimit) {
+        reduceLearntDb();
+        learntLimit += learntLimit / 10;
+      }
+    } else {
+      Lit next = pickBranchLit();
+      if (next == kUndef) return Result::Sat;  // all variables assigned
+      ++stats_.decisions;
+      trailLimits_.push_back(static_cast<int>(trail_.size()));
+      enqueue(next, kUndef);
+    }
+  }
+}
+
+bool Solver::modelValue(int dimacsVar) const {
+  if (dimacsVar <= 0 || dimacsVar > numVars()) {
+    throw std::out_of_range("modelValue: unknown variable");
+  }
+  return assigns_[dimacsVar - 1] == kTrue;
+}
+
+// --- activity heap -----------------------------------------------------------
+
+void Solver::heapInsert(int var) {
+  heapPosition_[var] = static_cast<int>(heap_.size());
+  heap_.push_back(var);
+  heapSiftUp(heapPosition_[var]);
+}
+
+void Solver::heapUpdate(int var) { heapSiftUp(heapPosition_[var]); }
+
+int Solver::heapPop() {
+  int top = heap_[0];
+  heapPosition_[top] = -1;
+  int last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    heapPosition_[last] = 0;
+    heapSiftDown(0);
+  }
+  return top;
+}
+
+void Solver::heapSiftUp(int pos) {
+  int var = heap_[pos];
+  while (pos > 0) {
+    int parent = (pos - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[var]) break;
+    heap_[pos] = heap_[parent];
+    heapPosition_[heap_[pos]] = pos;
+    pos = parent;
+  }
+  heap_[pos] = var;
+  heapPosition_[var] = pos;
+}
+
+void Solver::heapSiftDown(int pos) {
+  int var = heap_[pos];
+  int count = static_cast<int>(heap_.size());
+  while (true) {
+    int child = 2 * pos + 1;
+    if (child >= count) break;
+    if (child + 1 < count &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= activity_[var]) break;
+    heap_[pos] = heap_[child];
+    heapPosition_[heap_[pos]] = pos;
+    pos = child;
+  }
+  heap_[pos] = var;
+  heapPosition_[var] = pos;
+}
+
+}  // namespace lclgrid::sat

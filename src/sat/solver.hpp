@@ -1,0 +1,131 @@
+// A self-contained CDCL SAT solver. This is the "modern SAT solver" substrate
+// of Section 7 (synthesis reduces to a combinatorial constraint-satisfaction
+// problem "solved with modern SAT solvers in a matter of seconds") and is
+// also used for the global brute-force baseline and infeasibility proofs
+// (e.g. Theorem 21: no 2d-edge-colouring for odd n).
+//
+// Features: two-watched-literal propagation, first-UIP conflict analysis with
+// recursive clause minimisation, VSIDS branching with a binary heap, phase
+// saving, Luby restarts, and activity/LBD-based learnt-clause reduction.
+//
+// External literal convention follows DIMACS: variables are 1-based, a
+// negative integer denotes negation. addClause({}) makes the formula
+// unsatisfiable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lclgrid::sat {
+
+enum class Result { Sat, Unsat, Unknown };
+
+class Solver {
+ public:
+  Solver();
+
+  /// Creates a fresh variable and returns its (1-based) DIMACS index.
+  int newVar();
+  int numVars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause of DIMACS literals. Returns false if the solver is
+  /// already in an unsatisfiable state (the clause is still recorded
+  /// conceptually). Variables must have been created with newVar().
+  bool addClause(const std::vector<int>& dimacsLits);
+
+  /// Solves the formula. conflictBudget < 0 means no limit.
+  Result solve(std::int64_t conflictBudget = -1);
+
+  /// Value of a variable in the model after solve() returned Sat.
+  bool modelValue(int dimacsVar) const;
+
+  // --- statistics ---
+  std::int64_t conflicts() const { return stats_.conflicts; }
+  std::int64_t decisions() const { return stats_.decisions; }
+  std::int64_t propagations() const { return stats_.propagations; }
+  std::int64_t restarts() const { return stats_.restarts; }
+  std::int64_t learntClauses() const { return stats_.learnt; }
+
+ private:
+  // Internal literal encoding: lit = 2*var + (negated ? 1 : 0), var 0-based.
+  using Lit = int;
+  static constexpr int kUndef = -1;
+  enum : std::uint8_t { kTrue = 0, kFalse = 1, kUnassigned = 2 };
+
+  static Lit mkLit(int var, bool neg) { return 2 * var + (neg ? 1 : 0); }
+  static int varOf(Lit l) { return l >> 1; }
+  static bool signOf(Lit l) { return l & 1; }
+  static Lit negate(Lit l) { return l ^ 1; }
+  Lit fromDimacs(int d) const;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    int lbd = 0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+
+  struct Watcher {
+    int clause;
+    Lit blocker;
+  };
+
+  struct Stats {
+    std::int64_t conflicts = 0;
+    std::int64_t decisions = 0;
+    std::int64_t propagations = 0;
+    std::int64_t restarts = 0;
+    std::int64_t learnt = 0;
+  };
+
+  std::uint8_t litValue(Lit l) const;
+  void enqueue(Lit l, int reason);
+  int propagate();  // returns conflicting clause index or kUndef
+  void analyze(int conflictClause, std::vector<Lit>& learnt, int& backtrackLevel);
+  bool litRedundant(Lit l, std::uint32_t abstractLevels);
+  void backtrackTo(int level);
+  Lit pickBranchLit();
+  int addClauseInternal(std::vector<Lit> lits, bool learnt);
+  void attachClause(int idx);
+  void bumpVar(int var);
+  void bumpClause(int idx);
+  void decayActivities();
+  void reduceLearntDb();
+  int currentLevel() const { return static_cast<int>(trailLimits_.size()); }
+  int computeLbd(const std::vector<Lit>& lits);
+  static std::int64_t luby(std::int64_t i);
+
+  // Heap keyed by activity (max-heap).
+  void heapInsert(int var);
+  void heapUpdate(int var);
+  int heapPop();
+  bool heapEmpty() const { return heap_.empty(); }
+  void heapSiftUp(int pos);
+  void heapSiftDown(int pos);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by internal literal
+  std::vector<std::uint8_t> assigns_;          // per var: kTrue/kFalse/kUnassigned
+  std::vector<std::uint8_t> savedPhase_;       // per var: last assigned sign
+  std::vector<int> level_;                     // per var
+  std::vector<int> reason_;                    // per var: clause index or kUndef
+  std::vector<Lit> trail_;
+  std::vector<int> trailLimits_;
+  int propagationHead_ = 0;
+
+  std::vector<double> activity_;
+  double varActivityIncrement_ = 1.0;
+  double clauseActivityIncrement_ = 1.0;
+  std::vector<int> heap_;
+  std::vector<int> heapPosition_;  // per var; -1 if absent
+
+  std::vector<std::uint8_t> seen_;  // scratch for analyze
+  std::vector<Lit> analyzeStack_;
+
+  std::vector<int> learntIndices_;
+  bool unsatisfiable_ = false;
+  Stats stats_;
+};
+
+}  // namespace lclgrid::sat

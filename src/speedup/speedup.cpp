@@ -1,0 +1,45 @@
+#include "speedup/speedup.hpp"
+
+#include <stdexcept>
+
+#include "local/graph_view.hpp"
+#include "local/mis.hpp"
+
+namespace lclgrid::speedup {
+
+SpeedupResult speedUp(const Torus2D& torus,
+                      const std::vector<std::uint64_t>& ids, int k,
+                      const InnerAlgorithm& inner) {
+  if (k < 4 || k % 2 != 0) {
+    throw std::invalid_argument("speedUp: k must be even and >= 4");
+  }
+  if (torus.n() < 2 * k) {
+    throw std::invalid_argument("speedUp: torus too small for the chosen k");
+  }
+  SpeedupResult result;
+  result.k = k;
+
+  // Step (2): anchors = MIS of G^(k/2), the only Theta(log* n) component.
+  auto view = local::l1PowerView(torus, k / 2);
+  auto mis = local::computeMis(view, ids);
+  result.anchorRounds = mis.gridRounds;
+
+  // Step (3): Voronoi local coordinates as locally unique identifiers from
+  // [ (k+1)^2 ] -- no identifier repeats within L1 distance k/2.
+  std::vector<std::uint8_t> anchors(mis.inSet.begin(), mis.inSet.end());
+  VoronoiTiling tiling = buildVoronoi(torus, anchors, k / 2);
+  auto localIds = localIdentifiers(torus, tiling, k / 2);
+
+  // Simulate A with the instance-size lie.
+  InnerRun run = inner(torus, localIds, k);
+  result.innerRounds = run.rounds;
+  result.theoremGuarantee = run.rounds < k / 4 - 4;
+
+  result.labels = std::move(run.labels);
+  result.rounds = result.anchorRounds + 2 * (k / 2) /* Voronoi gather */ +
+                  result.innerRounds;
+  result.solved = true;
+  return result;
+}
+
+}  // namespace lclgrid::speedup

@@ -1,0 +1,67 @@
+#include "speedup/voronoi.hpp"
+
+#include <stdexcept>
+#include <tuple>
+
+namespace lclgrid::speedup {
+
+VoronoiTiling buildVoronoi(const Torus2D& torus,
+                           const std::vector<std::uint8_t>& anchors,
+                           int searchRadius) {
+  if (static_cast<int>(anchors.size()) != torus.size()) {
+    throw std::invalid_argument("buildVoronoi: anchor vector size mismatch");
+  }
+  VoronoiTiling tiling;
+  tiling.anchorOf.assign(static_cast<std::size_t>(torus.size()), -1);
+  tiling.offset.assign(static_cast<std::size_t>(torus.size()), {0, 0});
+
+  for (int v = 0; v < torus.size(); ++v) {
+    // Scan the offset diamond of radius searchRadius; deterministic
+    // tie-breaking on (distance, dy, dx) keeps the tiling locally
+    // computable and consistent between neighbouring nodes.
+    std::tuple<int, int, int> best{torus.size(), 0, 0};
+    bool found = false;
+    for (int dy = -searchRadius; dy <= searchRadius; ++dy) {
+      int span = searchRadius - (dy < 0 ? -dy : dy);
+      for (int dx = -span; dx <= span; ++dx) {
+        int candidate = torus.shift(v, dx, dy);
+        if (!anchors[static_cast<std::size_t>(candidate)]) continue;
+        std::tuple<int, int, int> key{(dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy),
+                                      dy, dx};
+        if (!found || key < best) {
+          best = key;
+          found = true;
+          tiling.anchorOf[static_cast<std::size_t>(v)] = candidate;
+          tiling.offset[static_cast<std::size_t>(v)] = {dx, dy};
+        }
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument(
+          "buildVoronoi: node has no anchor within the search radius");
+    }
+    auto [dx, dy] = tiling.offset[static_cast<std::size_t>(v)];
+    tiling.maxRadius = std::max(tiling.maxRadius,
+                                (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy));
+  }
+  return tiling;
+}
+
+std::vector<std::uint64_t> localIdentifiers(const Torus2D& torus,
+                                            const VoronoiTiling& tiling,
+                                            int searchRadius) {
+  const int span = 2 * searchRadius + 1;
+  std::vector<std::uint64_t> ids(static_cast<std::size_t>(torus.size()));
+  for (int v = 0; v < torus.size(); ++v) {
+    auto [dx, dy] = tiling.offset[static_cast<std::size_t>(v)];
+    // Offsets point from node to anchor; both coordinates lie in
+    // [-searchRadius, searchRadius].
+    ids[static_cast<std::size_t>(v)] =
+        static_cast<std::uint64_t>((dy + searchRadius) * span +
+                                   (dx + searchRadius)) +
+        1;
+  }
+  return ids;
+}
+
+}  // namespace lclgrid::speedup

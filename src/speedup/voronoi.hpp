@@ -1,0 +1,36 @@
+// Voronoi tiling with respect to an anchor set (proof of Theorem 2): every
+// node is assigned to its closest anchor (ties broken deterministically and
+// locally), and receives a local coordinate -- its offset from the anchor --
+// which serves as a locally unique identifier from [k^2].
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "grid/torus2d.hpp"
+
+namespace lclgrid::speedup {
+
+struct VoronoiTiling {
+  std::vector<int> anchorOf;                  // node -> anchor node id
+  std::vector<std::pair<int, int>> offset;    // node -> (dx, dy) to its anchor
+  int maxRadius = 0;                          // max L1 distance to own anchor
+};
+
+/// Builds the Voronoi tiling of the anchor set. `searchRadius` bounds the
+/// anchor search (any node must have an anchor within it; for an MIS of
+/// G^(k) the radius k suffices). Ties are broken by (distance, dy, dx).
+VoronoiTiling buildVoronoi(const Torus2D& torus,
+                           const std::vector<std::uint8_t>& anchors,
+                           int searchRadius);
+
+/// Locally unique identifiers from the tiling: two nodes within L1 distance
+/// `uniqueRadius` of each other never share an identifier when anchors are
+/// an MIS of G^(uniqueRadius) (proof of Theorem 2). Identifiers are >= 1 and
+/// bounded by (2*searchRadius+1)^2.
+std::vector<std::uint64_t> localIdentifiers(const Torus2D& torus,
+                                            const VoronoiTiling& tiling,
+                                            int searchRadius);
+
+}  // namespace lclgrid::speedup

@@ -1,0 +1,101 @@
+#include "support/numeric.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lclgrid {
+
+int logStar(double n) {
+  int iterations = 0;
+  while (n > 1.0) {
+    n = std::log2(n);
+    ++iterations;
+  }
+  return iterations;
+}
+
+bool isPrime(int n) {
+  if (n < 2) return false;
+  if (n % 2 == 0) return n == 2;
+  for (int d = 3; static_cast<long long>(d) * d <= n; d += 2) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+int nextPrime(int n) {
+  if (n <= 2) return 2;
+  int candidate = n;
+  while (!isPrime(candidate)) ++candidate;
+  return candidate;
+}
+
+long long gcdLL(long long a, long long b) {
+  while (b != 0) {
+    long long t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
+int evalPolyModQ(const std::vector<int>& coeffs, int x, int q) {
+  long long acc = 0;
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) {
+    acc = (acc * x + *it) % q;
+  }
+  return static_cast<int>(acc);
+}
+
+std::vector<int> digitsBaseQ(long long value, int q, int width) {
+  std::vector<int> digits(width, 0);
+  for (int i = 0; i < width; ++i) {
+    digits[i] = static_cast<int>(value % q);
+    value /= q;
+  }
+  if (value != 0) {
+    throw std::invalid_argument("digitsBaseQ: value does not fit in width");
+  }
+  return digits;
+}
+
+std::uint64_t SplitMix64::next() {
+  state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t SplitMix64::nextBelow(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias; bound is never close to 2^64
+  // in this library, so the loop terminates almost immediately.
+  if (bound == 0) throw std::invalid_argument("nextBelow: bound must be > 0");
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t draw = next();
+  while (draw >= limit) draw = next();
+  return draw % bound;
+}
+
+double SplitMix64::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::uint64_t> randomDistinct(int count, std::uint64_t upperBound,
+                                          std::uint64_t seed) {
+  if (static_cast<std::uint64_t>(count) > upperBound) {
+    throw std::invalid_argument("randomDistinct: not enough values available");
+  }
+  SplitMix64 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> values;
+  values.reserve(static_cast<std::size_t>(count));
+  while (values.size() < static_cast<std::size_t>(count)) {
+    std::uint64_t v = rng.nextBelow(upperBound);
+    if (seen.insert(v).second) values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace lclgrid

@@ -1,0 +1,51 @@
+// Numeric helpers shared across the library: iterated logarithm, primes and
+// GF(q) arithmetic for Linial's colour-reduction polynomials, gcd utilities,
+// and a deterministic splitmix64 RNG (all experiments are reproducible).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lclgrid {
+
+/// Iterated logarithm (base 2): the number of times log2 must be applied to
+/// n before the result drops to at most 1. logStar(1) = 0, logStar(2) = 1,
+/// logStar(4) = 2, logStar(16) = 3, logStar(65536) = 4.
+int logStar(double n);
+
+/// Smallest prime p with p >= n (n >= 2). Deterministic trial division;
+/// the inputs in this library are tiny (q < 10^6).
+int nextPrime(int n);
+
+bool isPrime(int n);
+
+/// gcd of two non-negative integers.
+long long gcdLL(long long a, long long b);
+
+/// Evaluate the polynomial with the given coefficients (coeffs[i] is the
+/// coefficient of x^i) at point x over GF(q), q prime.
+int evalPolyModQ(const std::vector<int>& coeffs, int x, int q);
+
+/// Digits of value in base q, least significant first, padded to width.
+std::vector<int> digitsBaseQ(long long value, int q, int width);
+
+/// Deterministic 64-bit mixer / RNG. Used wherever "random" identifiers or
+/// instances are needed so experiments are exactly reproducible.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+  /// Uniform value in [0, bound).
+  std::uint64_t nextBelow(std::uint64_t bound);
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// A uniformly random permutation of {0, ..., n-1} under the given seed.
+std::vector<std::uint64_t> randomDistinct(int count, std::uint64_t upperBound,
+                                          std::uint64_t seed);
+
+}  // namespace lclgrid

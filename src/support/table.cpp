@@ -1,0 +1,65 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace lclgrid {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::addRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("AsciiTable: row width does not match header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c] << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  std::string separator = "+";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    separator += std::string(widths[c] + 2, '-') + "+";
+  }
+  separator += "\n";
+
+  os << separator << renderRow(header_) << separator;
+  for (const auto& row : rows_) os << renderRow(row);
+  os << separator;
+  return os.str();
+}
+
+std::string fmtInt(long long v) { return std::to_string(v); }
+
+std::string fmtDouble(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmtBool(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace lclgrid

@@ -1,0 +1,28 @@
+// Minimal fixed-width ASCII table printer used by the bench binaries to
+// regenerate the paper's tables in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lclgrid {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+  /// Render with column widths fitted to contents, pipe-separated.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience number-to-string helpers for table cells.
+std::string fmtInt(long long v);
+std::string fmtDouble(double v, int precision = 2);
+std::string fmtBool(bool v);
+
+}  // namespace lclgrid

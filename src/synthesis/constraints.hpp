@@ -1,0 +1,61 @@
+// Constraint generation for the synthesis CSP (Section 7): the synthesized
+// object A' assigns one output label to every tile; the LCL's constraints
+// become constraints between tiles that can co-occur around a node.
+//
+// Two generators:
+//  * Edge-decomposable problems (e.g. vertex colouring) use the paper's
+//    neighbourhood-graph edges: (h)x(w+1) overlap windows give horizontal
+//    tile pairs, (h+1)x(w) windows give vertical pairs.
+//  * General cross predicates use (h+2)x(w+2) super-windows whose five
+//    centred sub-windows are the tiles of a node and its four neighbours.
+//
+// Tile-of-a-node convention: node v sits at cell (rowC, colC) of its own
+// window, rowC = (h-1)/2, colC = (w-1)/2; cell (r, c) of the window is the
+// torus node v + (c - colC) east + (rowC - r) north (row 0 is northmost).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lcl/grid_lcl.hpp"
+#include "tiles/tile.hpp"
+
+namespace lclgrid::synthesis {
+
+/// A binary constraint: tiles (a, b) adjacent horizontally (a west of b) or
+/// vertically (a south of b).
+struct TilePair {
+  int a = 0;
+  int b = 0;
+  bool operator==(const TilePair&) const = default;
+};
+
+/// A 5-ary constraint: the tiles of a node and its four neighbours.
+struct TileCross {
+  int centre = 0;
+  int north = 0;
+  int east = 0;
+  int south = 0;
+  int west = 0;
+  bool operator==(const TileCross&) const = default;
+};
+
+struct ConstraintSystem {
+  // Exactly one of the two lists is populated, per the problem type.
+  bool edgeDecomposable = false;
+  std::vector<TilePair> horizontal;  // a west of b
+  std::vector<TilePair> vertical;    // a south of b
+  std::vector<TileCross> crosses;
+  long long overlapPatterns = 0;  // enumeration size diagnostics
+};
+
+/// Builds the constraint system for the given problem over the tile set.
+/// Throws if a required overlap/super window would exceed 63 cells.
+ConstraintSystem buildConstraints(const GridLcl& lcl,
+                                  const tiles::TileSet& tileSet);
+
+/// Centre cell of a window of the given shape.
+inline int centreRow(const tiles::TileShape& s) { return (s.height - 1) / 2; }
+inline int centreCol(const tiles::TileShape& s) { return (s.width - 1) / 2; }
+
+}  // namespace lclgrid::synthesis

@@ -1,0 +1,87 @@
+#include "synthesis/normal_form.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "local/graph_view.hpp"
+#include "local/mis.hpp"
+#include "tiles/enumerator.hpp"
+
+namespace lclgrid::synthesis {
+
+NormalFormAlgorithm::NormalFormAlgorithm(SynthesizedRule rule)
+    : rule_(std::move(rule)) {
+  if (rule_.labelOf.size() != static_cast<std::size_t>(rule_.tileSet.size())) {
+    throw std::invalid_argument("NormalFormAlgorithm: rule size mismatch");
+  }
+}
+
+int NormalFormAlgorithm::minimumN() const {
+  // Windows (plus the super-window margin of 1) and the anchor frame
+  // (radius k) must embed injectively into the torus.
+  int span = std::max(rule_.shape.height, rule_.shape.width) + 2;
+  return span + 2 * rule_.k + 2;
+}
+
+std::uint64_t NormalFormAlgorithm::windowAt(
+    const Torus2D& torus, const std::vector<std::uint8_t>& anchors,
+    int node) const {
+  const tiles::TileShape& shape = rule_.shape;
+  const int rowC = centreRow(shape);
+  const int colC = centreCol(shape);
+  std::uint64_t bits = 0;
+  for (int r = 0; r < shape.height; ++r) {
+    for (int c = 0; c < shape.width; ++c) {
+      int cell = torus.shift(node, c - colC, rowC - r);
+      if (anchors[static_cast<std::size_t>(cell)]) {
+        bits |= 1ULL << tiles::bitIndex(shape, r, c);
+      }
+    }
+  }
+  return bits;
+}
+
+NormalFormRun NormalFormAlgorithm::executeOnAnchors(
+    const Torus2D& torus, const std::vector<std::uint8_t>& anchors) const {
+  NormalFormRun run;
+  const tiles::TileShape& shape = rule_.shape;
+  // Radius of the window read, measured from the centre cell.
+  run.localRadius =
+      std::max(centreRow(shape), shape.height - 1 - centreRow(shape)) +
+      std::max(centreCol(shape), shape.width - 1 - centreCol(shape));
+  run.rounds = run.localRadius;
+
+  run.labels.assign(static_cast<std::size_t>(torus.size()), -1);
+  for (int v = 0; v < torus.size(); ++v) {
+    std::uint64_t window = windowAt(torus, anchors, v);
+    int tile = rule_.tileSet.indexOf(window);
+    if (tile < 0) {
+      run.failure = "anchor window not in tile set at node " +
+                    std::to_string(v) + ":\n" +
+                    tiles::renderPattern(window, shape);
+      return run;
+    }
+    run.labels[static_cast<std::size_t>(v)] =
+        rule_.labelOf[static_cast<std::size_t>(tile)];
+  }
+  run.solved = true;
+  return run;
+}
+
+NormalFormRun NormalFormAlgorithm::execute(
+    const Torus2D& torus, const std::vector<std::uint64_t>& ids) const {
+  if (torus.n() < minimumN()) {
+    throw std::invalid_argument(
+        "NormalFormAlgorithm: torus below the algorithm's minimum n");
+  }
+  auto view = local::l1PowerView(torus, rule_.k);
+  auto mis = local::computeMis(view, ids);
+
+  std::vector<std::uint8_t> anchors(mis.inSet.begin(), mis.inSet.end());
+  NormalFormRun run = executeOnAnchors(torus, anchors);
+  run.misRounds = mis.gridRounds;
+  run.rounds += mis.gridRounds;
+  return run;
+}
+
+}  // namespace lclgrid::synthesis

@@ -1,0 +1,51 @@
+// Execution of the normal form A' o S_k (Figure 1): the problem-independent
+// component S_k computes a maximal independent set of G^(k) (the anchors) in
+// O(log* n) rounds; the problem-specific finite function A' then maps every
+// node's anchor window to its output label in O(k) further rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/torus2d.hpp"
+#include "synthesis/synthesizer.hpp"
+
+namespace lclgrid::synthesis {
+
+struct NormalFormRun {
+  bool solved = false;
+  std::vector<int> labels;
+  int rounds = 0;          // total LOCAL rounds (S_k + A')
+  int misRounds = 0;       // rounds spent in S_k
+  int localRadius = 0;     // radius of the A' window read
+  std::string failure;     // set when a window was not in the tile set
+};
+
+class NormalFormAlgorithm {
+ public:
+  explicit NormalFormAlgorithm(SynthesizedRule rule);
+
+  const SynthesizedRule& rule() const { return rule_; }
+
+  /// Smallest torus the algorithm is specified for: windows and their
+  /// super-windows must not wrap around.
+  int minimumN() const;
+
+  /// Runs A' o S_k on the torus with the given identifiers.
+  NormalFormRun execute(const Torus2D& torus,
+                        const std::vector<std::uint64_t>& ids) const;
+
+  /// Runs A' on an externally supplied anchor set (used by tests to check
+  /// the A'-is-deterministic-given-anchors property).
+  NormalFormRun executeOnAnchors(const Torus2D& torus,
+                                 const std::vector<std::uint8_t>& anchors) const;
+
+ private:
+  std::uint64_t windowAt(const Torus2D& torus,
+                         const std::vector<std::uint8_t>& anchors,
+                         int node) const;
+
+  SynthesizedRule rule_;
+};
+
+}  // namespace lclgrid::synthesis

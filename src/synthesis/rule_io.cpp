@@ -1,0 +1,78 @@
+#include "synthesis/rule_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lclgrid::synthesis {
+
+void writeRule(std::ostream& out, const SynthesizedRule& rule) {
+  out << "lclgrid-rule v1\n";
+  out << "k " << rule.k << "\n";
+  out << "shape " << rule.shape.height << " " << rule.shape.width << "\n";
+  out << "tiles " << rule.tileSet.size() << "\n";
+  out << std::hex;
+  for (int t = 0; t < rule.tileSet.size(); ++t) {
+    out << rule.tileSet.pattern(t) << " " << std::dec
+        << rule.labelOf[static_cast<std::size_t>(t)] << std::hex << "\n";
+  }
+  out << std::dec;
+}
+
+std::string serializeRule(const SynthesizedRule& rule) {
+  std::ostringstream os;
+  writeRule(os, rule);
+  return os.str();
+}
+
+SynthesizedRule parseRule(std::istream& in) {
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != "lclgrid-rule" || version != "v1") {
+    throw std::runtime_error("parseRule: bad header");
+  }
+  std::string keyword;
+  SynthesizedRule rule;
+  int height = 0, width = 0, count = 0;
+  if (!(in >> keyword >> rule.k) || keyword != "k" || rule.k < 1) {
+    throw std::runtime_error("parseRule: bad k");
+  }
+  if (!(in >> keyword >> height >> width) || keyword != "shape" || height < 1 ||
+      width < 1 || height * width > 63) {
+    throw std::runtime_error("parseRule: bad shape");
+  }
+  if (!(in >> keyword >> count) || keyword != "tiles" || count < 1) {
+    throw std::runtime_error("parseRule: bad tile count");
+  }
+  rule.shape = tiles::TileShape{height, width};
+
+  std::vector<std::uint64_t> patterns;
+  std::vector<std::pair<std::uint64_t, int>> entries;
+  patterns.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    std::uint64_t bits = 0;
+    int label = 0;
+    if (!(in >> std::hex >> bits >> std::dec >> label)) {
+      throw std::runtime_error("parseRule: truncated tile list");
+    }
+    if (bits >> (height * width)) {
+      throw std::runtime_error("parseRule: pattern exceeds the window");
+    }
+    patterns.push_back(bits);
+    entries.emplace_back(bits, label);
+  }
+  rule.tileSet = tiles::TileSet(rule.shape, rule.k, patterns);
+  if (rule.tileSet.size() != count) {
+    throw std::runtime_error("parseRule: duplicate tile patterns");
+  }
+  rule.labelOf.assign(static_cast<std::size_t>(count), -1);
+  for (auto [bits, label] : entries) {
+    rule.labelOf[static_cast<std::size_t>(rule.tileSet.indexOf(bits))] = label;
+  }
+  return rule;
+}
+
+SynthesizedRule parseRuleString(const std::string& text) {
+  std::istringstream in(text);
+  return parseRule(in);
+}
+
+}  // namespace lclgrid::synthesis

@@ -1,0 +1,29 @@
+// Serialization of synthesized rules: a normal form A' o S_k is a finite
+// object (k, window shape, tile patterns, one label per tile), so it can be
+// stored as text and shipped with an application -- synthesis happens once,
+// offline, exactly as the paper envisions ("the algorithm synthesis becomes
+// a matter of searching through the finite-size space of possible
+// functions").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "synthesis/synthesizer.hpp"
+
+namespace lclgrid::synthesis {
+
+/// Text format:
+///   lclgrid-rule v1
+///   k <k>
+///   shape <height> <width>
+///   tiles <count>
+///   <pattern-hex> <label>     (one line per tile)
+std::string serializeRule(const SynthesizedRule& rule);
+void writeRule(std::ostream& out, const SynthesizedRule& rule);
+
+/// Parses the format above; throws std::runtime_error on malformed input.
+SynthesizedRule parseRule(std::istream& in);
+SynthesizedRule parseRuleString(const std::string& text);
+
+}  // namespace lclgrid::synthesis

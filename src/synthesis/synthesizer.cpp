@@ -1,0 +1,183 @@
+#include "synthesis/synthesizer.hpp"
+
+#include <chrono>
+
+#include "sat/cnf.hpp"
+#include "tiles/enumerator.hpp"
+
+namespace lclgrid::synthesis {
+
+std::vector<tiles::TileShape> candidateShapes(const GridLcl& lcl, int k,
+                                              bool wider) {
+  // Overlap windows must stay within 63 bits: for edge-decomposable
+  // problems the largest is (h+1) x w or h x (w+1); otherwise (h+2) x (w+2).
+  const bool decomposable = lcl.isEdgeDecomposable();
+  auto encodable = [&](const tiles::TileShape& s) {
+    if (s.cells() > 63) return false;
+    if (decomposable) {
+      return (s.height + 1) * s.width <= 63 && s.height * (s.width + 1) <= 63;
+    }
+    return (s.height + 2) * (s.width + 2) <= 63;
+  };
+  std::vector<tiles::TileShape> shapes;
+  auto add = [&](int h, int w) {
+    if (h < 1 || w < 1) return;
+    tiles::TileShape s{h, w};
+    for (const auto& existing : shapes) {
+      if (existing == s) return;
+    }
+    if (encodable(s)) shapes.push_back(s);
+  };
+  // The paper's choices first: 3x2 for k=1, 7x5 for k=3 follow the pattern
+  // (2k+1) x (2k-1) with a wider fallback.
+  add(2 * k + 1, std::max(2, 2 * k - 1));
+  if (wider) {
+    add(2 * k + 1, 2 * k);
+    add(2 * k + 1, 2 * k + 1);
+    add(2 * k + 3, 2 * k + 1);
+  }
+  return shapes;
+}
+
+SynthesisAttempt synthesizeForShape(const GridLcl& lcl, int k,
+                                    tiles::TileShape shape,
+                                    std::int64_t satConflictBudget) {
+  SynthesisAttempt attempt;
+  attempt.k = k;
+  attempt.shape = shape;
+  auto startTime = std::chrono::steady_clock::now();
+  auto finish = [&]() {
+    attempt.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - startTime)
+                          .count();
+    return attempt;
+  };
+
+  tiles::TileSet tileSet = tiles::enumerateTiles(k, shape.height, shape.width);
+  attempt.tileCount = tileSet.size();
+
+  ConstraintSystem constraints;
+  try {
+    constraints = buildConstraints(lcl, tileSet);
+  } catch (const std::invalid_argument&) {
+    attempt.failureReason = "window too large to encode";
+    return finish();
+  }
+
+  // SAT encoding: a one-hot label per tile plus blocking clauses for every
+  // violating label combination on every tile adjacency.
+  sat::Solver solver;
+  const int sigma = lcl.sigma();
+  std::vector<sat::DomainVar> label;
+  label.reserve(static_cast<std::size_t>(tileSet.size()));
+  for (int t = 0; t < tileSet.size(); ++t) {
+    label.push_back(sat::makeDomainVar(solver, sigma));
+  }
+  long long clauses = 0;
+
+  if (constraints.edgeDecomposable) {
+    for (const TilePair& pair : constraints.horizontal) {
+      for (int a = 0; a < sigma; ++a) {
+        for (int b = 0; b < sigma; ++b) {
+          if (lcl.horizontalOk(a, b)) continue;
+          solver.addClause({label[static_cast<std::size_t>(pair.a)].isNot(a),
+                            label[static_cast<std::size_t>(pair.b)].isNot(b)});
+          ++clauses;
+        }
+      }
+    }
+    for (const TilePair& pair : constraints.vertical) {
+      for (int a = 0; a < sigma; ++a) {
+        for (int b = 0; b < sigma; ++b) {
+          if (lcl.verticalOk(a, b)) continue;
+          solver.addClause({label[static_cast<std::size_t>(pair.a)].isNot(a),
+                            label[static_cast<std::size_t>(pair.b)].isNot(b)});
+          ++clauses;
+        }
+      }
+    }
+  } else {
+    const std::uint8_t deps = lcl.deps();
+    const bool useN = deps & kDepN, useE = deps & kDepE;
+    const bool useS = deps & kDepS, useW = deps & kDepW;
+    for (const TileCross& cross : constraints.crosses) {
+      for (int c = 0; c < sigma; ++c) {
+        for (int n = 0; n < (useN ? sigma : 1); ++n) {
+          for (int e = 0; e < (useE ? sigma : 1); ++e) {
+            for (int s = 0; s < (useS ? sigma : 1); ++s) {
+              for (int w = 0; w < (useW ? sigma : 1); ++w) {
+                if (lcl.allows(c, n, e, s, w)) continue;
+                std::vector<int> clause;
+                clause.push_back(
+                    label[static_cast<std::size_t>(cross.centre)].isNot(c));
+                if (useN)
+                  clause.push_back(
+                      label[static_cast<std::size_t>(cross.north)].isNot(n));
+                if (useE)
+                  clause.push_back(
+                      label[static_cast<std::size_t>(cross.east)].isNot(e));
+                if (useS)
+                  clause.push_back(
+                      label[static_cast<std::size_t>(cross.south)].isNot(s));
+                if (useW)
+                  clause.push_back(
+                      label[static_cast<std::size_t>(cross.west)].isNot(w));
+                solver.addClause(clause);
+                ++clauses;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  attempt.clauseCount = clauses;
+
+  sat::Result outcome = solver.solve(satConflictBudget);
+  attempt.satConflicts = solver.conflicts();
+  if (outcome == sat::Result::Unknown) {
+    attempt.failureReason = "sat budget exhausted";
+    return finish();
+  }
+  if (outcome == sat::Result::Unsat) {
+    attempt.failureReason = "unsat";
+    return finish();
+  }
+
+  SynthesizedRule rule;
+  rule.k = k;
+  rule.shape = shape;
+  rule.labelOf.resize(static_cast<std::size_t>(tileSet.size()));
+  for (int t = 0; t < tileSet.size(); ++t) {
+    rule.labelOf[static_cast<std::size_t>(t)] =
+        label[static_cast<std::size_t>(t)].decode(solver);
+  }
+  rule.tileSet = std::move(tileSet);
+  attempt.success = true;
+  attempt.rule = std::move(rule);
+  return finish();
+}
+
+SynthesisResult synthesize(const GridLcl& lcl, const SynthesisOptions& options) {
+  SynthesisResult result;
+  for (int k = 1; k <= options.maxK; ++k) {
+    for (const tiles::TileShape& shape :
+         candidateShapes(lcl, k, options.tryWiderShapes)) {
+      SynthesisAttempt attempt =
+          synthesizeForShape(lcl, k, shape, options.satConflictBudget);
+      bool success = attempt.success;
+      if (success) {
+        result.rule = std::move(attempt.rule);
+        attempt.rule.reset();
+      }
+      result.attempts.push_back(std::move(attempt));
+      if (success) {
+        result.success = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lclgrid::synthesis

@@ -1,0 +1,68 @@
+// The synthesis engine of Section 7: reduce "does problem P admit a normal
+// form A' o S_k with window shape h x w?" to SAT over per-tile label
+// variables, and extract the finite function A' from the model.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lcl/grid_lcl.hpp"
+#include "synthesis/constraints.hpp"
+#include "tiles/tile.hpp"
+
+namespace lclgrid::synthesis {
+
+/// The finite function A': one output label per tile. Together with k and
+/// the window shape this fully determines the constant-time component of the
+/// normal form (the anchors are supplied by S_k at run time).
+struct SynthesizedRule {
+  int k = 0;
+  tiles::TileShape shape;
+  tiles::TileSet tileSet{tiles::TileShape{1, 1}, 1, {}};
+  std::vector<int> labelOf;  // indexed by tile index
+};
+
+struct SynthesisAttempt {
+  bool success = false;
+  std::optional<SynthesizedRule> rule;
+  // Diagnostics for the reproduction tables.
+  int k = 0;
+  tiles::TileShape shape;
+  long long tileCount = 0;
+  long long clauseCount = 0;
+  long long satConflicts = 0;
+  double seconds = 0.0;
+  std::string failureReason;  // "unsat", "budget", "window too large"
+};
+
+/// One synthesis attempt at fixed k and window shape.
+SynthesisAttempt synthesizeForShape(const GridLcl& lcl, int k,
+                                    tiles::TileShape shape,
+                                    std::int64_t satConflictBudget = -1);
+
+struct SynthesisOptions {
+  int maxK = 3;
+  std::int64_t satConflictBudget = 2'000'000;
+  /// Extra window shapes to try per k, beyond the defaults.
+  bool tryWiderShapes = true;
+};
+
+struct SynthesisResult {
+  bool success = false;
+  std::optional<SynthesizedRule> rule;
+  std::vector<SynthesisAttempt> attempts;  // in the order tried
+};
+
+/// Window shapes tried for a given k, largest-window-first within the 63-bit
+/// encodable limits (the paper's choices 3x2 for k=1 and 7x5 for k=3 are the
+/// first candidates of their k).
+std::vector<tiles::TileShape> candidateShapes(const GridLcl& lcl, int k,
+                                              bool wider);
+
+/// The full loop of Section 7: k = 1, 2, ... until synthesis succeeds or
+/// the budget is exhausted. This is the one-sided oracle -- for Theta(n)
+/// problems it reports failure at the budget rather than diverging.
+SynthesisResult synthesize(const GridLcl& lcl, const SynthesisOptions& options = {});
+
+}  // namespace lclgrid::synthesis

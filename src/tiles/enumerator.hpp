@@ -1,0 +1,34 @@
+// The tile enumeration algorithm of Appendix A.1: generate every h x w
+// anchor pattern that occurs in some maximal independent set of G^(k).
+//
+// Candidate patterns are grown cell by cell with incremental independence
+// pruning; each complete candidate is accepted iff the *frame completion*
+// check succeeds: the undominated window cells Vu must be dominated by an
+// independent set In of cells outside the window that is also independent
+// of the window's anchors (the hitting-set-with-independence subproblem the
+// appendix solves "using a SAT solver or a tailored backtrack search" -- we
+// implement the tailored backtracking).
+#pragma once
+
+#include "tiles/tile.hpp"
+
+namespace lclgrid::tiles {
+
+struct EnumerationStats {
+  long long candidatesTried = 0;   // complete patterns reaching the frame check
+  long long frameChecksFailed = 0;
+  long long validTiles = 0;
+};
+
+/// Enumerates all valid tiles for anchors of G^(k) in an h x w window.
+TileSet enumerateTiles(int k, int height, int width,
+                       EnumerationStats* stats = nullptr);
+
+/// Validity check for a single pattern (exposed for property tests):
+/// independence inside the window plus the frame-completion check.
+bool isValidTile(int k, const TileShape& shape, std::uint64_t bits);
+
+/// Independence check only: no two anchors at L1 distance <= k.
+bool isIndependentPattern(int k, const TileShape& shape, std::uint64_t bits);
+
+}  // namespace lclgrid::tiles

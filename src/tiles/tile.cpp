@@ -1,0 +1,73 @@
+#include "tiles/tile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lclgrid::tiles {
+
+std::uint64_t subPattern(std::uint64_t bits, const TileShape& from, int row0,
+                         int col0, const TileShape& to) {
+  if (row0 < 0 || col0 < 0 || row0 + to.height > from.height ||
+      col0 + to.width > from.width) {
+    throw std::out_of_range("subPattern: window outside pattern");
+  }
+  std::uint64_t result = 0;
+  for (int r = 0; r < to.height; ++r) {
+    for (int c = 0; c < to.width; ++c) {
+      if (hasAnchor(bits, from, row0 + r, col0 + c)) {
+        result |= 1ULL << bitIndex(to, r, c);
+      }
+    }
+  }
+  return result;
+}
+
+std::string renderPattern(std::uint64_t bits, const TileShape& shape) {
+  std::string out;
+  for (int r = 0; r < shape.height; ++r) {
+    for (int c = 0; c < shape.width; ++c) {
+      out += hasAnchor(bits, shape, r, c) ? '1' : '0';
+    }
+    if (r + 1 < shape.height) out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t parsePattern(const std::string& text, const TileShape& shape) {
+  std::uint64_t bits = 0;
+  int row = 0, col = 0;
+  for (char ch : text) {
+    if (ch == '\n') {
+      if (col != shape.width) throw std::invalid_argument("bad row width");
+      ++row;
+      col = 0;
+      continue;
+    }
+    if (ch == ' ') continue;
+    if (ch != '0' && ch != '1') throw std::invalid_argument("bad character");
+    if (row >= shape.height || col >= shape.width) {
+      throw std::invalid_argument("pattern too large");
+    }
+    if (ch == '1') bits |= 1ULL << bitIndex(shape, row, col);
+    ++col;
+  }
+  return bits;
+}
+
+TileSet::TileSet(TileShape shape, int k, std::vector<std::uint64_t> patterns)
+    : shape_(shape), k_(k), patterns_(std::move(patterns)) {
+  std::sort(patterns_.begin(), patterns_.end());
+  patterns_.erase(std::unique(patterns_.begin(), patterns_.end()),
+                  patterns_.end());
+  index_.reserve(patterns_.size());
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    index_.emplace(patterns_[i], static_cast<int>(i));
+  }
+}
+
+int TileSet::indexOf(std::uint64_t bits) const {
+  auto it = index_.find(bits);
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace lclgrid::tiles

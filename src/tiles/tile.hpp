@@ -1,0 +1,69 @@
+// Anchor-pattern tiles (Section 7 / Appendix A.1). A tile records, for an
+// h x w window of the grid (h rows, row 0 = northernmost, matching the
+// paper's figures), which cells are anchors -- i.e. members of a maximal
+// independent set of G^(k). A 0/1 pattern is a *valid* tile iff it occurs as
+// a window of some MIS of G^(k) on a large torus.
+//
+// Patterns are stored as uint64_t bitmasks (bit r*w + c for row r, col c),
+// which caps h*w at 64 -- ample for every experiment in the paper (the
+// largest case, 4-colouring at k = 3, uses 9x7 super-windows = 63 cells).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lclgrid::tiles {
+
+struct TileShape {
+  int height = 0;  // rows
+  int width = 0;   // columns
+
+  int cells() const { return height * width; }
+  bool operator==(const TileShape&) const = default;
+};
+
+/// Bit index of cell (row, col) in a pattern of the given shape.
+inline int bitIndex(const TileShape& shape, int row, int col) {
+  return row * shape.width + col;
+}
+
+inline bool hasAnchor(std::uint64_t bits, const TileShape& shape, int row,
+                      int col) {
+  return (bits >> bitIndex(shape, row, col)) & 1ULL;
+}
+
+/// Extracts the sub-pattern with top-left corner (row0, col0) and shape `to`
+/// from a pattern of shape `from`.
+std::uint64_t subPattern(std::uint64_t bits, const TileShape& from, int row0,
+                         int col0, const TileShape& to);
+
+/// Multi-line rendering ("10\n00\n01") used in logs and the tile bench.
+std::string renderPattern(std::uint64_t bits, const TileShape& shape);
+
+/// Parses the renderPattern format (rows of 0/1, separated by newlines).
+std::uint64_t parsePattern(const std::string& text, const TileShape& shape);
+
+/// An enumerated family of valid tiles of one shape, with index lookup.
+class TileSet {
+ public:
+  TileSet(TileShape shape, int k, std::vector<std::uint64_t> patterns);
+
+  const TileShape& shape() const { return shape_; }
+  int k() const { return k_; }
+  int size() const { return static_cast<int>(patterns_.size()); }
+  std::uint64_t pattern(int index) const {
+    return patterns_[static_cast<std::size_t>(index)];
+  }
+  /// Index of a pattern, or -1 when absent.
+  int indexOf(std::uint64_t bits) const;
+
+ private:
+  TileShape shape_;
+  int k_;
+  std::vector<std::uint64_t> patterns_;  // sorted ascending
+  std::unordered_map<std::uint64_t, int> index_;
+};
+
+}  // namespace lclgrid::tiles

@@ -1,0 +1,142 @@
+#include "turing/lm_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lcl/global_solver.hpp"
+#include "lcl/problems.hpp"
+#include "local/ruling_set.hpp"
+
+namespace lclgrid::turing {
+
+namespace {
+
+QType typeFromOffset(int dx, int dy) {
+  // (dx, dy) is the offset from the node to its anchor.
+  if (dx == 0 && dy == 0) return QType::A;
+  if (dx == 0) return dy > 0 ? QType::N : QType::S;
+  if (dy == 0) return dx > 0 ? QType::E : QType::W;
+  if (dx > 0) return dy > 0 ? QType::NE : QType::SE;
+  return dy > 0 ? QType::NW : QType::SW;
+}
+
+}  // namespace
+
+LmBuildResult solveLmLogStar(const Torus2D& torus, const Machine& machine,
+                             const std::vector<std::uint64_t>& ids,
+                             int stepBudget) {
+  // The solution family realised here uses *aligned* anchor tiles: anchors
+  // on an s x s lattice (s even, s >= 2*span+2, s | n), every tile labelled
+  // relative to its own anchor exactly as in Figure 3(b). With aligned
+  // tiles every rule of L_M is tile-internal or a tail-to-tail ray meeting,
+  // so the labelling verifies against the paper's local rules as stated.
+  // The paper's sketch instead places anchors by an MIS and tiles by a
+  // Voronoi partition with "ties broken in an arbitrary but consistent
+  // manner"; resolving the 45-degree seam cases that partition creates is
+  // left implicit there, and a naive closest-anchor assignment genuinely
+  // violates the border side rules -- see DESIGN.md (fidelity notes). The
+  // Theta(log* n) symmetry-breaking component is demonstrated separately by
+  // the S_k experiments; what this builder demonstrates is the dichotomy's
+  // mechanism: valid anchor tilings exist exactly when M halts.
+  LmBuildResult result;
+  ExecutionTable table = runOnEmptyTape(machine, stepBudget);
+  if (table.wentNegative) {
+    result.failure = "machine moves left of cell 0 (unsupported by L_M)";
+    return result;
+  }
+  if (!table.halted) {
+    result.failure = "machine did not halt within the step budget";
+    return result;
+  }
+  result.stepsUsed = table.steps;
+  const int height = static_cast<int>(table.rows.size());
+  const int width = table.width;
+  const int span = std::max(width, height);
+
+  // Smallest even tile size s >= 2*span + 2 dividing n.
+  int tile = -1;
+  for (int s = 2 * span + 2; s <= torus.n(); ++s) {
+    if (s % 2 == 0 && torus.n() % s == 0) {
+      tile = s;
+      break;
+    }
+  }
+  if (tile < 0) {
+    result.failure = "no even tile size >= 2*span+2 divides n";
+    return result;
+  }
+  result.anchorSeparation = tile;
+  const int half = tile / 2;
+
+  result.labels.assign(static_cast<std::size_t>(torus.size()), LmLabel{});
+  for (int v = 0; v < torus.size(); ++v) {
+    // Offset from the node to its lattice anchor; components in
+    // [-half, half-1] (anchors sit at coordinates divisible by `tile`).
+    auto centred = [&](int coordinate) {
+      int r = coordinate % tile;
+      return r < half ? -r : tile - r;
+    };
+    int dx = centred(torus.xOf(v));
+    int dy = centred(torus.yOf(v));
+    LmLabel& label = result.labels[static_cast<std::size_t>(v)];
+    label.usesP1 = false;
+    label.type = typeFromOffset(dx, dy);
+    label.diagColour =
+        std::max(dx < 0 ? -dx : dx, dy < 0 ? -dy : dy) % 2;
+  }
+
+  // Execution tables north-east of every anchor.
+  for (int v = 0; v < torus.size(); ++v) {
+    if (result.labels[static_cast<std::size_t>(v)].type != QType::A) continue;
+    for (int j = 0; j < height; ++j) {
+      const Configuration& row = table.rows[static_cast<std::size_t>(j)];
+      for (int i = 0; i < width; ++i) {
+        LmLabel& cell =
+            result.labels[static_cast<std::size_t>(torus.shift(v, i, j))];
+        cell.hasTape = true;
+        cell.tapeSymbol = row.tape[static_cast<std::size_t>(i)];
+        cell.headState = (row.headCell == i) ? row.state : -1;
+      }
+    }
+  }
+
+  // Round accounting covers the constant-radius part (tile interior work);
+  // the anchor placement itself is the S_k component (O(log* n)), measured
+  // by the dedicated normal-form experiments. `ids` are accepted for
+  // interface uniformity.
+  (void)ids;
+  result.rounds += 2 * tile + span;
+  result.solved = true;
+  return result;
+}
+
+LmBuildResult solveLmGlobal(const Torus2D& torus) {
+  LmBuildResult result;
+  auto colouring = solveGlobally(torus, problems::vertexColouring(3));
+  result.rounds = bruteForceRounds(torus.n());
+  if (!colouring.feasible) {
+    result.failure = "3-colouring infeasible (torus too small?)";
+    return result;
+  }
+  result.labels.assign(static_cast<std::size_t>(torus.size()), LmLabel{});
+  for (int v = 0; v < torus.size(); ++v) {
+    LmLabel& label = result.labels[static_cast<std::size_t>(v)];
+    label.usesP1 = true;
+    label.p1Colour = colouring.labels[static_cast<std::size_t>(v)];
+  }
+  result.solved = true;
+  return result;
+}
+
+LmOracleReport lmOracle(const Machine& machine, int maxBudget) {
+  LmOracleReport report;
+  report.budgetTried = maxBudget;
+  ExecutionTable table = runOnEmptyTape(machine, maxBudget);
+  if (table.halted && !table.wentNegative) {
+    report.halting = true;
+    report.haltingSteps = table.steps;
+  }
+  return report;
+}
+
+}  // namespace lclgrid::turing

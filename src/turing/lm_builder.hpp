@@ -1,0 +1,51 @@
+// Constructive solvers for L_M (Section 6):
+//  * solveLmLogStar -- the O(log* n) construction available exactly when M
+//    halts on the empty tape: sparse anchors, L-infinity Voronoi quadrant
+//    types, alternating diagonal colours, and the execution table E(M)
+//    placed north-east of every anchor.
+//  * solveLmGlobal -- the P1 fallback (3-colouring via the global solver),
+//    always available but inherently Theta(n).
+//  * lmOracle -- the one-sided semi-decision procedure: tries step budgets
+//    1..budget and reports whether the fast construction ever materialises
+//    (it does iff M halts within the budget; for non-halting M it fails at
+//    every budget, which is the undecidability phenomenon in finite form).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/torus2d.hpp"
+#include "turing/lm_problem.hpp"
+#include "turing/machine.hpp"
+
+namespace lclgrid::turing {
+
+struct LmBuildResult {
+  bool solved = false;
+  LmLabelling labels;
+  int rounds = 0;
+  int stepsUsed = -1;        // halting time when solved via P2
+  int anchorSeparation = 0;  // separation of the anchor ruling set
+  std::string failure;
+};
+
+/// The Theta(log* n) construction; fails iff M does not halt within
+/// `stepBudget` steps (or the torus is too small for the table).
+LmBuildResult solveLmLogStar(const Torus2D& torus, const Machine& machine,
+                             const std::vector<std::uint64_t>& ids,
+                             int stepBudget);
+
+/// The P1 fallback: label everything with a proper 3-colouring.
+LmBuildResult solveLmGlobal(const Torus2D& torus);
+
+struct LmOracleReport {
+  bool halting = false;    // fast construction found within the budget
+  int haltingSteps = -1;
+  int budgetTried = 0;
+};
+
+/// Searches step budgets 1..maxBudget for the fast construction.
+LmOracleReport lmOracle(const Machine& machine, int maxBudget);
+
+}  // namespace lclgrid::turing

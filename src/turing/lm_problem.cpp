@@ -1,0 +1,51 @@
+#include "turing/lm_problem.hpp"
+
+namespace lclgrid::turing {
+
+std::string qTypeName(QType t) {
+  switch (t) {
+    case QType::NW: return "NW";
+    case QType::NE: return "NE";
+    case QType::SE: return "SE";
+    case QType::SW: return "SW";
+    case QType::N: return "N";
+    case QType::S: return "S";
+    case QType::E: return "E";
+    case QType::W: return "W";
+    case QType::A: return "A";
+  }
+  return "?";
+}
+
+int diagDx(QType t) {
+  switch (t) {
+    case QType::NW: return -1;
+    case QType::NE: return 1;
+    case QType::SE: return 1;
+    case QType::SW: return -1;
+    case QType::E: return 1;
+    case QType::W: return -1;
+    default: return 0;
+  }
+}
+
+int diagDy(QType t) {
+  switch (t) {
+    case QType::NW: return 1;
+    case QType::NE: return 1;
+    case QType::SE: return -1;
+    case QType::SW: return -1;
+    case QType::N: return 1;
+    case QType::S: return -1;
+    default: return 0;
+  }
+}
+
+long long lmAlphabetSize(int numStates, int numSymbols) {
+  // P1 colours + P2 labels: 9 types x 2 diagonal colours x (no tape, or
+  // symbol x (no head + states)).
+  long long tapePayload = 1 + static_cast<long long>(numSymbols) * (1 + numStates);
+  return 3 + 9LL * 2 * tapePayload;
+}
+
+}  // namespace lclgrid::turing

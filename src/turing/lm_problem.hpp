@@ -1,0 +1,48 @@
+// The LCL problem L_M of Section 6: for a Turing machine M, L_M is the
+// disjoint union of P1 (proper 3-colouring, always solvable but global) and
+// P2 (the anchor/quadrant/execution-table labelling, solvable in
+// Theta(log* n) iff M halts on the empty tape). Deciding which of the two
+// complexities L_M has is therefore undecidable (Theorem 3).
+//
+// Labels: each node either carries a P1 colour, or a P2 label consisting of
+// a type Q in {NW, NE, SE, SW, N, S, E, W, A} (the direction pointing
+// toward the node's anchor; A = anchor), a diagonal 2-colouring bit, and an
+// optional execution-table cell (tape symbol + optional head state).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/torus2d.hpp"
+
+namespace lclgrid::turing {
+
+enum class QType : std::uint8_t { NW, NE, SE, SW, N, S, E, W, A };
+
+std::string qTypeName(QType t);
+
+/// The diagonal step of a type: the direction toward the anchor.
+/// (dx, dy) with x east, y north; the anchor itself steps (0, 0).
+int diagDx(QType t);
+int diagDy(QType t);
+
+struct LmLabel {
+  bool usesP1 = false;
+  int p1Colour = 0;       // in [0, 3) when usesP1
+  QType type = QType::A;  // when !usesP1
+  int diagColour = 0;     // in {0, 1}
+  bool hasTape = false;
+  int tapeSymbol = 0;     // in [0, numSymbols)
+  int headState = -1;     // -1 = no head; otherwise the machine state
+
+  bool operator==(const LmLabel&) const = default;
+};
+
+using LmLabelling = std::vector<LmLabel>;
+
+/// Number of distinct labels of L_M for a machine with the given state and
+/// symbol counts -- the (constant) alphabet size of the LCL.
+long long lmAlphabetSize(int numStates, int numSymbols);
+
+}  // namespace lclgrid::turing

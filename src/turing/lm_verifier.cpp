@@ -1,0 +1,250 @@
+#include "turing/lm_verifier.hpp"
+
+#include <sstream>
+
+namespace lclgrid::turing {
+
+namespace {
+
+bool typeAllowsDiag(QType from, QType to) {
+  switch (from) {
+    case QType::NE:
+      return to == QType::NE || to == QType::N || to == QType::E || to == QType::A;
+    case QType::SE:
+      return to == QType::SE || to == QType::S || to == QType::E || to == QType::A;
+    case QType::SW:
+      return to == QType::SW || to == QType::S || to == QType::W || to == QType::A;
+    case QType::NW:
+      return to == QType::NW || to == QType::N || to == QType::W || to == QType::A;
+    case QType::N: return to == QType::N || to == QType::A;
+    case QType::S: return to == QType::S || to == QType::A;
+    case QType::E: return to == QType::E || to == QType::A;
+    case QType::W: return to == QType::W || to == QType::A;
+    case QType::A: return true;  // diag of an anchor is itself
+  }
+  return false;
+}
+
+bool tapeCarrierType(QType t) {
+  return t == QType::A || t == QType::S || t == QType::W || t == QType::SW;
+}
+
+}  // namespace
+
+std::vector<LmViolation> listLmViolations(const Torus2D& torus,
+                                          const Machine& machine,
+                                          const LmLabelling& labels,
+                                          int maxReported) {
+  std::vector<LmViolation> violations;
+  auto report = [&](int node, const char* rule, const std::string& what) {
+    if (static_cast<int>(violations.size()) < maxReported) {
+      violations.push_back({node, rule, what});
+    }
+  };
+  auto at = [&](int v) -> const LmLabel& {
+    return labels[static_cast<std::size_t>(v)];
+  };
+
+  if (static_cast<int>(labels.size()) != torus.size()) {
+    report(-1, "V0", "labelling size mismatch");
+    return violations;
+  }
+
+  // V1 family uniformity + V2 P1 colouring.
+  for (int v = 0; v < torus.size(); ++v) {
+    const LmLabel& me = at(v);
+    for (Dir d : {Dir::North, Dir::East}) {
+      const LmLabel& other = at(torus.step(v, d));
+      if (me.usesP1 != other.usesP1) {
+        report(v, "V1", "adjacent nodes mix P1 and P2");
+      } else if (me.usesP1 && me.p1Colour == other.p1Colour) {
+        report(v, "V2", "3-colouring violated");
+      }
+    }
+    if (me.usesP1 && (me.p1Colour < 0 || me.p1Colour > 2)) {
+      report(v, "V2", "P1 colour out of range");
+    }
+  }
+  if (!violations.empty()) return violations;
+  if (!labels.empty() && labels[0].usesP1) return violations;  // P1 solution
+
+  // V3 type rules.
+  for (int v = 0; v < torus.size(); ++v) {
+    const LmLabel& me = at(v);
+    if (me.type != QType::A) {
+      int diagNode = torus.shift(v, diagDx(me.type), diagDy(me.type));
+      const LmLabel& diag = at(diagNode);
+      if (!typeAllowsDiag(me.type, diag.type)) {
+        report(v, "V3", "diag rule: " + qTypeName(me.type) + " -> " +
+                            qTypeName(diag.type));
+      }
+      // V4 diagonal 2-colouring.
+      if (diag.type == me.type && diag.diagColour == me.diagColour) {
+        report(v, "V4", "diagonal not 2-coloured at type " + qTypeName(me.type));
+      }
+    }
+    // Border surroundings.
+    auto typeOf = [&](int dx, int dy) { return at(torus.shift(v, dx, dy)).type; };
+    switch (me.type) {
+      case QType::N:
+        if (typeOf(-1, 0) != QType::NE || typeOf(1, 0) != QType::NW) {
+          report(v, "V3", "N border neighbours wrong");
+        }
+        break;
+      case QType::S:
+        if (typeOf(-1, 0) != QType::SE || typeOf(1, 0) != QType::SW) {
+          report(v, "V3", "S border neighbours wrong");
+        }
+        break;
+      case QType::E:
+        if (typeOf(0, 1) != QType::SE || typeOf(0, -1) != QType::NE) {
+          report(v, "V3", "E border neighbours wrong");
+        }
+        break;
+      case QType::W:
+        if (typeOf(0, 1) != QType::SW || typeOf(0, -1) != QType::NW) {
+          report(v, "V3", "W border neighbours wrong");
+        }
+        break;
+      case QType::A:
+        if (typeOf(0, 1) != QType::S || typeOf(1, 1) != QType::SW ||
+            typeOf(1, 0) != QType::W || typeOf(1, -1) != QType::NW ||
+            typeOf(0, -1) != QType::N || typeOf(-1, -1) != QType::NE ||
+            typeOf(-1, 0) != QType::E || typeOf(-1, 1) != QType::SE) {
+          report(v, "V3", "anchor surroundings wrong");
+        }
+        break;
+      default:
+        break;
+    }
+    // Tape carriers must have the right type.
+    if (me.hasTape && !tapeCarrierType(me.type)) {
+      report(v, "V5", "tape on type " + qTypeName(me.type));
+    }
+  }
+  if (!violations.empty()) return violations;
+
+  // V5 execution tables.
+  std::vector<std::uint8_t> claimed(static_cast<std::size_t>(torus.size()), 0);
+  long long tapeNodes = 0;
+  for (int v = 0; v < torus.size(); ++v) {
+    if (at(v).hasTape) ++tapeNodes;
+  }
+  long long accounted = 0;
+  for (int v = 0; v < torus.size(); ++v) {
+    if (at(v).type != QType::A) continue;
+    // Table extent.
+    if (!at(v).hasTape) {
+      report(v, "V5", "anchor without execution table");
+      continue;
+    }
+    int width = 0;
+    while (width < torus.n() && at(torus.shift(v, width, 0)).hasTape) ++width;
+    int height = 0;
+    while (height < torus.n() && at(torus.shift(v, 0, height)).hasTape) ++height;
+    if (width >= torus.n() || height >= torus.n()) {
+      report(v, "V5", "execution table wraps around the torus");
+      continue;
+    }
+    // Rectangle of tape cells, each claimed exactly once.
+    bool shapeOk = true;
+    for (int j = 0; j < height && shapeOk; ++j) {
+      for (int i = 0; i < width && shapeOk; ++i) {
+        int cell = torus.shift(v, i, j);
+        if (!at(cell).hasTape) {
+          report(cell, "V5", "hole inside execution table");
+          shapeOk = false;
+        } else if (claimed[static_cast<std::size_t>(cell)]) {
+          report(cell, "V5", "tape cell claimed by two tables");
+          shapeOk = false;
+        } else {
+          claimed[static_cast<std::size_t>(cell)] = 1;
+          ++accounted;
+        }
+      }
+    }
+    if (!shapeOk) continue;
+
+    // Decode rows into configurations and check the run.
+    bool rowsOk = true;
+    std::vector<Configuration> rows(static_cast<std::size_t>(height));
+    for (int j = 0; j < height && rowsOk; ++j) {
+      Configuration& config = rows[static_cast<std::size_t>(j)];
+      config.tape.resize(static_cast<std::size_t>(width));
+      config.headCell = -1;
+      for (int i = 0; i < width; ++i) {
+        const LmLabel& cell = at(torus.shift(v, i, j));
+        config.tape[static_cast<std::size_t>(i)] = cell.tapeSymbol;
+        if (cell.headState >= 0) {
+          if (config.headCell >= 0) {
+            report(v, "V5", "two heads in one row");
+            rowsOk = false;
+          }
+          config.headCell = i;
+          config.state = cell.headState;
+        }
+      }
+      if (config.headCell < 0) {
+        report(v, "V5", "row without head");
+        rowsOk = false;
+      }
+    }
+    if (!rowsOk) continue;
+
+    // First row: empty tape, head on the anchor in the initial state.
+    const Configuration& first = rows[0];
+    bool firstBlank = true;
+    for (int symbol : first.tape) firstBlank = firstBlank && symbol == 0;
+    if (!firstBlank || first.headCell != 0 || first.state != 0) {
+      report(v, "V5", "first row is not the initial configuration");
+      continue;
+    }
+    // Transition consistency.
+    bool runOk = true;
+    for (int j = 0; j + 1 < height && runOk; ++j) {
+      const Configuration& cur = rows[static_cast<std::size_t>(j)];
+      const Configuration& nxt = rows[static_cast<std::size_t>(j + 1)];
+      auto t = machine.transition(
+          cur.state, cur.tape[static_cast<std::size_t>(cur.headCell)]);
+      if (!t) {
+        report(v, "V5", "row continues after a halting configuration");
+        runOk = false;
+        break;
+      }
+      Configuration expect = cur;
+      expect.tape[static_cast<std::size_t>(cur.headCell)] = t->writeSymbol;
+      expect.state = t->nextState;
+      if (t->move == Move::Left) expect.headCell -= 1;
+      if (t->move == Move::Right) expect.headCell += 1;
+      if (expect.headCell < 0 || expect.headCell >= width) {
+        report(v, "V5", "head leaves the table");
+        runOk = false;
+        break;
+      }
+      if (expect.tape != nxt.tape || expect.headCell != nxt.headCell ||
+          expect.state != nxt.state) {
+        report(v, "V5", "rows inconsistent with the transition function");
+        runOk = false;
+      }
+    }
+    if (!runOk) continue;
+
+    // Top row must be a halting configuration.
+    const Configuration& last = rows[static_cast<std::size_t>(height - 1)];
+    if (!machine.halts(last.state,
+                       last.tape[static_cast<std::size_t>(last.headCell)])) {
+      report(v, "V5", "top row is not a halting configuration");
+    }
+  }
+  if (violations.empty() && accounted != tapeNodes) {
+    report(-1, "V5", "tape cells outside every execution table");
+  }
+  return violations;
+}
+
+bool verifyLm(const Torus2D& torus, const Machine& machine,
+              const LmLabelling& labels) {
+  return listLmViolations(torus, machine, labels, 1).empty();
+}
+
+}  // namespace lclgrid::turing

@@ -1,0 +1,39 @@
+// Verifier for L_M (Section 6). The rules are locally checkable (radius 2);
+// the implementation checks them with global access for clarity, grouped
+// exactly as in the paper:
+//   V1  family uniformity: adjacent nodes use the same sub-problem.
+//   V2  P1: proper 3-colouring.
+//   V3  P2 type rules: diagonal compatibility (rules (1)-(4)), border
+//       neighbourhoods, anchor surroundings.
+//   V4  diagonal 2-colouring: equal-type diagonal neighbours differ in x.
+//   V5  execution tables: every anchor is the bottom-left corner of a
+//       rectangular encoding of M's run on the empty tape -- blank first
+//       row with the head on the anchor, transition-consistent consecutive
+//       rows, halting top row; tables sit on {A, S, W, SW} nodes only and
+//       do not overlap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/torus2d.hpp"
+#include "turing/lm_problem.hpp"
+#include "turing/machine.hpp"
+
+namespace lclgrid::turing {
+
+struct LmViolation {
+  int node = -1;
+  std::string rule;  // "V1".."V5"
+  std::string description;
+};
+
+std::vector<LmViolation> listLmViolations(const Torus2D& torus,
+                                          const Machine& machine,
+                                          const LmLabelling& labels,
+                                          int maxReported = 8);
+
+bool verifyLm(const Torus2D& torus, const Machine& machine,
+              const LmLabelling& labels);
+
+}  // namespace lclgrid::turing

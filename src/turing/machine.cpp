@@ -1,0 +1,83 @@
+#include "turing/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lclgrid::turing {
+
+Machine::Machine(std::string name, int numStates, int numSymbols)
+    : name_(std::move(name)), numStates_(numStates), numSymbols_(numSymbols) {
+  if (numStates < 1 || numSymbols < 1) {
+    throw std::invalid_argument("Machine: need >= 1 state and symbol");
+  }
+  table_.resize(static_cast<std::size_t>(numStates) *
+                static_cast<std::size_t>(numSymbols));
+}
+
+void Machine::setTransition(int state, int symbol, Transition t) {
+  if (state < 0 || state >= numStates_ || symbol < 0 || symbol >= numSymbols_) {
+    throw std::out_of_range("setTransition: state/symbol out of range");
+  }
+  if (t.nextState < 0 || t.nextState >= numStates_ || t.writeSymbol < 0 ||
+      t.writeSymbol >= numSymbols_) {
+    throw std::out_of_range("setTransition: target out of range");
+  }
+  table_[static_cast<std::size_t>(state) * numSymbols_ + symbol] = t;
+}
+
+std::optional<Transition> Machine::transition(int state, int symbol) const {
+  return table_[static_cast<std::size_t>(state) * numSymbols_ + symbol];
+}
+
+bool Machine::halts(int state, int symbol) const {
+  return !transition(state, symbol).has_value();
+}
+
+ExecutionTable runOnEmptyTape(const Machine& machine, int maxSteps) {
+  ExecutionTable table;
+  Configuration current;
+  current.tape.assign(1, 0);
+  current.headCell = 0;
+  current.state = 0;
+
+  for (int step = 0; step <= maxSteps; ++step) {
+    int symbol = current.tape[static_cast<std::size_t>(current.headCell)];
+    auto t = machine.transition(current.state, symbol);
+    current.halted = !t.has_value();
+    table.rows.push_back(current);
+    if (current.halted) {
+      table.halted = true;
+      table.steps = step;
+      break;
+    }
+    if (step == maxSteps) {
+      table.steps = step;
+      break;
+    }
+    // Apply the transition.
+    current.tape[static_cast<std::size_t>(current.headCell)] = t->writeSymbol;
+    current.state = t->nextState;
+    if (t->move == Move::Left) {
+      if (current.headCell == 0) {
+        table.wentNegative = true;
+        table.steps = step + 1;
+        break;
+      }
+      current.headCell -= 1;
+    } else if (t->move == Move::Right) {
+      current.headCell += 1;
+      if (current.headCell == static_cast<int>(current.tape.size())) {
+        current.tape.push_back(0);
+      }
+    }
+  }
+
+  // Pad all rows to the same width (the table is rectangular).
+  std::size_t width = 0;
+  for (const auto& row : table.rows) width = std::max(width, row.tape.size());
+  for (auto& row : table.rows) row.tape.resize(width, 0);
+  table.width = static_cast<int>(width);
+  return table;
+}
+
+}  // namespace lclgrid::turing

@@ -1,0 +1,65 @@
+// Turing machine substrate for the undecidability construction of Section 6.
+// Machines run on a one-way-infinite tape (cells 0, 1, 2, ...) starting on
+// an empty (all-blank) tape with the head on cell 0 -- matching the
+// execution-table encoding of L_M, whose columns are tape cells to the east
+// of the anchor. Machines in the zoo never move left of cell 0.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lclgrid::turing {
+
+enum class Move { Left, Right, Stay };
+
+struct Transition {
+  int nextState = 0;
+  int writeSymbol = 0;
+  Move move = Move::Right;
+};
+
+/// Deterministic single-tape machine. Symbol 0 is the blank. A missing
+/// transition halts the machine.
+class Machine {
+ public:
+  Machine(std::string name, int numStates, int numSymbols);
+
+  const std::string& name() const { return name_; }
+  int numStates() const { return numStates_; }
+  int numSymbols() const { return numSymbols_; }
+
+  void setTransition(int state, int symbol, Transition t);
+  std::optional<Transition> transition(int state, int symbol) const;
+
+  /// True iff (state, symbol) has no outgoing transition.
+  bool halts(int state, int symbol) const;
+
+ private:
+  std::string name_;
+  int numStates_;
+  int numSymbols_;
+  std::vector<std::optional<Transition>> table_;  // state * numSymbols + symbol
+};
+
+/// One row of the execution table: the configuration before step `step`.
+struct Configuration {
+  std::vector<int> tape;  // cells 0..width-1
+  int headCell = 0;
+  int state = 0;
+  bool halted = false;  // no transition applies in this configuration
+};
+
+struct ExecutionTable {
+  bool halted = false;   // the machine halted within the step budget
+  int steps = 0;         // number of steps executed (rows - 1)
+  int width = 0;         // tape cells used
+  std::vector<Configuration> rows;  // rows[j] = configuration before step j
+  bool wentNegative = false;        // head attempted to move left of cell 0
+};
+
+/// Runs the machine on the empty tape for at most maxSteps steps and records
+/// every configuration (the execution table E(M) of Section 6).
+ExecutionTable runOnEmptyTape(const Machine& machine, int maxSteps);
+
+}  // namespace lclgrid::turing

@@ -1,0 +1,81 @@
+#include "turing/zoo.hpp"
+
+#include <stdexcept>
+
+namespace lclgrid::turing {
+
+Machine onesWriter(int count) {
+  if (count < 1) throw std::invalid_argument("onesWriter: count >= 1");
+  // States 0..count: state s < count writes a 1 and moves right; state
+  // `count` has no transition, so the machine halts after exactly `count`
+  // steps having written `count` ones.
+  Machine m("ones-writer-" + std::to_string(count), count + 1, 2);
+  for (int s = 0; s < count; ++s) {
+    m.setTransition(s, 0, {s + 1, 1, Move::Right});
+  }
+  return m;
+}
+
+Machine bouncer(int width) {
+  if (width < 1) throw std::invalid_argument("bouncer: width >= 1");
+  // State 0: walk right writing 1s until `width` cells written (encoded in
+  // unary by position -- we use `width` walk states), then state W walks
+  // left over 1s, halting on the blank... but moving left of cell 0 is
+  // forbidden, so the left walk halts on reading a 1 in state W when the
+  // cell to the left is the origin: we instead walk left until reading a 1
+  // with a marker 2 at the origin.
+  // Layout: states 0..width-1 write 1 and move right; state `width` moves
+  // left while reading 1; on reading 2 (the origin marker) it halts.
+  // State 0 writes the marker 2 instead of 1.
+  Machine m("bouncer-" + std::to_string(width), width + 1, 3);
+  m.setTransition(0, 0, {1, 2, Move::Right});
+  for (int s = 1; s < width; ++s) {
+    m.setTransition(s, 0, {s + 1, 1, Move::Right});
+  }
+  m.setTransition(width, 0, {width, 0, Move::Left});
+  m.setTransition(width, 1, {width, 1, Move::Left});
+  // (width, 2) undefined -> halts at the origin marker.
+  return m;
+}
+
+Machine rightRunner() {
+  Machine m("right-runner", 1, 2);
+  m.setTransition(0, 0, {0, 1, Move::Right});
+  m.setTransition(0, 1, {0, 1, Move::Right});
+  return m;
+}
+
+Machine blinker() {
+  Machine m("blinker", 2, 3);
+  m.setTransition(0, 0, {1, 1, Move::Stay});
+  m.setTransition(0, 1, {1, 2, Move::Stay});
+  m.setTransition(0, 2, {1, 1, Move::Stay});
+  m.setTransition(1, 1, {0, 2, Move::Stay});
+  m.setTransition(1, 2, {0, 1, Move::Stay});
+  return m;
+}
+
+Machine unaryCounter(int target) {
+  if (target < 1) throw std::invalid_argument("unaryCounter: target >= 1");
+  // Repeatedly walk right to the first blank, write a 1, walk back to the
+  // origin marker, repeat `target` times (counted in states), then halt.
+  // States: 0 = initialise marker; for round r in 0..target-1:
+  //   state 1+2r = walk right over 1s, write 1 at blank, turn;
+  //   state 2+2r = walk left over 1s to the marker 2.
+  Machine m("unary-counter-" + std::to_string(target), 2 * target + 1, 3);
+  m.setTransition(0, 0, {1, 2, Move::Right});
+  for (int r = 0; r < target; ++r) {
+    int walkRight = 1 + 2 * r;
+    int walkLeft = 2 + 2 * r;
+    m.setTransition(walkRight, 1, {walkRight, 1, Move::Right});
+    m.setTransition(walkRight, 0, {walkLeft, 1, Move::Left});
+    m.setTransition(walkLeft, 1, {walkLeft, 1, Move::Left});
+    if (r + 1 < target) {
+      m.setTransition(walkLeft, 2, {walkRight + 2, 2, Move::Right});
+    }
+    // Final round: (walkLeft, 2) undefined -> halt at the marker.
+  }
+  return m;
+}
+
+}  // namespace lclgrid::turing

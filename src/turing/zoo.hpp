@@ -1,0 +1,27 @@
+// A small zoo of Turing machines for the Section 6 experiments: halting
+// machines of various running times (L_M becomes Theta(log* n)) and
+// non-halting machines (L_M becomes Theta(n)). All stay on cells >= 0.
+#pragma once
+
+#include "turing/machine.hpp"
+
+namespace lclgrid::turing {
+
+/// Writes `count` ones moving right, then halts. Halts in `count` steps.
+Machine onesWriter(int count);
+
+/// Walks right flipping 0->1, then returns to the left end and halts:
+/// a two-phase machine halting in 2*width+1-ish steps.
+Machine bouncer(int width);
+
+/// Single state, moves right forever: never halts.
+Machine rightRunner();
+
+/// Flips cell 0 between 1 and 2 forever: never halts, bounded tape.
+Machine blinker();
+
+/// A 3-state machine that counts in unary and halts; a slightly larger
+/// halting example.
+Machine unaryCounter(int target);
+
+}  // namespace lclgrid::turing

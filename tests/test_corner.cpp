@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "corner/corner_algorithm.hpp"
+#include "corner/corner_problem.hpp"
+#include "local/ids.hpp"
+
+namespace lclgrid::corner {
+namespace {
+
+class CornerAlgorithm : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CornerAlgorithm, SolvesAndVerifies) {
+  auto [m, seed] = GetParam();
+  BoundedGrid grid(m);
+  auto run = solveCornerCoordination(
+      grid, local::randomIds(grid.size(), static_cast<std::uint64_t>(seed) + 1));
+  ASSERT_TRUE(run.solved);
+  auto violations = listCornerViolations(grid, run.labelling);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty()
+              ? ""
+              : violations[0].rule + ": " + violations[0].description);
+  // Rounds scale with the side length (Theta(sqrt N) in N = m^2 nodes).
+  EXPECT_LE(run.rounds, 2 * m);
+  EXPECT_GE(run.rounds, m - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, CornerAlgorithm,
+    ::testing::Combine(::testing::Values(3, 5, 8, 16, 31),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(CornerChecker, EmptyLabellingViolatesRuleFive) {
+  BoundedGrid grid(4);
+  CornerLabelling empty;
+  empty.edges.assign(static_cast<std::size_t>(2 * grid.size()), EdgeDir::None);
+  auto violations = listCornerViolations(grid, empty);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].rule, "R5");
+}
+
+TEST(CornerChecker, MidSideMeetingIsRejected) {
+  // Two flows directed toward the middle of the south side: the meeting
+  // node is not a corner, so the trees meet illegally / end illegally.
+  BoundedGrid grid(5);
+  CornerLabelling labelling;
+  labelling.edges.assign(static_cast<std::size_t>(2 * grid.size()),
+                         EdgeDir::None);
+  // South row: edges (0,0)-(1,0), (1,0)-(2,0) forward; (3,0)-(4,0), (2,0)-(3,0) backward.
+  auto eastEdge = [&](int x, int y) { return 2 * grid.id(x, y) + 1; };
+  labelling.edges[static_cast<std::size_t>(eastEdge(0, 0))] = EdgeDir::Forward;
+  labelling.edges[static_cast<std::size_t>(eastEdge(1, 0))] = EdgeDir::Forward;
+  labelling.edges[static_cast<std::size_t>(eastEdge(3, 0))] = EdgeDir::Backward;
+  labelling.edges[static_cast<std::size_t>(eastEdge(2, 0))] = EdgeDir::Backward;
+  auto violations = listCornerViolations(grid, labelling, 16);
+  bool badEnd = false;
+  for (const auto& violation : violations) {
+    if (violation.rule == "R3" || violation.rule == "R4") badEnd = true;
+  }
+  EXPECT_TRUE(badEnd);
+}
+
+TEST(CornerChecker, BoundaryCycleDecomposesAtCorners) {
+  // The clockwise boundary cycle decomposes into four corner-to-corner
+  // side paths (trees break at corners), so the checker accepts it -- it is
+  // a legitimate solution shape. (It is still not locally computable: the
+  // clockwise direction is a global choice, cf. Theorem 27.)
+  BoundedGrid grid(4);
+  CornerLabelling labelling;
+  labelling.edges.assign(static_cast<std::size_t>(2 * grid.size()),
+                         EdgeDir::None);
+  int m = grid.m();
+  for (int x = 0; x + 1 < m; ++x) {
+    labelling.edges[static_cast<std::size_t>(2 * grid.id(x, m - 1) + 1)] =
+        EdgeDir::Forward;  // top: east
+    labelling.edges[static_cast<std::size_t>(2 * grid.id(x, 0) + 1)] =
+        EdgeDir::Backward;  // bottom: west
+  }
+  for (int y = 0; y + 1 < m; ++y) {
+    labelling.edges[static_cast<std::size_t>(2 * grid.id(0, y))] =
+        EdgeDir::Forward;  // left col: north
+    labelling.edges[static_cast<std::size_t>(2 * grid.id(m - 1, y))] =
+        EdgeDir::Backward;  // right col: south
+  }
+  EXPECT_TRUE(verifyCornerLabelling(grid, labelling));
+}
+
+TEST(CornerChecker, InteriorCycleIsRejected) {
+  // A directed cycle with no corner on it cannot be decomposed: it has no
+  // legal roots or leaves and re-enters its columns.
+  BoundedGrid grid(6);
+  CornerLabelling labelling;
+  labelling.edges.assign(static_cast<std::size_t>(2 * grid.size()),
+                         EdgeDir::None);
+  // Unit square at (2,2): (2,2)->(3,2)->(3,3)->(2,3)->(2,2).
+  labelling.edges[static_cast<std::size_t>(2 * grid.id(2, 2) + 1)] =
+      EdgeDir::Forward;   // east
+  labelling.edges[static_cast<std::size_t>(2 * grid.id(3, 2))] =
+      EdgeDir::Forward;   // north
+  labelling.edges[static_cast<std::size_t>(2 * grid.id(2, 3) + 1)] =
+      EdgeDir::Backward;  // west
+  labelling.edges[static_cast<std::size_t>(2 * grid.id(2, 2))] =
+      EdgeDir::Backward;  // south
+  EXPECT_FALSE(verifyCornerLabelling(grid, labelling));
+}
+
+TEST(CornerChecker, InteriorPathMustEndAtCorners) {
+  BoundedGrid grid(5);
+  CornerLabelling labelling;
+  labelling.edges.assign(static_cast<std::size_t>(2 * grid.size()),
+                         EdgeDir::None);
+  // A short path in the interior: (1,2) -> (2,2) -> (3,2).
+  labelling.edges[static_cast<std::size_t>(2 * grid.id(1, 2) + 1)] =
+      EdgeDir::Forward;
+  labelling.edges[static_cast<std::size_t>(2 * grid.id(2, 2) + 1)] =
+      EdgeDir::Forward;
+  auto violations = listCornerViolations(grid, labelling, 16);
+  bool r3 = false;
+  for (const auto& violation : violations) r3 |= violation.rule == "R3";
+  EXPECT_TRUE(r3);
+}
+
+TEST(CornerBall, GrowthMatchesProposition28) {
+  // |B_r(corner)| = (r+2 choose 2) while the ball is corner-free.
+  BoundedGrid grid(32);
+  for (int r = 0; r <= 8; ++r) {
+    EXPECT_EQ(cornerBallSize(grid, r), (r + 2) * (r + 1) / 2) << r;
+  }
+}
+
+TEST(CornerBall, SaturatesAtWholeGrid) {
+  BoundedGrid grid(4);
+  EXPECT_EQ(cornerBallSize(grid, 100), grid.size());
+}
+
+}  // namespace
+}  // namespace lclgrid::corner

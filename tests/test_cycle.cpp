@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "cycle/classifier.hpp"
+#include "cycle/cycle_lcl.hpp"
+#include "cycle/cycle_synthesis.hpp"
+#include "cycle/neighbourhood_graph.hpp"
+#include "local/ids.hpp"
+
+namespace lclgrid::cycle {
+namespace {
+
+TEST(CycleLcl, ThreeColouringWindows) {
+  auto lcl = cycleColouring(3);
+  EXPECT_TRUE(lcl.allowsWindow({0, 1, 2}));
+  EXPECT_TRUE(lcl.allowsWindow({0, 1, 0}));
+  EXPECT_FALSE(lcl.allowsWindow({0, 0, 1}));
+  EXPECT_FALSE(lcl.allowsWindow({1, 2, 2}));
+}
+
+TEST(CycleLcl, VerifiesWholeCycle) {
+  auto lcl = cycleColouring(3);
+  EXPECT_TRUE(lcl.verifyCycle({0, 1, 2, 0, 1, 2}));
+  EXPECT_TRUE(lcl.verifyCycle({0, 1, 0, 1, 0, 2}));
+  EXPECT_FALSE(lcl.verifyCycle({0, 1, 0, 1, 0, 0}));  // wraps into 0,0
+  // Odd cycle is 2-colourable? No: wrap makes adjacent equal.
+  auto two = cycleColouring(2);
+  EXPECT_TRUE(two.verifyCycle({0, 1, 0, 1}));
+  EXPECT_FALSE(two.verifyCycle({0, 1, 0, 1, 0}));
+}
+
+TEST(NeighbourhoodGraph, FigureTwoStructure) {
+  // 3-colouring: 6 proper pairs as nodes, each with out-degree 2 (third
+  // label or back) -- matches Figure 2.
+  NeighbourhoodGraph graph(cycleColouring(3));
+  int nonIsolated = 0;
+  int edges = 0;
+  for (int v = 0; v < graph.nodeCount(); ++v) {
+    if (!graph.successors(v).empty()) ++nonIsolated;
+    edges += static_cast<int>(graph.successors(v).size());
+  }
+  EXPECT_EQ(nonIsolated, 6);
+  EXPECT_EQ(edges, 12);  // each of the 6 nodes has exactly 2 successors
+  EXPECT_FALSE(graph.hasSelfLoop());
+  EXPECT_TRUE(graph.hasCycle());
+}
+
+TEST(NeighbourhoodGraph, MisFlexibleStateMatchesPaper) {
+  // Figure 2: in the MIS problem, state 00 is flexible with walks of length
+  // 3 and 5 and hence of every length >= some k <= 8.
+  NeighbourhoodGraph graph(cycleMaximalIndependentSet());
+  int node00 = graph.nodeOf({0, 0});
+  EXPECT_TRUE(graph.isFlexible(node00));
+  EXPECT_TRUE(graph.closedWalk(node00, 3).has_value());
+  EXPECT_FALSE(graph.closedWalk(node00, 4).has_value());
+  EXPECT_TRUE(graph.closedWalk(node00, 5).has_value());
+  EXPECT_TRUE(graph.closedWalk(node00, 8).has_value());
+  auto flexibility = graph.minimumFlexibility();
+  ASSERT_TRUE(flexibility.has_value());
+  EXPECT_LE(flexibility->flexibility, 8);
+}
+
+TEST(NeighbourhoodGraph, TwoColouringIsRigid) {
+  NeighbourhoodGraph graph(cycleColouring(2));
+  for (int v = 0; v < graph.nodeCount(); ++v) {
+    EXPECT_FALSE(graph.isFlexible(v));
+  }
+  EXPECT_TRUE(graph.hasCycle());
+  EXPECT_FALSE(graph.hasSelfLoop());
+}
+
+TEST(NeighbourhoodGraph, IndependentSetHasSelfLoop) {
+  NeighbourhoodGraph graph(cycleIndependentSet());
+  EXPECT_TRUE(graph.hasSelfLoop());
+}
+
+TEST(NeighbourhoodGraph, ClosedWalksAreValidWalks) {
+  NeighbourhoodGraph graph(cycleMaximalIndependentSet());
+  int node = graph.nodeOf({0, 0});
+  for (int length : {3, 5, 6, 7, 8, 9, 10}) {
+    auto walk = graph.closedWalk(node, length);
+    if (!walk) continue;
+    ASSERT_EQ(static_cast<int>(walk->size()), length + 1);
+    EXPECT_EQ(walk->front(), node);
+    EXPECT_EQ(walk->back(), node);
+    for (int t = 0; t < length; ++t) {
+      const auto& succ = graph.successors((*walk)[static_cast<std::size_t>(t)]);
+      EXPECT_NE(std::find(succ.begin(), succ.end(),
+                          (*walk)[static_cast<std::size_t>(t + 1)]),
+                succ.end());
+    }
+  }
+}
+
+// --- Figure 2 classification table ------------------------------------------
+
+TEST(Classifier, FigureTwoClassifications) {
+  EXPECT_EQ(classifyCycleLcl(cycleIndependentSet()).complexity,
+            ComplexityClass::Constant);
+  EXPECT_EQ(classifyCycleLcl(cycleColouring(3)).complexity,
+            ComplexityClass::LogStar);
+  EXPECT_EQ(classifyCycleLcl(cycleMaximalIndependentSet()).complexity,
+            ComplexityClass::LogStar);
+  EXPECT_EQ(classifyCycleLcl(cycleColouring(2)).complexity,
+            ComplexityClass::Global);
+}
+
+TEST(Classifier, MoreProblems) {
+  EXPECT_EQ(classifyCycleLcl(cycleMaximalMatching()).complexity,
+            ComplexityClass::LogStar);
+  EXPECT_EQ(classifyCycleLcl(cycleColouring(4)).complexity,
+            ComplexityClass::LogStar);
+  // All-marked is trivially constant.
+  EXPECT_EQ(classifyCycleLcl(cycleDominatingMarks(1)).complexity,
+            ComplexityClass::Constant);
+  EXPECT_EQ(classifyCycleLcl(cycleDominatingMarks(3)).complexity,
+            ComplexityClass::Constant);
+  // Exact spacing is rigid: circuits exist only with period-divisible length.
+  EXPECT_EQ(classifyCycleLcl(cycleExactSpacing(3)).complexity,
+            ComplexityClass::Global);
+  // 1-colouring has no feasible window at all.
+  EXPECT_EQ(classifyCycleLcl(cycleColouring(1)).complexity,
+            ComplexityClass::Unsolvable);
+}
+
+// --- synthesized algorithms --------------------------------------------------
+
+class CycleSynthesisRun
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CycleSynthesisRun, ThreeColouringSolvesAndVerifies) {
+  auto [n, seed] = GetParam();
+  auto lcl = cycleColouring(3);
+  CycleAlgorithm algorithm(lcl);
+  auto ids = local::randomIds(n, static_cast<std::uint64_t>(seed) + 1);
+  auto run = algorithm.execute(ids);
+  ASSERT_TRUE(run.solved);
+  EXPECT_TRUE(lcl.verifyCycle(run.labels));
+  EXPECT_LT(run.rounds, n);  // genuinely sublinear at these sizes
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, CycleSynthesisRun,
+    ::testing::Combine(::testing::Values(64, 129, 500, 1001),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(CycleSynthesis, MisAlgorithmSolves) {
+  auto lcl = cycleMaximalIndependentSet();
+  CycleAlgorithm algorithm(lcl);
+  for (int n : {50, 121, 256}) {
+    auto ids = local::randomIds(n, 7);
+    auto run = algorithm.execute(ids);
+    ASSERT_TRUE(run.solved) << n;
+    EXPECT_TRUE(lcl.verifyCycle(run.labels)) << n;
+  }
+}
+
+TEST(CycleSynthesis, MaximalMatchingAlgorithmSolves) {
+  auto lcl = cycleMaximalMatching();
+  CycleAlgorithm algorithm(lcl);
+  auto ids = local::randomIds(200, 3);
+  auto run = algorithm.execute(ids);
+  ASSERT_TRUE(run.solved);
+  EXPECT_TRUE(lcl.verifyCycle(run.labels));
+}
+
+TEST(CycleSynthesis, ConstantProblemUsesZeroRounds) {
+  CycleAlgorithm algorithm(cycleIndependentSet());
+  auto ids = local::randomIds(100, 1);
+  auto run = algorithm.execute(ids);
+  ASSERT_TRUE(run.solved);
+  EXPECT_EQ(run.rounds, 0);
+  EXPECT_TRUE(cycleIndependentSet().verifyCycle(run.labels));
+}
+
+TEST(CycleSynthesis, GlobalTwoColouringSolvesEvenFailsOdd) {
+  auto lcl = cycleColouring(2);
+  CycleAlgorithm algorithm(lcl);
+  {
+    auto run = algorithm.execute(local::randomIds(100, 1));
+    ASSERT_TRUE(run.solved);
+    EXPECT_TRUE(lcl.verifyCycle(run.labels));
+    EXPECT_GE(run.rounds, 50);  // gathered the whole cycle
+  }
+  {
+    auto run = algorithm.execute(local::randomIds(101, 1));
+    EXPECT_FALSE(run.solved);
+  }
+}
+
+TEST(CycleSynthesis, LogStarRoundsGrowSlowly) {
+  // The round count of the synthesized MIS-based algorithm must be flat-ish:
+  // going from n=64 to n=4096 may add only a few rounds.
+  auto lcl = cycleColouring(3);
+  CycleAlgorithm algorithm(lcl);
+  auto small = algorithm.execute(local::randomIds(64, 5));
+  auto large = algorithm.execute(local::randomIds(4096, 5));
+  ASSERT_TRUE(small.solved);
+  ASSERT_TRUE(large.solved);
+  EXPECT_LE(large.rounds, small.rounds + 20);
+  EXPECT_LT(large.rounds, 200);
+}
+
+}  // namespace
+}  // namespace lclgrid::cycle

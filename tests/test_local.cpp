@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "local/cole_vishkin.hpp"
+#include "local/colour_reduction.hpp"
+#include "local/distance_colouring.hpp"
+#include "local/graph_view.hpp"
+#include "local/ids.hpp"
+#include "local/linial.hpp"
+#include "local/mis.hpp"
+#include "support/numeric.hpp"
+
+namespace lclgrid::local {
+namespace {
+
+CycleFamily singleCycle(int n) {
+  return CycleFamily{n, [n](int v) { return (v + 1) % n; }};
+}
+
+bool properOnCycle(const CycleFamily& family, const std::vector<int>& colour) {
+  for (int v = 0; v < family.count; ++v) {
+    if (colour[static_cast<std::size_t>(v)] ==
+        colour[static_cast<std::size_t>(family.successor(v))]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Ids, DistinctAndInRange) {
+  auto ids = randomIds(500, 11);
+  std::set<std::uint64_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 500u);
+  for (auto id : ids) {
+    EXPECT_GE(id, 1u);
+    EXPECT_LT(id, idSpace(500) + 1);
+  }
+}
+
+TEST(ColeVishkin, StepPreservesProperness) {
+  auto family = singleCycle(64);
+  auto ids = randomIds(64, 3);
+  std::vector<std::uint64_t> colour = ids;
+  for (int iteration = 0; iteration < 4; ++iteration) {
+    colour = coleVishkinStep(family, colour);
+    for (int v = 0; v < family.count; ++v) {
+      EXPECT_NE(colour[static_cast<std::size_t>(v)],
+                colour[static_cast<std::size_t>(family.successor(v))]);
+    }
+  }
+}
+
+class ColeVishkinSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColeVishkinSizes, ProducesProperThreeColouring) {
+  int n = GetParam();
+  auto family = singleCycle(n);
+  auto result = colourCycleFamily3(family, randomIds(n, 17));
+  ASSERT_EQ(static_cast<int>(result.colour.size()), n);
+  for (int c : result.colour) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 2);
+  }
+  EXPECT_TRUE(properOnCycle(family, result.colour));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ColeVishkinSizes,
+                         ::testing::Values(3, 4, 5, 10, 64, 1000, 65536));
+
+TEST(ColeVishkin, RoundsScaleAsLogStar) {
+  auto small = colourCycleFamily3(singleCycle(64), randomIds(64, 1));
+  auto large = colourCycleFamily3(singleCycle(65536), randomIds(65536, 1));
+  // log*-type growth: a 1000x larger instance gains at most a few rounds.
+  EXPECT_LE(large.rounds, small.rounds + 4);
+  EXPECT_LE(large.rounds, 16);
+}
+
+TEST(ColeVishkin, WorksOnMultipleCyclesAtOnce) {
+  // Two disjoint cycles of length 5 and 7 inside one family.
+  CycleFamily family{12, [](int v) {
+                       if (v < 5) return (v + 1) % 5;
+                       return 5 + ((v - 5 + 1) % 7);
+                     }};
+  auto result = colourCycleFamily3(family, randomIds(12, 9));
+  EXPECT_TRUE(properOnCycle(family, result.colour));
+}
+
+TEST(Linial, ParamsRespectConstraints) {
+  auto params = chooseLinialParams(1'000'000, 8);
+  EXPECT_GT(params.q, params.degree * 8);
+  long long power = 1;
+  for (int i = 0; i <= params.degree; ++i) power *= params.q;
+  EXPECT_GE(power, 1'000'000);
+}
+
+TEST(Linial, StepProducesProperColouring) {
+  Torus2D torus(16);
+  auto view = torusView(torus);
+  auto ids = randomIds(torus.size(), 5);
+  std::vector<long long> colour(ids.begin(), ids.end());
+  long long palette = static_cast<long long>(idSpace(torus.size())) + 1;
+  auto params = chooseLinialParams(palette, view.maxDegree);
+  auto next = linialStep(view, colour, palette, params);
+  for (int v = 0; v < view.count; ++v) {
+    EXPECT_LT(next[static_cast<std::size_t>(v)], params.newPaletteSize());
+    for (int u : view.neighbours(v)) {
+      EXPECT_NE(next[static_cast<std::size_t>(v)],
+                next[static_cast<std::size_t>(u)]);
+    }
+  }
+}
+
+TEST(Linial, IterationReachesSmallPalette) {
+  Torus2D torus(16);
+  auto view = torusView(torus);
+  auto result = iteratedLinial(view, randomIds(torus.size(), 2));
+  // Fixpoint is O(Delta^2)-ish; for Delta=4 well under 1000.
+  EXPECT_LT(result.paletteSize, 1000);
+  EXPECT_GE(result.viewRounds, 1);
+  for (int v = 0; v < view.count; ++v) {
+    for (int u : view.neighbours(v)) {
+      EXPECT_NE(result.colour[static_cast<std::size_t>(v)],
+                result.colour[static_cast<std::size_t>(u)]);
+    }
+  }
+}
+
+TEST(ColourReduction, ReachesDegreePlusOne) {
+  Torus2D torus(12);
+  auto view = torusView(torus);
+  auto base = iteratedLinial(view, randomIds(torus.size(), 4));
+  auto reduced = reduceToDegreePlusOne(view, base.colour, base.paletteSize);
+  EXPECT_EQ(reduced.paletteSize, view.maxDegree + 1);
+  for (int v = 0; v < view.count; ++v) {
+    EXPECT_GE(reduced.colour[static_cast<std::size_t>(v)], 0);
+    EXPECT_LT(reduced.colour[static_cast<std::size_t>(v)], reduced.paletteSize);
+    for (int u : view.neighbours(v)) {
+      EXPECT_NE(reduced.colour[static_cast<std::size_t>(v)],
+                reduced.colour[static_cast<std::size_t>(u)]);
+    }
+  }
+}
+
+class MisOnPowers : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MisOnPowers, ComputesMaximalIndependentSet) {
+  auto [n, k] = GetParam();
+  Torus2D torus(n);
+  auto view = l1PowerView(torus, k);
+  auto mis = computeMis(view, randomIds(torus.size(), 23));
+  EXPECT_TRUE(isMaximalIndependentSet(view, mis.inSet));
+  EXPECT_GT(mis.gridRounds, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridAndPower, MisOnPowers,
+    ::testing::Combine(::testing::Values(8, 12, 17, 24),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Mis, LinfPowerAlsoWorks) {
+  Torus2D torus(16);
+  auto view = linfPowerView(torus, 2);
+  auto mis = computeMis(view, randomIds(torus.size(), 31));
+  EXPECT_TRUE(isMaximalIndependentSet(view, mis.inSet));
+}
+
+TEST(Mis, AnchorSpacingMatchesPowerRadius) {
+  // MIS of G^(k): anchors pairwise L1 distance > k, every node within k.
+  Torus2D torus(20);
+  const int k = 3;
+  auto mis = computeMis(l1PowerView(torus, k), randomIds(torus.size(), 77));
+  std::vector<int> anchors;
+  for (int v = 0; v < torus.size(); ++v) {
+    if (mis.inSet[static_cast<std::size_t>(v)]) anchors.push_back(v);
+  }
+  ASSERT_FALSE(anchors.empty());
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    for (std::size_t j = i + 1; j < anchors.size(); ++j) {
+      EXPECT_GT(torus.l1(anchors[i], anchors[j]), k);
+    }
+  }
+  for (int v = 0; v < torus.size(); ++v) {
+    int closest = torus.size();
+    for (int a : anchors) closest = std::min(closest, torus.l1(v, a));
+    EXPECT_LE(closest, k);
+  }
+}
+
+TEST(DistanceColouring, LinfDistanceColouringIsValid) {
+  Torus2D torus(18);
+  const int k = 2;
+  auto result = distanceColouringLinf(torus, k, randomIds(torus.size(), 13));
+  EXPECT_TRUE(isDistanceColouring(torus, k, /*metricL1=*/false, result.colour));
+  EXPECT_LE(result.paletteSize, (2 * k + 1) * (2 * k + 1));
+}
+
+TEST(DistanceColouring, L1DistanceColouringIsValid) {
+  Torus2D torus(15);
+  const int k = 2;
+  auto result = distanceColouringL1(torus, k, randomIds(torus.size(), 19));
+  EXPECT_TRUE(isDistanceColouring(torus, k, /*metricL1=*/true, result.colour));
+}
+
+TEST(DistanceColouring, RoundsFlatAcrossSizes) {
+  const int k = 2;
+  auto small = distanceColouringL1(Torus2D(12), k, randomIds(144, 3));
+  auto large = distanceColouringL1(Torus2D(48), k, randomIds(48 * 48, 3));
+  EXPECT_LE(large.gridRounds, small.gridRounds + 10 * k);
+}
+
+TEST(GraphView, TorusDViewMatchesDegree) {
+  TorusD torus(3, 7);
+  auto view = linfPowerViewD(torus, 1);
+  EXPECT_EQ(view.maxDegree, 26);
+  auto nbrs = view.neighbours(0);
+  EXPECT_EQ(static_cast<int>(nbrs.size()), 26);
+}
+
+TEST(MisOnTorusD, ThreeDimensionalMis) {
+  TorusD torus(3, 7);
+  auto view = linfPowerViewD(torus, 1);
+  auto mis = computeMis(view, randomIds(static_cast<int>(torus.size()), 41));
+  EXPECT_TRUE(isMaximalIndependentSet(view, mis.inSet));
+}
+
+}  // namespace
+}  // namespace lclgrid::local

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sat/cnf.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "support/numeric.hpp"
+
+namespace lclgrid::sat {
+namespace {
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+  Solver solver;
+  EXPECT_EQ(solver.solve(), Result::Sat);
+}
+
+TEST(SatSolver, SingleUnit) {
+  Solver solver;
+  int x = solver.newVar();
+  solver.addClause({x});
+  ASSERT_EQ(solver.solve(), Result::Sat);
+  EXPECT_TRUE(solver.modelValue(x));
+}
+
+TEST(SatSolver, ContradictoryUnitsAreUnsat) {
+  Solver solver;
+  int x = solver.newVar();
+  solver.addClause({x});
+  solver.addClause({-x});
+  EXPECT_EQ(solver.solve(), Result::Unsat);
+}
+
+TEST(SatSolver, EmptyClauseIsUnsat) {
+  Solver solver;
+  solver.newVar();
+  solver.addClause({});
+  EXPECT_EQ(solver.solve(), Result::Unsat);
+}
+
+TEST(SatSolver, TautologiesAreIgnored) {
+  Solver solver;
+  int x = solver.newVar();
+  solver.addClause({x, -x});
+  EXPECT_EQ(solver.solve(), Result::Sat);
+}
+
+TEST(SatSolver, SimpleImplicationChain) {
+  Solver solver;
+  int a = solver.newVar(), b = solver.newVar(), c = solver.newVar();
+  solver.addClause({a});
+  solver.addClause({-a, b});
+  solver.addClause({-b, c});
+  ASSERT_EQ(solver.solve(), Result::Sat);
+  EXPECT_TRUE(solver.modelValue(a));
+  EXPECT_TRUE(solver.modelValue(b));
+  EXPECT_TRUE(solver.modelValue(c));
+}
+
+TEST(SatSolver, XorChainForcesBacktracking) {
+  // x1 xor x2 xor ... xor x8 = 1 encoded clause-wise with auxiliary parity
+  // variables; satisfiable, requires search.
+  Solver solver;
+  const int n = 8;
+  std::vector<int> x(n);
+  for (int i = 0; i < n; ++i) x[i] = solver.newVar();
+  // parity[i] = x0 xor ... xor xi
+  std::vector<int> parity(n);
+  parity[0] = x[0];
+  for (int i = 1; i < n; ++i) {
+    int p = solver.newVar();
+    // p <-> parity[i-1] xor x[i]
+    solver.addClause({-p, parity[i - 1], x[i]});
+    solver.addClause({-p, -parity[i - 1], -x[i]});
+    solver.addClause({p, -parity[i - 1], x[i]});
+    solver.addClause({p, parity[i - 1], -x[i]});
+    parity[i] = p;
+  }
+  solver.addClause({parity[n - 1]});
+  ASSERT_EQ(solver.solve(), Result::Sat);
+  bool total = false;
+  for (int i = 0; i < n; ++i) total ^= solver.modelValue(x[i]);
+  EXPECT_TRUE(total);
+}
+
+// Pigeonhole principle: n+1 pigeons into n holes, classic hard UNSAT family.
+void buildPigeonhole(Solver& solver, int holes) {
+  int pigeons = holes + 1;
+  std::vector<std::vector<int>> var(
+      static_cast<std::size_t>(pigeons),
+      std::vector<int>(static_cast<std::size_t>(holes)));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) {
+      var[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)] =
+          solver.newVar();
+    }
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<int> clause;
+    for (int h = 0; h < holes; ++h) {
+      clause.push_back(var[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)]);
+    }
+    solver.addClause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        solver.addClause(
+            {-var[static_cast<std::size_t>(p1)][static_cast<std::size_t>(h)],
+             -var[static_cast<std::size_t>(p2)][static_cast<std::size_t>(h)]});
+      }
+    }
+  }
+}
+
+TEST(SatSolver, PigeonholeUnsat) {
+  for (int holes = 2; holes <= 6; ++holes) {
+    Solver solver;
+    buildPigeonhole(solver, holes);
+    EXPECT_EQ(solver.solve(), Result::Unsat) << "holes=" << holes;
+  }
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+  Solver solver;
+  buildPigeonhole(solver, 8);
+  EXPECT_EQ(solver.solve(2), Result::Unknown);
+}
+
+// Cross-check against brute force on random small 3-SAT instances.
+bool bruteForceSat(int numVars, const std::vector<std::vector<int>>& clauses) {
+  for (int assignment = 0; assignment < (1 << numVars); ++assignment) {
+    bool allSatisfied = true;
+    for (const auto& clause : clauses) {
+      bool satisfied = false;
+      for (int lit : clause) {
+        int var = std::abs(lit) - 1;
+        bool value = (assignment >> var) & 1;
+        if ((lit > 0) == value) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        allSatisfied = false;
+        break;
+      }
+    }
+    if (allSatisfied) return true;
+  }
+  return false;
+}
+
+class RandomThreeSat : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomThreeSat, AgreesWithBruteForce) {
+  const int seed = GetParam();
+  SplitMix64 rng(static_cast<std::uint64_t>(seed));
+  const int numVars = 12;
+  // Near the 3-SAT phase transition (~4.27 clauses/var) to get a mix of
+  // satisfiable and unsatisfiable instances.
+  const int numClauses = 51;
+  std::vector<std::vector<int>> clauses;
+  for (int i = 0; i < numClauses; ++i) {
+    std::vector<int> clause;
+    for (int j = 0; j < 3; ++j) {
+      int var = static_cast<int>(rng.nextBelow(numVars)) + 1;
+      bool negated = rng.nextBelow(2) == 1;
+      clause.push_back(negated ? -var : var);
+    }
+    clauses.push_back(clause);
+  }
+
+  Solver solver;
+  for (int i = 0; i < numVars; ++i) solver.newVar();
+  for (const auto& clause : clauses) solver.addClause(clause);
+  Result result = solver.solve();
+  bool expected = bruteForceSat(numVars, clauses);
+  EXPECT_EQ(result == Result::Sat, expected);
+
+  if (result == Result::Sat) {
+    // The model must actually satisfy every clause.
+    for (const auto& clause : clauses) {
+      bool satisfied = false;
+      for (int lit : clause) {
+        if (solver.modelValue(std::abs(lit)) == (lit > 0)) satisfied = true;
+      }
+      EXPECT_TRUE(satisfied);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomThreeSat, ::testing::Range(0, 40));
+
+TEST(SatSolver, GraphColouringTriangle) {
+  // Triangle with 2 colours: UNSAT; with 3 colours: SAT.
+  for (int colours = 2; colours <= 3; ++colours) {
+    Solver solver;
+    std::vector<DomainVar> node;
+    for (int v = 0; v < 3; ++v) node.push_back(makeDomainVar(solver, colours));
+    for (int u = 0; u < 3; ++u) {
+      for (int v = u + 1; v < 3; ++v) {
+        for (int c = 0; c < colours; ++c) {
+          solver.addClause({node[static_cast<std::size_t>(u)].isNot(c),
+                            node[static_cast<std::size_t>(v)].isNot(c)});
+        }
+      }
+    }
+    EXPECT_EQ(solver.solve() == Result::Sat, colours == 3);
+  }
+}
+
+TEST(CnfBuilder, DomainVarDecodes) {
+  Solver solver;
+  DomainVar dv = makeDomainVar(solver, 5);
+  solver.addClause({dv.is(3)});
+  ASSERT_EQ(solver.solve(), Result::Sat);
+  EXPECT_EQ(dv.decode(solver), 3);
+}
+
+TEST(CnfBuilder, ExactlyOneExcludesPairs) {
+  Solver solver;
+  DomainVar dv = makeDomainVar(solver, 4);
+  solver.addClause({dv.is(1)});
+  solver.addClause({dv.is(2)});
+  EXPECT_EQ(solver.solve(), Result::Unsat);
+}
+
+TEST(Dimacs, ParseAndSolveRoundTrip) {
+  const std::string text =
+      "c example\n"
+      "p cnf 3 3\n"
+      "1 2 0\n"
+      "-1 3 0\n"
+      "-2 -3 0\n";
+  Cnf cnf = parseDimacsString(text);
+  EXPECT_EQ(cnf.numVars, 3);
+  ASSERT_EQ(cnf.clauses.size(), 3u);
+  Solver solver;
+  loadInto(cnf, solver);
+  EXPECT_EQ(solver.solve(), Result::Sat);
+
+  std::string rendered = toDimacsString(cnf);
+  Cnf reparsed = parseDimacsString(rendered);
+  EXPECT_EQ(reparsed.clauses, cnf.clauses);
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  EXPECT_THROW(parseDimacsString("1 2 0\n"), std::runtime_error);
+  EXPECT_THROW(parseDimacsString("p cnf 1 1\n2 0\n"), std::runtime_error);
+  EXPECT_THROW(parseDimacsString("p cnf 2 1\n1 2\n"), std::runtime_error);
+}
+
+TEST(SatSolver, StatisticsAdvance) {
+  Solver solver;
+  buildPigeonhole(solver, 5);
+  EXPECT_EQ(solver.solve(), Result::Unsat);
+  EXPECT_GT(solver.conflicts(), 0);
+  EXPECT_GT(solver.decisions(), 0);
+  EXPECT_GT(solver.propagations(), 0);
+}
+
+}  // namespace
+}  // namespace lclgrid::sat

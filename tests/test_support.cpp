@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/numeric.hpp"
+#include "support/table.hpp"
+
+namespace lclgrid {
+namespace {
+
+TEST(LogStar, KnownValues) {
+  EXPECT_EQ(logStar(1), 0);
+  EXPECT_EQ(logStar(2), 1);
+  EXPECT_EQ(logStar(4), 2);
+  EXPECT_EQ(logStar(16), 3);
+  EXPECT_EQ(logStar(65536), 4);
+  EXPECT_EQ(logStar(65537), 5);
+}
+
+TEST(LogStar, MonotoneOnPowers) {
+  double previous = -1;
+  for (double n : {1.0, 10.0, 100.0, 1e4, 1e8, 1e16}) {
+    double current = logStar(n);
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+}
+
+TEST(Primes, SmallCases) {
+  EXPECT_TRUE(isPrime(2));
+  EXPECT_TRUE(isPrime(3));
+  EXPECT_FALSE(isPrime(1));
+  EXPECT_FALSE(isPrime(9));
+  EXPECT_TRUE(isPrime(97));
+  EXPECT_FALSE(isPrime(91));
+}
+
+TEST(Primes, NextPrime) {
+  EXPECT_EQ(nextPrime(2), 2);
+  EXPECT_EQ(nextPrime(8), 11);
+  EXPECT_EQ(nextPrime(14), 17);
+  EXPECT_EQ(nextPrime(100), 101);
+}
+
+TEST(Gcd, Basics) {
+  EXPECT_EQ(gcdLL(12, 18), 6);
+  EXPECT_EQ(gcdLL(0, 5), 5);
+  EXPECT_EQ(gcdLL(7, 13), 1);
+}
+
+TEST(PolyModQ, EvaluatesHorner) {
+  // p(x) = 3 + 2x + x^2 over GF(7); p(2) = 3 + 4 + 4 = 11 = 4 (mod 7).
+  EXPECT_EQ(evalPolyModQ({3, 2, 1}, 2, 7), 4);
+  EXPECT_EQ(evalPolyModQ({0}, 5, 11), 0);
+}
+
+TEST(PolyModQ, DistinctPolynomialsAgreeOnFewPoints) {
+  // Two distinct degree-d polynomials agree on at most d points -- the
+  // property underlying Linial's colour reduction.
+  const int q = 11;
+  std::vector<int> p1 = {1, 2, 3};  // degree 2
+  std::vector<int> p2 = {4, 0, 3};
+  int agreements = 0;
+  for (int x = 0; x < q; ++x) {
+    if (evalPolyModQ(p1, x, q) == evalPolyModQ(p2, x, q)) ++agreements;
+  }
+  EXPECT_LE(agreements, 2);
+}
+
+TEST(Digits, RoundTrips) {
+  auto digits = digitsBaseQ(123, 5, 4);
+  ASSERT_EQ(digits.size(), 4u);
+  long long value = 0;
+  long long power = 1;
+  for (int d : digits) {
+    value += d * power;
+    power *= 5;
+  }
+  EXPECT_EQ(value, 123);
+}
+
+TEST(Digits, ThrowsWhenTooNarrow) {
+  EXPECT_THROW(digitsBaseQ(125, 5, 3), std::invalid_argument);
+}
+
+TEST(SplitMix, Deterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix, BoundedDrawsInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(RandomDistinct, ProducesDistinctValues) {
+  auto values = randomDistinct(100, 1000, 3);
+  std::set<std::uint64_t> unique(values.begin(), values.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (auto v : values) EXPECT_LT(v, 1000u);
+}
+
+TEST(RandomDistinct, ThrowsWhenImpossible) {
+  EXPECT_THROW(randomDistinct(10, 5, 1), std::invalid_argument);
+}
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  AsciiTable table({"name", "value"});
+  table.addRow({"alpha", "1"});
+  table.addRow({"b", "12345"});
+  std::string out = table.render();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsBadRowWidth) {
+  AsciiTable table({"one"});
+  EXPECT_THROW(table.addRow({"a", "b"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lclgrid

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "grid/torus2d.hpp"
+#include "lcl/problems.hpp"
+#include "lcl/verifier.hpp"
+#include "lcl/global_solver.hpp"
+#include "local/graph_view.hpp"
+#include "local/ids.hpp"
+#include "local/mis.hpp"
+#include "tiles/enumerator.hpp"
+#include "tiles/tile.hpp"
+
+namespace lclgrid::tiles {
+namespace {
+
+TEST(TilePattern, BitIndexingAndRendering) {
+  TileShape shape{3, 2};
+  std::uint64_t bits = parsePattern("10\n00\n01", shape);
+  EXPECT_TRUE(hasAnchor(bits, shape, 0, 0));
+  EXPECT_FALSE(hasAnchor(bits, shape, 0, 1));
+  EXPECT_TRUE(hasAnchor(bits, shape, 2, 1));
+  EXPECT_EQ(renderPattern(bits, shape), "10\n00\n01");
+}
+
+TEST(TilePattern, SubPatternExtraction) {
+  TileShape from{3, 3};
+  std::uint64_t bits = parsePattern("000\n010\n100", from);
+  TileShape to{3, 2};
+  // The paper's example: left window "00/01/10", right window "00/10/00".
+  EXPECT_EQ(renderPattern(subPattern(bits, from, 0, 0, to), to), "00\n01\n10");
+  EXPECT_EQ(renderPattern(subPattern(bits, from, 0, 1, to), to), "00\n10\n00");
+}
+
+TEST(TilePattern, SubPatternBoundsChecked) {
+  TileShape from{2, 2};
+  EXPECT_THROW(subPattern(0, from, 1, 1, TileShape{2, 2}), std::out_of_range);
+}
+
+TEST(TileSet, IndexLookup) {
+  TileSet set(TileShape{1, 2}, 1, {0b00, 0b01, 0b10});
+  EXPECT_EQ(set.size(), 3);
+  EXPECT_EQ(set.indexOf(0b01), 1);
+  EXPECT_EQ(set.indexOf(0b11), -1);
+}
+
+TEST(Enumerator, IndependenceCheck) {
+  TileShape shape{3, 3};
+  EXPECT_TRUE(isIndependentPattern(1, shape, parsePattern("100\n001\n100", shape)));
+  EXPECT_FALSE(isIndependentPattern(1, shape, parsePattern("110\n000\n000", shape)));
+  // Diagonal neighbours are at L1 distance 2: independent for k=1 but not
+  // for k=2.
+  EXPECT_TRUE(isIndependentPattern(1, shape, parsePattern("100\n010\n000", shape)));
+  EXPECT_FALSE(isIndependentPattern(2, shape, parsePattern("100\n010\n000", shape)));
+  // Distance 2 along a row under k=2 is likewise dependent.
+  EXPECT_FALSE(isIndependentPattern(2, shape, parsePattern("101\n000\n000", shape)));
+}
+
+TEST(Enumerator, PaperHeadline16TilesForKOne) {
+  // Section 7: "for k = 1 we have the following 3 x 2 tiles" -- 16 of them.
+  EnumerationStats stats;
+  auto tiles = enumerateTiles(1, 3, 2, &stats);
+  EXPECT_EQ(tiles.size(), 16);
+  EXPECT_EQ(stats.validTiles, 16);
+
+  // The figure's patterns, verbatim.
+  const char* expected[] = {
+      "00\n00\n10", "00\n00\n01", "00\n10\n00", "00\n10\n01",
+      "00\n01\n00", "00\n01\n10", "10\n00\n00", "10\n00\n10",
+      "10\n00\n01", "10\n01\n00", "10\n01\n10", "01\n00\n00",
+      "01\n00\n10", "01\n10\n00", "01\n10\n01", "00\n00\n00"};
+  // All but the all-zero pattern must be present; all-zero must be absent.
+  TileShape shape{3, 2};
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_GE(tiles.indexOf(parsePattern(expected[i], shape)), 0) << expected[i];
+  }
+  EXPECT_EQ(tiles.indexOf(parsePattern("00\n00\n00", shape)), -1);
+}
+
+TEST(Enumerator, PaperHeadline2079TilesForKThree) {
+  // Section 7: 4-colouring synthesis at k = 3 "turns out that we only need
+  // to consider 2079 tiles" of dimensions 7 x 5.
+  auto tiles = enumerateTiles(3, 7, 5, nullptr);
+  EXPECT_EQ(tiles.size(), 2079);
+}
+
+TEST(Enumerator, AllZeroWindowValidityDependsOnShape) {
+  // A 2x2 all-zero window can occur in an MIS of G^(1) (anchors can sit
+  // just outside), but a 3x2 all-zero window cannot (shown by hand in the
+  // paper's tile list).
+  EXPECT_TRUE(isValidTile(1, TileShape{2, 2}, 0));
+  EXPECT_FALSE(isValidTile(1, TileShape{3, 2}, 0));
+}
+
+TEST(Enumerator, HeredityOfSubtiles) {
+  // Every sub-window of a valid tile is a valid tile (Appendix A.1).
+  auto tiles = enumerateTiles(2, 5, 4, nullptr);
+  TileShape shape{5, 4};
+  TileShape sub{4, 3};
+  for (int t = 0; t < tiles.size(); ++t) {
+    for (int r = 0; r + sub.height <= shape.height; ++r) {
+      for (int c = 0; c + sub.width <= shape.width; ++c) {
+        std::uint64_t bits = subPattern(tiles.pattern(t), shape, r, c, sub);
+        EXPECT_TRUE(isValidTile(2, sub, bits));
+      }
+    }
+  }
+}
+
+class WindowsOfRealMis : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WindowsOfRealMis, EveryWindowOfARealMisIsInTheTileSet) {
+  // Completeness: windows read off an actual MIS of G^(k) on a torus are
+  // always enumerated (otherwise the synthesized algorithms could fail).
+  auto [k, seed] = GetParam();
+  const int height = 2 * k + 1;
+  const int width = std::max(2, 2 * k - 1);
+  auto tiles = enumerateTiles(k, height, width, nullptr);
+
+  Torus2D torus(8 * k + 6);
+  auto mis = local::computeMis(local::l1PowerView(torus, k),
+                               local::randomIds(torus.size(), seed + 1));
+  TileShape shape{height, width};
+  for (int v = 0; v < torus.size(); ++v) {
+    std::uint64_t bits = 0;
+    for (int r = 0; r < height; ++r) {
+      for (int c = 0; c < width; ++c) {
+        // Row 0 is the northernmost row of the window anchored at v.
+        int cell = torus.shift(v, c, -r);
+        if (mis.inSet[static_cast<std::size_t>(cell)]) {
+          bits |= 1ULL << bitIndex(shape, r, c);
+        }
+      }
+    }
+    EXPECT_GE(tiles.indexOf(bits), 0)
+        << "window of a real MIS missing from the tile set:\n"
+        << renderPattern(bits, shape);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowersAndSeeds, WindowsOfRealMis,
+    ::testing::Combine(::testing::Values(1, 2, 3), ::testing::Values(0, 1)));
+
+TEST(Enumerator, CountsGrowWithWindowSize) {
+  EXPECT_LT(enumerateTiles(1, 2, 2).size(), enumerateTiles(1, 3, 3).size());
+  EXPECT_LT(enumerateTiles(1, 3, 3).size(), enumerateTiles(1, 4, 4).size());
+}
+
+TEST(Enumerator, RejectsOversizedShapes) {
+  EXPECT_THROW(enumerateTiles(1, 8, 8, nullptr), std::invalid_argument);
+  EXPECT_THROW(enumerateTiles(0, 3, 3, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lclgrid::tiles

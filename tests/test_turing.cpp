@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "local/ids.hpp"
+#include "turing/lm_builder.hpp"
+#include "turing/lm_verifier.hpp"
+#include "turing/machine.hpp"
+#include "turing/zoo.hpp"
+
+namespace lclgrid::turing {
+namespace {
+
+TEST(Machine, OnesWriterHaltsInExactlyCountSteps) {
+  for (int count : {1, 2, 5, 9}) {
+    auto table = runOnEmptyTape(onesWriter(count), 100);
+    EXPECT_TRUE(table.halted);
+    EXPECT_EQ(table.steps, count);
+    // Final tape: `count` ones.
+    const auto& last = table.rows.back();
+    int ones = 0;
+    for (int symbol : last.tape) ones += symbol == 1;
+    EXPECT_EQ(ones, count);
+  }
+}
+
+TEST(Machine, BouncerReturnsToOrigin) {
+  auto table = runOnEmptyTape(bouncer(3), 100);
+  ASSERT_TRUE(table.halted);
+  EXPECT_EQ(table.rows.back().headCell, 0);
+  EXPECT_FALSE(table.wentNegative);
+}
+
+TEST(Machine, NonHaltersExhaustBudget) {
+  EXPECT_FALSE(runOnEmptyTape(rightRunner(), 500).halted);
+  EXPECT_FALSE(runOnEmptyTape(blinker(), 500).halted);
+}
+
+TEST(Machine, BlinkerStaysBounded) {
+  auto table = runOnEmptyTape(blinker(), 200);
+  EXPECT_LE(table.width, 2);
+}
+
+TEST(Machine, ExecutionTableIsRectangular) {
+  auto table = runOnEmptyTape(unaryCounter(3), 200);
+  ASSERT_TRUE(table.halted);
+  for (const auto& row : table.rows) {
+    EXPECT_EQ(static_cast<int>(row.tape.size()), table.width);
+  }
+}
+
+TEST(Machine, TransitionValidation) {
+  Machine m("t", 2, 2);
+  EXPECT_THROW(m.setTransition(2, 0, {0, 0, Move::Right}), std::out_of_range);
+  EXPECT_THROW(m.setTransition(0, 0, {5, 0, Move::Right}), std::out_of_range);
+}
+
+TEST(LmProblem, AlphabetIsConstantSize) {
+  // |Sigma| depends on the machine, not on n -- the LCL requirement.
+  EXPECT_EQ(lmAlphabetSize(3, 2), 3 + 9 * 2 * (1 + 2 * 4));
+  EXPECT_GT(lmAlphabetSize(5, 3), 0);
+}
+
+TEST(LmProblem, DiagStepsPointTowardAnchors) {
+  EXPECT_EQ(diagDx(QType::NE), 1);
+  EXPECT_EQ(diagDy(QType::NE), 1);
+  EXPECT_EQ(diagDx(QType::SW), -1);
+  EXPECT_EQ(diagDy(QType::SW), -1);
+  EXPECT_EQ(diagDx(QType::N), 0);
+  EXPECT_EQ(diagDy(QType::N), 1);
+  EXPECT_EQ(diagDx(QType::A), 0);
+  EXPECT_EQ(diagDy(QType::A), 0);
+}
+
+class HaltingMachines : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaltingMachines, FastConstructionVerifies) {
+  int which = GetParam();
+  Machine machines[] = {onesWriter(1), onesWriter(2), onesWriter(3),
+                        bouncer(1), bouncer(2), unaryCounter(2)};
+  const Machine& machine = machines[which];
+  auto table = runOnEmptyTape(machine, 64);
+  ASSERT_TRUE(table.halted);
+  int span = std::max(table.width, static_cast<int>(table.rows.size()));
+  // Torus size: a multiple of an even tile >= 2*span+2.
+  int tile = 2 * span + 2;
+  Torus2D torus(4 * tile);
+  auto run = solveLmLogStar(torus, machine, local::randomIds(torus.size(), 3),
+                            64);
+  ASSERT_TRUE(run.solved) << run.failure;
+  auto violations = listLmViolations(torus, machine, run.labels);
+  EXPECT_TRUE(violations.empty())
+      << violations.empty()
+      << (violations.empty() ? "" : violations[0].rule + ": " +
+                                        violations[0].description);
+  EXPECT_EQ(run.stepsUsed, table.steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, HaltingMachines, ::testing::Range(0, 6));
+
+TEST(LmConstruction, NonHaltingMachinesFailEveryBudget) {
+  Torus2D torus(48);
+  auto ids = local::randomIds(torus.size(), 3);
+  for (const Machine& machine : {rightRunner(), blinker()}) {
+    for (int budget : {1, 5, 20, 100}) {
+      auto run = solveLmLogStar(torus, machine, ids, budget);
+      EXPECT_FALSE(run.solved) << machine.name() << " budget " << budget;
+    }
+  }
+}
+
+TEST(LmConstruction, GlobalFallbackAlwaysWorks) {
+  Torus2D torus(36);
+  for (const Machine& machine : {rightRunner(), onesWriter(2)}) {
+    auto run = solveLmGlobal(torus);
+    ASSERT_TRUE(run.solved);
+    EXPECT_TRUE(verifyLm(torus, machine, run.labels));
+    EXPECT_EQ(run.rounds, 36);
+  }
+}
+
+TEST(LmVerifier, RejectsMixedFamilies) {
+  Torus2D torus(36);
+  auto machine = onesWriter(2);
+  auto run = solveLmGlobal(torus);
+  ASSERT_TRUE(run.solved);
+  run.labels[5].usesP1 = false;  // one node defects to P2
+  EXPECT_FALSE(verifyLm(torus, machine, run.labels));
+}
+
+TEST(LmVerifier, RejectsBrokenDiagonalColouring) {
+  auto machine = onesWriter(2);
+  Torus2D torus(48);
+  auto run = solveLmLogStar(torus, machine, local::randomIds(torus.size(), 3),
+                            16);
+  ASSERT_TRUE(run.solved);
+  // Flip one diagonal colour inside a quadrant.
+  for (int v = 0; v < torus.size(); ++v) {
+    if (run.labels[static_cast<std::size_t>(v)].type == QType::NE) {
+      run.labels[static_cast<std::size_t>(v)].diagColour ^= 1;
+      break;
+    }
+  }
+  EXPECT_FALSE(verifyLm(torus, machine, run.labels));
+}
+
+TEST(LmVerifier, RejectsTamperedExecutionTable) {
+  auto machine = onesWriter(2);
+  Torus2D torus(48);
+  auto run = solveLmLogStar(torus, machine, local::randomIds(torus.size(), 3),
+                            16);
+  ASSERT_TRUE(run.solved);
+  // Corrupt one tape symbol somewhere.
+  for (int v = 0; v < torus.size(); ++v) {
+    auto& label = run.labels[static_cast<std::size_t>(v)];
+    if (label.hasTape && label.headState < 0 && label.tapeSymbol == 1) {
+      label.tapeSymbol = 0;
+      break;
+    }
+  }
+  EXPECT_FALSE(verifyLm(torus, machine, run.labels));
+}
+
+TEST(LmVerifier, RejectsAnchorWithoutTable) {
+  auto machine = onesWriter(1);
+  Torus2D torus(48);
+  auto run = solveLmLogStar(torus, machine, local::randomIds(torus.size(), 3),
+                            16);
+  ASSERT_TRUE(run.solved);
+  for (int v = 0; v < torus.size(); ++v) {
+    auto& label = run.labels[static_cast<std::size_t>(v)];
+    if (label.type == QType::A) {
+      // Remove the whole table of this anchor.
+      auto table = runOnEmptyTape(machine, 16);
+      for (int j = 0; j < static_cast<int>(table.rows.size()); ++j) {
+        for (int i = 0; i < table.width; ++i) {
+          auto& cell =
+              run.labels[static_cast<std::size_t>(torus.shift(v, i, j))];
+          cell.hasTape = false;
+          cell.headState = -1;
+          cell.tapeSymbol = 0;
+        }
+      }
+      break;
+    }
+  }
+  EXPECT_FALSE(verifyLm(torus, machine, run.labels));
+}
+
+TEST(LmOracle, OneSidedHaltingDetection) {
+  EXPECT_TRUE(lmOracle(onesWriter(4), 10).halting);
+  EXPECT_EQ(lmOracle(onesWriter(4), 10).haltingSteps, 4);
+  EXPECT_FALSE(lmOracle(onesWriter(4), 3).halting);  // budget too small
+  EXPECT_FALSE(lmOracle(rightRunner(), 1000).halting);
+  EXPECT_FALSE(lmOracle(blinker(), 1000).halting);
+}
+
+}  // namespace
+}  // namespace lclgrid::turing
