@@ -1,14 +1,105 @@
 #include "cycle/cycle_lcl.hpp"
 
+#include <mutex>
 #include <stdexcept>
 
 namespace lclgrid::cycle {
+
+long long CycleWindowTable::windowCountFor(int sigma, int windowLength) {
+  if (sigma < 1 || windowLength < 1) return -1;
+  long long windows = 1;
+  for (int i = 0; i < windowLength; ++i) {
+    if (windows > kMaxWindows / sigma) return -1;
+    windows *= sigma;
+  }
+  return windows <= kMaxWindows ? windows : -1;
+}
+
+bool CycleWindowTable::compilable(int sigma, int windowLength) {
+  return windowCountFor(sigma, windowLength) > 0;
+}
+
+CycleWindowTable::CycleWindowTable(int sigma, int windowLength)
+    : sigma_(sigma), windowLength_(windowLength) {
+  if (!compilable(sigma, windowLength)) {
+    throw std::invalid_argument(
+        "CycleWindowTable: window relation too large to compile");
+  }
+  windowCount_ = 1;
+  for (int i = 0; i < windowLength; ++i) windowCount_ *= sigma;
+  words_.assign(static_cast<std::size_t>((windowCount_ + 63) >> 6), 0);
+}
+
+CycleWindowTable CycleWindowTable::compile(int sigma, int windowLength,
+                                           const WindowPredicate& ok) {
+  if (!ok) {
+    throw std::invalid_argument("CycleWindowTable::compile: missing predicate");
+  }
+  CycleWindowTable table(sigma, windowLength);
+  // Enumerate codes in counting order, maintaining the decoded window like
+  // a base-sigma odometer: one predicate call per window, no re-decoding.
+  std::vector<int> window(static_cast<std::size_t>(windowLength), 0);
+  for (long long code = 0; code < table.windowCount_; ++code) {
+    if (ok(window)) {
+      table.words_[static_cast<std::size_t>(code >> 6)] |=
+          std::uint64_t{1} << (static_cast<std::uint64_t>(code) & 63u);
+    }
+    for (int digit = 0; digit < windowLength; ++digit) {
+      int& value = window[static_cast<std::size_t>(digit)];
+      if (++value < sigma) break;
+      value = 0;
+    }
+  }
+  return table;
+}
+
+long long CycleWindowTable::encode(std::span<const int> window) const {
+  if (static_cast<int>(window.size()) != windowLength_) {
+    throw std::invalid_argument("CycleWindowTable: wrong window length");
+  }
+  long long code = 0;
+  for (int i = windowLength_ - 1; i >= 0; --i) {
+    int label = window[static_cast<std::size_t>(i)];
+    if (label < 0 || label >= sigma_) {
+      throw std::invalid_argument("CycleWindowTable: label out of range");
+    }
+    code = code * sigma_ + label;
+  }
+  return code;
+}
 
 CycleLcl::CycleLcl(std::string name, int sigma, int radius, WindowPredicate ok)
     : name_(std::move(name)), sigma_(sigma), radius_(radius), ok_(std::move(ok)) {
   if (sigma < 1) throw std::invalid_argument("CycleLcl: empty alphabet");
   if (radius < 1) throw std::invalid_argument("CycleLcl: radius must be >= 1");
   if (!ok_) throw std::invalid_argument("CycleLcl: missing predicate");
+}
+
+bool CycleLcl::hasWindowTable() const {
+  return CycleWindowTable::compilable(sigma_, windowLength());
+}
+
+std::shared_ptr<const CycleWindowTable> CycleLcl::tableIfCompiled() const {
+  return std::atomic_load_explicit(&table_, std::memory_order_acquire);
+}
+
+const CycleWindowTable& CycleLcl::windowTable() const {
+  // Lock-free once compiled; the mutex only serialises the one-time
+  // compile (it is global because CycleLcl must stay copyable and
+  // compiles are rare). table_ is only ever set once, so the returned
+  // reference stays valid for the problem's lifetime.
+  if (auto table = tableIfCompiled()) return *table;
+  static std::mutex compileMutex;
+  std::lock_guard<std::mutex> lock(compileMutex);
+  if (auto table = tableIfCompiled()) return *table;
+  if (!hasWindowTable()) {
+    throw std::logic_error("CycleLcl: '" + name_ +
+                           "' has no compiled window table");
+  }
+  auto compiled = std::make_shared<const CycleWindowTable>(
+      CycleWindowTable::compile(sigma_, windowLength(), ok_));
+  std::atomic_store_explicit(&table_, compiled, std::memory_order_release);
+  return *compiled;
 }
 
 bool CycleLcl::allowsWindow(const std::vector<int>& window) const {
@@ -18,14 +109,16 @@ bool CycleLcl::allowsWindow(const std::vector<int>& window) const {
   for (int label : window) {
     if (label < 0 || label >= sigma_) return false;
   }
+  // Use the compiled table when some batch consumer already paid for it;
+  // a lone query does not justify the compile.
+  if (auto table = tableIfCompiled()) {
+    return table->allowsCode(table->encode(window));
+  }
   return ok_(window);
 }
 
-int CycleLcl::firstViolation(const std::vector<int>& labels) const {
+int CycleLcl::firstViolationFunctional(const std::vector<int>& labels) const {
   const int n = static_cast<int>(labels.size());
-  if (n < windowLength()) {
-    throw std::invalid_argument("CycleLcl: cycle shorter than window");
-  }
   std::vector<int> window(static_cast<std::size_t>(windowLength()));
   for (int start = 0; start < n; ++start) {
     for (int offset = 0; offset < windowLength(); ++offset) {
@@ -33,6 +126,49 @@ int CycleLcl::firstViolation(const std::vector<int>& labels) const {
           labels[static_cast<std::size_t>((start + offset) % n)];
     }
     if (!allowsWindow(window)) return start;
+  }
+  return -1;
+}
+
+int CycleLcl::firstViolation(const std::vector<int>& labels) const {
+  const int n = static_cast<int>(labels.size());
+  if (n < windowLength()) {
+    throw std::invalid_argument("CycleLcl: cycle shorter than window");
+  }
+  bool inRange = true;
+  for (int label : labels) {
+    if (label < 0 || label >= sigma_) {
+      inRange = false;
+      break;
+    }
+  }
+  // The rolling-code path needs the compiled table; build it implicitly
+  // only when it is small (or already paid for) -- a lone verify of a
+  // large-alphabet problem must not trigger a sigma^(2r+1) compile.
+  // Out-of-range labels keep the seed's window-by-window semantics.
+  const long long windows =
+      CycleWindowTable::windowCountFor(sigma_, windowLength());
+  const bool tableWorthIt =
+      windows > 0 &&
+      (tableIfCompiled() != nullptr || windows <= kAutoCompileWindows);
+  if (!inRange || !tableWorthIt) {
+    return firstViolationFunctional(labels);
+  }
+
+  const CycleWindowTable& table = windowTable();
+  const int length = windowLength();
+  // Rolling base-sigma window code: position 0 is the least-significant
+  // digit, so advancing the window is one divide plus one multiply-add.
+  long long high = 1;
+  for (int i = 0; i < length - 1; ++i) high *= sigma_;
+  long long code = 0;
+  for (int i = length - 1; i >= 0; --i) {
+    code = code * sigma_ + labels[static_cast<std::size_t>(i % n)];
+  }
+  for (int start = 0; start < n; ++start) {
+    if (!table.allowsCode(code)) return start;
+    code = code / sigma_ +
+           high * labels[static_cast<std::size_t>((start + length) % n)];
   }
   return -1;
 }

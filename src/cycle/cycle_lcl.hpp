@@ -2,13 +2,74 @@
 // radius-r problem is specified by its alphabet and the set of feasible
 // (2r+1)-windows of consecutive output labels, read in the direction of the
 // cycle's orientation.
+//
+// Like the 2-dimensional GridLcl, the window predicate is a finite relation
+// -- sigma^(2r+1) bits -- and is compiled on demand into a packed truth
+// table (CycleWindowTable). Cycle verification then slides a base-sigma
+// window code along the labelling (one divide and one multiply-add per
+// step, one bit test per window), and the neighbourhood graph of Section 4
+// is read directly off the table's set bits.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace lclgrid::cycle {
+
+/// Dense truth table over all sigma^windowLength windows. Window codes are
+/// base-sigma integers with position 0 as the least-significant digit.
+class CycleWindowTable {
+ public:
+  /// Bit-count cap (32 MiB) for the packed table.
+  static constexpr long long kMaxWindows = 1LL << 28;
+
+  using WindowPredicate = std::function<bool(const std::vector<int>&)>;
+
+  static bool compilable(int sigma, int windowLength);
+  /// sigma^windowLength, or -1 when it exceeds kMaxWindows.
+  static long long windowCountFor(int sigma, int windowLength);
+  static CycleWindowTable compile(int sigma, int windowLength,
+                                  const WindowPredicate& ok);
+
+  int sigma() const { return sigma_; }
+  int windowLength() const { return windowLength_; }
+  long long windowCount() const { return windowCount_; }
+
+  bool allowsCode(long long code) const {
+    return (words_[static_cast<std::size_t>(code >> 6)] >>
+            (static_cast<std::uint64_t>(code) & 63u)) &
+           1u;
+  }
+
+  /// Base-sigma code of an explicit window (labels must be in range).
+  long long encode(std::span<const int> window) const;
+
+  /// Visits the code of every allowed window, in increasing order;
+  /// all-forbidden words are skipped 64 windows at a time.
+  template <typename F>
+  void forEachAllowed(F&& f) const {
+    for (std::size_t wordIndex = 0; wordIndex < words_.size(); ++wordIndex) {
+      std::uint64_t word = words_[wordIndex];
+      if (word == 0) continue;
+      const long long base = static_cast<long long>(wordIndex) << 6;
+      for (int bit = 0; bit < 64; ++bit) {
+        if ((word >> bit) & 1u) f(base + bit);
+      }
+    }
+  }
+
+ private:
+  CycleWindowTable(int sigma, int windowLength);
+
+  int sigma_;
+  int windowLength_;
+  long long windowCount_;
+  std::vector<std::uint64_t> words_;
+};
 
 class CycleLcl {
  public:
@@ -24,6 +85,18 @@ class CycleLcl {
 
   bool allowsWindow(const std::vector<int>& window) const;
 
+  /// True iff the window relation fits the compiled representation.
+  bool hasWindowTable() const;
+  /// The compiled window table (built lazily, cached, compile guarded by a
+  /// mutex); throws std::logic_error when hasWindowTable() is false.
+  const CycleWindowTable& windowTable() const;
+
+  /// Window relations up to this size are compiled implicitly by cycle
+  /// verification; larger ones keep the seed's window-by-window loop until
+  /// a consumer asks for windowTable() explicitly (a lone verify must not
+  /// pay a sigma^(2r+1) compile).
+  static constexpr long long kAutoCompileWindows = 1LL << 20;
+
   /// Verifies a full labelling of a directed cycle of length n >= window
   /// length: every cyclic window must be feasible.
   bool verifyCycle(const std::vector<int>& labels) const;
@@ -31,10 +104,19 @@ class CycleLcl {
   int firstViolation(const std::vector<int>& labels) const;
 
  private:
+  int firstViolationFunctional(const std::vector<int>& labels) const;
+  /// Atomic snapshot of the lazily compiled table (null until compiled).
+  std::shared_ptr<const CycleWindowTable> tableIfCompiled() const;
+
   std::string name_;
   int sigma_;
   int radius_;
   WindowPredicate ok_;
+  // Lazily compiled truth table; shared so CycleLcl copies stay cheap and
+  // the compile is paid once per problem. Accessed via the atomic
+  // shared_ptr free functions: set once under the compile mutex, read
+  // lock-free everywhere else.
+  mutable std::shared_ptr<const CycleWindowTable> table_;
 };
 
 // --- the problem library of Figure 2 (plus friends) ------------------------

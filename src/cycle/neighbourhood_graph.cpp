@@ -25,19 +25,31 @@ NeighbourhoodGraph::NeighbourhoodGraph(const CycleLcl& lcl)
   adjacency_.assign(static_cast<std::size_t>(nodes), {});
 
   // Every feasible (2r+1)-window u1..u_{2r+1} yields the edge
-  // (u1..u_{2r}) -> (u2..u_{2r+1}).
-  const long long windows = intPow(sigma_, seqLength_ + 1);
-  std::vector<int> window(static_cast<std::size_t>(seqLength_ + 1));
-  for (long long code = 0; code < windows; ++code) {
-    long long rest = code;
-    for (int i = 0; i <= seqLength_; ++i) {
-      window[static_cast<std::size_t>(i)] = static_cast<int>(rest % sigma_);
-      rest /= sigma_;
+  // (u1..u_{2r}) -> (u2..u_{2r+1}). Window codes are base-sigma with
+  // position 0 least significant, so the edge endpoints are the low and
+  // high 2r digits of the code.
+  if (lcl.hasWindowTable()) {
+    // Read the edges straight off the compiled truth table: all-forbidden
+    // stretches are skipped 64 windows at a time.
+    lcl.windowTable().forEachAllowed([&](long long code) {
+      int from = static_cast<int>(code % nodes);
+      int to = static_cast<int>(code / sigma_);
+      adjacency_[static_cast<std::size_t>(from)].push_back(to);
+    });
+  } else {
+    const long long windows = intPow(sigma_, seqLength_ + 1);
+    std::vector<int> window(static_cast<std::size_t>(seqLength_ + 1));
+    for (long long code = 0; code < windows; ++code) {
+      long long rest = code;
+      for (int i = 0; i <= seqLength_; ++i) {
+        window[static_cast<std::size_t>(i)] = static_cast<int>(rest % sigma_);
+        rest /= sigma_;
+      }
+      if (!lcl.allowsWindow(window)) continue;
+      int from = windowToNode(window, 0);
+      int to = windowToNode(window, 1);
+      adjacency_[static_cast<std::size_t>(from)].push_back(to);
     }
-    if (!lcl.allowsWindow(window)) continue;
-    int from = windowToNode(window, 0);
-    int to = windowToNode(window, 1);
-    adjacency_[static_cast<std::size_t>(from)].push_back(to);
   }
 }
 

@@ -6,14 +6,27 @@
 
 namespace lclgrid::problems {
 
+// Every combinator has two construction paths: when the operands carry
+// compiled tables (the norm), the result's table is composed directly --
+// block-diagonal union, row gathers and bit permutations -- with no
+// predicate in the loop. Problems beyond the table limits keep the seed's
+// closure-capture construction.
+
 GridLcl disjointUnion(const GridLcl& p, const GridLcl& q) {
   const int sigmaP = p.sigma();
   const int sigmaQ = q.sigma();
+  const std::string name = p.name() + " u " + q.name();
+
+  if (p.hasTable() && q.hasTable() &&
+      LclTable::compilable(sigmaP + sigmaQ, kDepAll)) {
+    return GridLcl(name, LclTable::disjointUnion(p.table(), q.table()));
+  }
+
   // Capture predicate copies by value: the combinator must not dangle.
   GridLcl pCopy = p;
   GridLcl qCopy = q;
-  GridLcl result(
-      p.name() + " u " + q.name(), sigmaP + sigmaQ, kDepAll,
+  return GridLcl(
+      name, sigmaP + sigmaQ, kDepAll,
       [pCopy, qCopy, sigmaP](int c, int n, int e, int s, int w) {
         bool cIsP = c < sigmaP;
         // Family consistency: all five labels on the same side.
@@ -24,25 +37,31 @@ GridLcl disjointUnion(const GridLcl& p, const GridLcl& q) {
         return qCopy.allows(c - sigmaP, n - sigmaP, e - sigmaP, s - sigmaP,
                             w - sigmaP);
       });
-  return result;
 }
 
 GridLcl relabel(const GridLcl& p, const std::vector<int>& permutation) {
   if (static_cast<int>(permutation.size()) != p.sigma()) {
     throw std::invalid_argument("relabel: permutation arity mismatch");
   }
-  // Invert the permutation: the new predicate sees new labels and must map
+  // Invert the permutation: the new problem sees new labels and must map
   // them back before consulting the original.
   std::vector<int> inverse(permutation.size(), -1);
   for (std::size_t old = 0; old < permutation.size(); ++old) {
     int fresh = permutation[old];
-    if (fresh < 0 || fresh >= p.sigma() || inverse[static_cast<std::size_t>(fresh)] != -1) {
+    if (fresh < 0 || fresh >= p.sigma() ||
+        inverse[static_cast<std::size_t>(fresh)] != -1) {
       throw std::invalid_argument("relabel: not a bijection");
     }
     inverse[static_cast<std::size_t>(fresh)] = static_cast<int>(old);
   }
+  const std::string name = p.name() + "[relabelled]";
+
+  if (p.hasTable()) {
+    return GridLcl(name, LclTable::remap(p.table(), inverse));
+  }
+
   GridLcl pCopy = p;
-  return GridLcl(p.name() + "[relabelled]", p.sigma(), p.deps(),
+  return GridLcl(name, p.sigma(), p.deps(),
                  [pCopy, inverse](int c, int n, int e, int s, int w) {
                    auto back = [&inverse](int label) {
                      return inverse[static_cast<std::size_t>(label)];
@@ -57,11 +76,17 @@ GridLcl flipOrientation(const GridLcl& orientationProblem) {
     throw std::invalid_argument(
         "flipOrientation: expects the 4-label orientation encoding");
   }
-  GridLcl pCopy = orientationProblem;
+  const std::string name = orientationProblem.name() + "[flipped]";
   // Flipping every edge complements both direction bits of every label.
   auto flip = [](int label) { return label ^ 3; };
-  return GridLcl(orientationProblem.name() + "[flipped]", 4,
-                 orientationProblem.deps(),
+
+  if (orientationProblem.hasTable()) {
+    std::vector<int> toOld = {flip(0), flip(1), flip(2), flip(3)};
+    return GridLcl(name, LclTable::remap(orientationProblem.table(), toOld));
+  }
+
+  GridLcl pCopy = orientationProblem;
+  return GridLcl(name, 4, orientationProblem.deps(),
                  [pCopy, flip](int c, int n, int e, int s, int w) {
                    return pCopy.allows(flip(c), flip(n), flip(e), flip(s),
                                        flip(w));
@@ -79,9 +104,14 @@ GridLcl restrictLabels(const GridLcl& p, const std::vector<bool>& keep) {
   if (toOld.empty()) {
     throw std::invalid_argument("restrictLabels: empty alphabet");
   }
+  const std::string name = p.name() + "[restricted]";
+
+  if (p.hasTable()) {
+    return GridLcl(name, LclTable::remap(p.table(), toOld));
+  }
+
   GridLcl pCopy = p;
-  return GridLcl(p.name() + "[restricted]", static_cast<int>(toOld.size()),
-                 p.deps(),
+  return GridLcl(name, static_cast<int>(toOld.size()), p.deps(),
                  [pCopy, toOld](int c, int n, int e, int s, int w) {
                    auto old = [&toOld](int label) {
                      return toOld[static_cast<std::size_t>(label)];

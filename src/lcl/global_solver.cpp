@@ -17,29 +17,40 @@ std::vector<sat::DomainVar> buildTorusCsp(const Torus2D& torus,
     label[static_cast<std::size_t>(v)] = sat::makeDomainVar(solver, sigma);
   }
 
-  // Enumerate assignments of the dependent neighbour positions only;
-  // positions outside the dependency mask cannot influence the predicate.
+  // One blocking clause per forbidden constraint-table row and node.
+  // Positions outside the dependency mask cannot influence the predicate;
+  // the compiled table already squeezes them out, so the clause generator
+  // only walks rows that actually exist (and skips fully-allowed rows a
+  // word at a time). Problems too large to compile fall back to the
+  // sigma^5 predicate enumeration the seed used.
   const std::uint8_t deps = lcl.deps();
   const bool useN = deps & kDepN, useE = deps & kDepE;
   const bool useS = deps & kDepS, useW = deps & kDepW;
+  std::vector<int> clause;
   for (int v = 0; v < torus.size(); ++v) {
     const int nN = torus.step(v, Dir::North);
     const int nE = torus.step(v, Dir::East);
     const int nS = torus.step(v, Dir::South);
     const int nW = torus.step(v, Dir::West);
-    for (int c = 0; c < sigma; ++c) {
-      for (int n = 0; n < (useN ? sigma : 1); ++n) {
-        for (int e = 0; e < (useE ? sigma : 1); ++e) {
-          for (int s = 0; s < (useS ? sigma : 1); ++s) {
-            for (int w = 0; w < (useW ? sigma : 1); ++w) {
-              if (lcl.allows(c, n, e, s, w)) continue;
-              std::vector<int> clause;
-              clause.push_back(label[static_cast<std::size_t>(v)].isNot(c));
-              if (useN) clause.push_back(label[static_cast<std::size_t>(nN)].isNot(n));
-              if (useE) clause.push_back(label[static_cast<std::size_t>(nE)].isNot(e));
-              if (useS) clause.push_back(label[static_cast<std::size_t>(nS)].isNot(s));
-              if (useW) clause.push_back(label[static_cast<std::size_t>(nW)].isNot(w));
-              solver.addClause(clause);
+    auto blockTuple = [&](int c, int n, int e, int s, int w) {
+      clause.clear();
+      clause.push_back(label[static_cast<std::size_t>(v)].isNot(c));
+      if (useN) clause.push_back(label[static_cast<std::size_t>(nN)].isNot(n));
+      if (useE) clause.push_back(label[static_cast<std::size_t>(nE)].isNot(e));
+      if (useS) clause.push_back(label[static_cast<std::size_t>(nS)].isNot(s));
+      if (useW) clause.push_back(label[static_cast<std::size_t>(nW)].isNot(w));
+      solver.addClause(clause);
+    };
+    if (lcl.hasTable()) {
+      lcl.table().forEachForbidden(blockTuple);
+    } else {
+      for (int c = 0; c < sigma; ++c) {
+        for (int n = 0; n < (useN ? sigma : 1); ++n) {
+          for (int e = 0; e < (useE ? sigma : 1); ++e) {
+            for (int s = 0; s < (useS ? sigma : 1); ++s) {
+              for (int w = 0; w < (useW ? sigma : 1); ++w) {
+                if (!lcl.allows(c, n, e, s, w)) blockTuple(c, n, e, s, w);
+              }
             }
           }
         }

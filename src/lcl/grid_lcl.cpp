@@ -1,6 +1,7 @@
 #include "lcl/grid_lcl.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace lclgrid {
 
@@ -8,6 +9,33 @@ GridLcl::GridLcl(std::string name, int sigma, std::uint8_t deps, Predicate ok)
     : name_(std::move(name)), sigma_(sigma), deps_(deps), ok_(std::move(ok)) {
   if (sigma < 1) throw std::invalid_argument("GridLcl: empty alphabet");
   if (!ok_) throw std::invalid_argument("GridLcl: missing predicate");
+  if (LclTable::compilable(sigma_, deps_)) {
+    table_ = std::make_shared<const LclTable>(
+        LclTable::compile(sigma_, deps_, ok_));
+  }
+}
+
+GridLcl::GridLcl(std::string name, LclTable table)
+    : name_(std::move(name)),
+      sigma_(table.sigma()),
+      deps_(table.deps()),
+      table_(std::make_shared<const LclTable>(std::move(table))) {
+  ok_ = [t = table_](int c, int n, int e, int s, int w) {
+    auto in = [&t](int label) {
+      return static_cast<unsigned>(label) <
+             static_cast<unsigned>(t->sigma());
+    };
+    if (!in(c) || !in(n) || !in(e) || !in(s) || !in(w)) return false;
+    return t->allows(c, n, e, s, w);
+  };
+}
+
+const LclTable& GridLcl::table() const {
+  if (!table_) {
+    throw std::logic_error("GridLcl: '" + name_ +
+                           "' has no compiled table (alphabet too large)");
+  }
+  return *table_;
 }
 
 void GridLcl::setLabelNames(std::vector<std::string> names) {
@@ -20,12 +48,13 @@ void GridLcl::setLabelNames(std::vector<std::string> names) {
 std::string GridLcl::labelName(int label) const {
   if (label < 0 || label >= sigma_) return "?";
   if (labelNames_.empty()) return std::to_string(label);
-  return labelNames_[label];
+  return labelNames_[static_cast<std::size_t>(label)];
 }
 
 bool GridLcl::hasTrivialSolution() const { return trivialLabel() >= 0; }
 
 int GridLcl::trivialLabel() const {
+  if (table_) return table_->trivialLabel();
   for (int label = 0; label < sigma_; ++label) {
     if (allows(label, label, label, label, label)) return label;
   }
@@ -64,12 +93,15 @@ void GridLcl::computeProjections() const {
     for (int n = 0; n < s && edgeDecomposable_; ++n) {
       for (int e = 0; e < s && edgeDecomposable_; ++e) {
         for (int so = 0; so < s && edgeDecomposable_; ++so) {
-          for (int w = 0; w < s && edgeDecomposable_; ++w) {
+          for (int w = 0; w < s; ++w) {
             bool byPairs = hPairs_[static_cast<std::size_t>(w) * s + c] &&
                            hPairs_[static_cast<std::size_t>(c) * s + e] &&
                            vPairs_[static_cast<std::size_t>(so) * s + c] &&
                            vPairs_[static_cast<std::size_t>(c) * s + n];
-            if (byPairs != allows(c, n, e, so, w)) edgeDecomposable_ = false;
+            if (byPairs != allows(c, n, e, so, w)) {
+              edgeDecomposable_ = false;
+              break;
+            }
           }
         }
       }
@@ -78,16 +110,19 @@ void GridLcl::computeProjections() const {
 }
 
 bool GridLcl::isEdgeDecomposable() const {
+  if (table_) return table_->edgeDecomposable();
   computeProjections();
   return edgeDecomposable_;
 }
 
 bool GridLcl::horizontalOk(int west, int east) const {
+  if (table_) return table_->horizontalOk(west, east);
   computeProjections();
   return hPairs_[static_cast<std::size_t>(west) * sigma_ + east] != 0;
 }
 
 bool GridLcl::verticalOk(int south, int north) const {
+  if (table_) return table_->verticalOk(south, north);
   computeProjections();
   return vPairs_[static_cast<std::size_t>(south) * sigma_ + north] != 0;
 }

@@ -5,6 +5,13 @@
 // neighbours (north, east, south, west -- the orientation is part of the
 // model, so the predicate may distinguish directions).
 //
+// The constructor predicate is an ergonomic front end only: on construction
+// it is compiled once into an LclTable (a dense bit-packed truth table, see
+// lcl/lcl_table.hpp), and every query -- allows(), the projections, the
+// triviality probe -- is a table lookup from then on. Alphabets too large
+// for a table (sigma > 64 or an oversized dependent row space) keep the
+// predicate path and the seed's lazy projection computation.
+//
 // Problems whose natural radius is larger (e.g. the Turing-machine problem
 // L_M of Section 6) get bespoke verifiers; per the paper this only shifts
 // running times by additive constants.
@@ -12,8 +19,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "lcl/lcl_table.hpp"
 
 namespace lclgrid {
 
@@ -28,19 +38,44 @@ enum DepBit : std::uint8_t {
   kDepAll = kDepN | kDepE | kDepS | kDepW,
 };
 
+// GridLcl hands its deps mask straight to LclTable, which reads it through
+// the free-standing kTableDep* constants; the two definitions must agree.
+static_assert(kDepN == kTableDepN && kDepE == kTableDepE &&
+              kDepS == kTableDepS && kDepW == kTableDepW);
+
 class GridLcl {
  public:
   using Predicate = std::function<bool(int c, int n, int e, int s, int w)>;
 
   GridLcl(std::string name, int sigma, std::uint8_t deps, Predicate ok);
+  /// Table-first construction (combinators compose tables directly); the
+  /// predicate() accessor is backed by table lookups.
+  GridLcl(std::string name, LclTable table);
 
   const std::string& name() const { return name_; }
   int sigma() const { return sigma_; }
   std::uint8_t deps() const { return deps_; }
 
+  /// Single constraint query. In-range arguments on a compiled problem are
+  /// one indexed load and a bit test; out-of-range arguments (or an
+  /// uncompiled problem) fall back to the raw predicate, preserving the
+  /// predicate's own semantics for garbage labels.
   bool allows(int c, int n, int e, int s, int w) const {
+    if (table_ && inRange(c) && inRange(n) && inRange(e) && inRange(s) &&
+        inRange(w)) {
+      return table_->allows(c, n, e, s, w);
+    }
     return ok_(c, n, e, s, w);
   }
+
+  /// True iff the problem compiled to a table (always, for every problem in
+  /// the library; only exotic alphabets beyond 64 labels stay functional).
+  bool hasTable() const { return table_ != nullptr; }
+  /// The compiled table; throws std::logic_error when hasTable() is false.
+  const LclTable& table() const;
+  /// The original constructor predicate (used by property tests and as the
+  /// reference implementation for uncompiled problems).
+  const Predicate& predicate() const { return ok_; }
 
   /// Optional human-readable label names (size sigma if set).
   void setLabelNames(std::vector<std::string> names);
@@ -54,7 +89,6 @@ class GridLcl {
 
   /// True iff the predicate factorises into horizontal and vertical pair
   /// constraints: ok(c,n,e,s,w) == H(w,c) && H(c,e) && V(s,c) && V(c,n).
-  /// Checked by exhaustive enumeration (alphabets are small).
   bool isEdgeDecomposable() const;
 
   /// Pair projections used when isEdgeDecomposable() holds:
@@ -64,15 +98,20 @@ class GridLcl {
   bool verticalOk(int south, int north) const;
 
  private:
+  bool inRange(int label) const {
+    return static_cast<unsigned>(label) < static_cast<unsigned>(sigma_);
+  }
   void computeProjections() const;
 
   std::string name_;
   int sigma_;
   std::uint8_t deps_;
   Predicate ok_;
+  std::shared_ptr<const LclTable> table_;  // shared: copies stay cheap
   std::vector<std::string> labelNames_;
 
-  // Lazily computed decomposability data.
+  // Lazily computed decomposability data -- the fallback path for problems
+  // whose alphabet exceeds the table limits.
   mutable bool projectionsComputed_ = false;
   mutable bool edgeDecomposable_ = false;
   mutable std::vector<std::uint8_t> hPairs_;  // sigma x sigma

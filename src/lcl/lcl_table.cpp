@@ -1,0 +1,243 @@
+#include "lcl/lcl_table.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace lclgrid {
+
+namespace {
+
+std::size_t depRowCount(int sigma, std::uint8_t deps) {
+  std::size_t rows = 1;
+  for (std::uint8_t bit :
+       {kTableDepN, kTableDepE, kTableDepS, kTableDepW}) {
+    if (deps & bit) rows *= static_cast<std::size_t>(sigma);
+  }
+  return rows;
+}
+
+}  // namespace
+
+bool LclTable::compilable(int sigma, std::uint8_t deps) {
+  if (sigma < 1 || sigma > kMaxSigma) return false;
+  return depRowCount(sigma, deps) <= kMaxRows;
+}
+
+LclTable::LclTable(int sigma, std::uint8_t deps)
+    : sigma_(sigma), deps_(deps) {
+  if (!compilable(sigma, deps)) {
+    throw std::invalid_argument("LclTable: relation too large to compile");
+  }
+  fullRow_ = sigma == 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << sigma) - 1;
+  std::size_t stride = 1;
+  strideW_ = useW() ? stride : 0;
+  if (useW()) stride *= static_cast<std::size_t>(sigma);
+  strideS_ = useS() ? stride : 0;
+  if (useS()) stride *= static_cast<std::size_t>(sigma);
+  strideE_ = useE() ? stride : 0;
+  if (useE()) stride *= static_cast<std::size_t>(sigma);
+  strideN_ = useN() ? stride : 0;
+  if (useN()) stride *= static_cast<std::size_t>(sigma);
+  rows_.assign(stride, 0);
+}
+
+LclTable LclTable::compile(int sigma, std::uint8_t deps,
+                           const Predicate& ok) {
+  if (!ok) throw std::invalid_argument("LclTable::compile: missing predicate");
+  LclTable table(sigma, deps);
+  // The deps mask is trusted, exactly as the seed's CNF generators trusted
+  // it: irrelevant positions are evaluated at 0 only. The property tests
+  // cross-check table lookups against the raw predicate over all of
+  // sigma^5, which catches dishonest masks.
+  const int dN = table.useN() ? sigma : 1;
+  const int dE = table.useE() ? sigma : 1;
+  const int dS = table.useS() ? sigma : 1;
+  const int dW = table.useW() ? sigma : 1;
+  std::size_t index = 0;
+  for (int n = 0; n < dN; ++n) {
+    for (int e = 0; e < dE; ++e) {
+      for (int s = 0; s < dS; ++s) {
+        for (int w = 0; w < dW; ++w) {
+          std::uint64_t row = 0;
+          for (int c = 0; c < sigma; ++c) {
+            if (ok(c, n, e, s, w)) row |= std::uint64_t{1} << c;
+          }
+          table.rows_[index++] = row;
+        }
+      }
+    }
+  }
+  table.finalise();
+  return table;
+}
+
+LclTable LclTable::disjointUnion(const LclTable& p, const LclTable& q) {
+  const int sigmaP = p.sigma_;
+  const int sigma = sigmaP + q.sigma_;
+  // Family consistency makes every position relevant in the union.
+  const std::uint8_t deps =
+      kTableDepN | kTableDepE | kTableDepS | kTableDepW;
+  LclTable table(sigma, deps);
+  auto family = [sigmaP](int label) { return label < sigmaP; };
+  std::size_t index = 0;
+  for (int n = 0; n < sigma; ++n) {
+    for (int e = 0; e < sigma; ++e) {
+      for (int s = 0; s < sigma; ++s) {
+        for (int w = 0; w < sigma; ++w) {
+          const bool nP = family(n);
+          std::uint64_t row = 0;
+          if (nP == family(e) && nP == family(s) && nP == family(w)) {
+            if (nP) {
+              row = p.centreMask(n, e, s, w);
+            } else {
+              row = q.centreMask(n - sigmaP, e - sigmaP, s - sigmaP,
+                                 w - sigmaP)
+                    << sigmaP;
+            }
+          }
+          table.rows_[index++] = row;
+        }
+      }
+    }
+  }
+  table.finalise();
+  return table;
+}
+
+LclTable LclTable::remap(const LclTable& p, std::span<const int> toOld) {
+  const int sigma = static_cast<int>(toOld.size());
+  for (int old : toOld) {
+    if (old < 0 || old >= p.sigma_) {
+      throw std::invalid_argument("LclTable::remap: label out of range");
+    }
+  }
+  LclTable table(sigma, p.deps_);
+  const int dN = table.useN() ? sigma : 1;
+  const int dE = table.useE() ? sigma : 1;
+  const int dS = table.useS() ? sigma : 1;
+  const int dW = table.useW() ? sigma : 1;
+  std::size_t index = 0;
+  for (int n = 0; n < dN; ++n) {
+    for (int e = 0; e < dE; ++e) {
+      for (int s = 0; s < dS; ++s) {
+        for (int w = 0; w < dW; ++w) {
+          const std::uint64_t oldRow =
+              p.centreMask(toOld[static_cast<std::size_t>(n)],
+                           toOld[static_cast<std::size_t>(e)],
+                           toOld[static_cast<std::size_t>(s)],
+                           toOld[static_cast<std::size_t>(w)]);
+          std::uint64_t row = 0;
+          for (int c = 0; c < sigma; ++c) {
+            row |= ((oldRow >> toOld[static_cast<std::size_t>(c)]) &
+                    std::uint64_t{1})
+                   << c;
+          }
+          table.rows_[index++] = row;
+        }
+      }
+    }
+  }
+  table.finalise();
+  return table;
+}
+
+long long LclTable::forbiddenRowCount() const {
+  long long forbidden = 0;
+  for (std::uint64_t row : rows_) {
+    forbidden += sigma_ - std::popcount(row & fullRow_);
+  }
+  return forbidden;
+}
+
+void LclTable::finalise() {
+  const int s = sigma_;
+
+  trivialLabel_ = -1;
+  for (int c = 0; c < s; ++c) {
+    if (allows(c, c, c, c, c)) {
+      trivialLabel_ = c;
+      break;
+    }
+  }
+
+  // Maximal candidate pair projections, as in the seed's lazy
+  // computeProjections but driven by table rows: a pair participates if it
+  // occurs in some allowed cross, viewed from either of the two nodes it
+  // touches. Positions outside the dependency mask occur with every value
+  // in allowed crosses, so they are expanded in bulk after the row sweep.
+  hPairs_.assign(static_cast<std::size_t>(s) * s, 0);
+  vPairs_.assign(static_cast<std::size_t>(s) * s, 0);
+  std::vector<std::uint8_t> occurs(static_cast<std::size_t>(s), 0);
+  visitRows([&](std::uint64_t row, int n, int e, int so, int w) {
+    if (row == 0) return;
+    for (int c = 0; c < s; ++c) {
+      if (!((row >> c) & 1u)) continue;
+      occurs[static_cast<std::size_t>(c)] = 1;
+      if (useW()) hPairs_[static_cast<std::size_t>(w) * s + c] = 1;
+      if (useE()) hPairs_[static_cast<std::size_t>(c) * s + e] = 1;
+      if (useS()) vPairs_[static_cast<std::size_t>(so) * s + c] = 1;
+      if (useN()) vPairs_[static_cast<std::size_t>(c) * s + n] = 1;
+    }
+  });
+  for (int c = 0; c < s; ++c) {
+    if (!occurs[static_cast<std::size_t>(c)]) continue;
+    for (int other = 0; other < s; ++other) {
+      if (!useW()) hPairs_[static_cast<std::size_t>(other) * s + c] = 1;
+      if (!useE()) hPairs_[static_cast<std::size_t>(c) * s + other] = 1;
+      if (!useS()) vPairs_[static_cast<std::size_t>(other) * s + c] = 1;
+      if (!useN()) vPairs_[static_cast<std::size_t>(c) * s + other] = 1;
+    }
+  }
+
+  // Decomposability: the pair projections reproduce the relation exactly.
+  // Bitset form: one candidate-centre mask per pair constraint, compared
+  // against the table row for each of the sigma^4 neighbourhoods.
+  std::vector<std::uint64_t> fromWest(static_cast<std::size_t>(s), 0);
+  std::vector<std::uint64_t> toEast(static_cast<std::size_t>(s), 0);
+  std::vector<std::uint64_t> fromSouth(static_cast<std::size_t>(s), 0);
+  std::vector<std::uint64_t> toNorth(static_cast<std::size_t>(s), 0);
+  for (int a = 0; a < s; ++a) {
+    for (int c = 0; c < s; ++c) {
+      if (hPairs_[static_cast<std::size_t>(a) * s + c]) {
+        fromWest[static_cast<std::size_t>(a)] |= std::uint64_t{1} << c;
+      }
+      if (hPairs_[static_cast<std::size_t>(c) * s + a]) {
+        toEast[static_cast<std::size_t>(a)] |= std::uint64_t{1} << c;
+      }
+      if (vPairs_[static_cast<std::size_t>(a) * s + c]) {
+        fromSouth[static_cast<std::size_t>(a)] |= std::uint64_t{1} << c;
+      }
+      if (vPairs_[static_cast<std::size_t>(c) * s + a]) {
+        toNorth[static_cast<std::size_t>(a)] |= std::uint64_t{1} << c;
+      }
+    }
+  }
+  edgeDecomposable_ = true;
+  for (int n = 0; n < s && edgeDecomposable_; ++n) {
+    const std::uint64_t maskN = toNorth[static_cast<std::size_t>(n)];
+    const std::size_t baseN = static_cast<std::size_t>(n) * strideN_;
+    for (int e = 0; e < s && edgeDecomposable_; ++e) {
+      const std::uint64_t maskNE =
+          maskN & toEast[static_cast<std::size_t>(e)];
+      const std::size_t baseNE = baseN + static_cast<std::size_t>(e) * strideE_;
+      for (int so = 0; so < s && edgeDecomposable_; ++so) {
+        const std::uint64_t maskNES =
+            maskNE & fromSouth[static_cast<std::size_t>(so)];
+        const std::size_t baseNES =
+            baseNE + static_cast<std::size_t>(so) * strideS_;
+        for (int w = 0; w < s; ++w) {
+          const std::uint64_t byPairs =
+              maskNES & fromWest[static_cast<std::size_t>(w)];
+          if (byPairs !=
+              rows_[baseNES + static_cast<std::size_t>(w) * strideW_]) {
+            edgeDecomposable_ = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lclgrid

@@ -1,0 +1,174 @@
+// Compiled constraint tables for radius-1 grid LCLs.
+//
+// A radius-1 node constraint over alphabet [sigma] is a finite relation on
+// sigma^5 tuples (c, n, e, s, w), so instead of re-evaluating a
+// std::function per node the whole relation is compiled once into a dense
+// truth table: one uint64_t "row" per assignment of the *dependent*
+// neighbour positions (DepBit-irrelevant positions are squeezed out via
+// zero strides), with bit c of a row set iff centre label c is allowed
+// under that neighbourhood. A feasibility check is then a single indexed
+// load plus a bit test, and CNF generators / combinators iterate or
+// compose rows directly instead of quantifying sigma^5 through a closure.
+//
+// Derived data computed at compile time:
+//  * per-direction pair projections hPairs/vPairs and the
+//    edge-decomposability verdict (Section 7's neighbourhood-graph split),
+//  * the trivial (constant-labelling) label if one exists,
+//  * per-neighbourhood candidate masks -- the rows themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace lclgrid {
+
+// Same bit meanings as DepBit in grid_lcl.hpp; redeclared here to keep this
+// header free-standing (grid_lcl.hpp includes us, not vice versa).
+inline constexpr std::uint8_t kTableDepN = 1 << 0;
+inline constexpr std::uint8_t kTableDepE = 1 << 1;
+inline constexpr std::uint8_t kTableDepS = 1 << 2;
+inline constexpr std::uint8_t kTableDepW = 1 << 3;
+
+class LclTable {
+ public:
+  /// Centre labels are bits of a uint64_t row, so alphabets are capped.
+  static constexpr int kMaxSigma = 64;
+  /// Row-count cap (64 MiB of rows) guarding degenerate dense compiles.
+  static constexpr std::size_t kMaxRows = std::size_t{1} << 23;
+
+  using Predicate = std::function<bool(int c, int n, int e, int s, int w)>;
+
+  /// True iff a (sigma, deps) relation fits the compiled representation.
+  static bool compilable(int sigma, std::uint8_t deps);
+
+  /// Evaluates `ok` once per dependent tuple and packs the truth table.
+  static LclTable compile(int sigma, std::uint8_t deps, const Predicate& ok);
+
+  /// Block-diagonal composition: labels [0, p.sigma()) behave as p, labels
+  /// [p.sigma(), p.sigma()+q.sigma()) as q, and mixed-family
+  /// neighbourhoods allow no centre label at all (the Section 6 disjoint
+  /// union). Requires p.sigma()+q.sigma() <= kMaxSigma.
+  static LclTable disjointUnion(const LclTable& p, const LclTable& q);
+
+  /// Alphabet pushforward: `toOld[fresh]` is the p-label that the fresh
+  /// label stands for. Covers relabel (bijection), orientation flips and
+  /// label restriction; rows are gathered and their bits permuted, no
+  /// predicate involved.
+  static LclTable remap(const LclTable& p, std::span<const int> toOld);
+
+  int sigma() const { return sigma_; }
+  std::uint8_t deps() const { return deps_; }
+  /// Low-sigma_ bits set: the "every centre label allowed" row.
+  std::uint64_t fullRow() const { return fullRow_; }
+
+  /// Row index of a neighbourhood; irrelevant positions have stride 0 and
+  /// are ignored. All arguments must lie in [0, sigma).
+  std::size_t rowIndex(int n, int e, int s, int w) const {
+    return static_cast<std::size_t>(n) * strideN_ +
+           static_cast<std::size_t>(e) * strideE_ +
+           static_cast<std::size_t>(s) * strideS_ +
+           static_cast<std::size_t>(w) * strideW_;
+  }
+
+  /// Bitmask of allowed centre labels for a neighbourhood (the hot path).
+  std::uint64_t centreMask(int n, int e, int s, int w) const {
+    return rows_[rowIndex(n, e, s, w)];
+  }
+
+  bool allows(int c, int n, int e, int s, int w) const {
+    return (centreMask(n, e, s, w) >> c) & 1u;
+  }
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Visits every forbidden tuple once, with DepBit-irrelevant neighbour
+  /// positions pinned to 0 (mirroring the CNF generators' convention).
+  /// Fully-allowed rows are skipped a word at a time.
+  template <typename F>
+  void forEachForbidden(F&& f) const {
+    visitRows([&](std::uint64_t row, int n, int e, int s, int w) {
+      if (row == fullRow_) return;
+      for (int c = 0; c < sigma_; ++c) {
+        if (!((row >> c) & 1u)) f(c, n, e, s, w);
+      }
+    });
+  }
+
+  /// Visits every allowed tuple once (irrelevant positions pinned to 0).
+  template <typename F>
+  void forEachAllowed(F&& f) const {
+    visitRows([&](std::uint64_t row, int n, int e, int s, int w) {
+      if (row == 0) return;
+      for (int c = 0; c < sigma_; ++c) {
+        if ((row >> c) & 1u) f(c, n, e, s, w);
+      }
+    });
+  }
+
+  /// Number of forbidden tuples over the dependent positions only.
+  long long forbiddenRowCount() const;
+
+  /// The label of a feasible constant labelling, or -1 (Section 7's O(1)
+  /// characterisation on tori).
+  int trivialLabel() const { return trivialLabel_; }
+
+  /// True iff the relation factorises into horizontal and vertical pair
+  /// constraints: ok(c,n,e,s,w) == H(w,c) && H(c,e) && V(s,c) && V(c,n).
+  bool edgeDecomposable() const { return edgeDecomposable_; }
+  /// Pair projections (maximal candidates; exact iff edgeDecomposable()).
+  bool horizontalOk(int west, int east) const {
+    return hPairs_[static_cast<std::size_t>(west) * sigma_ + east] != 0;
+  }
+  bool verticalOk(int south, int north) const {
+    return vPairs_[static_cast<std::size_t>(south) * sigma_ + north] != 0;
+  }
+
+ private:
+  LclTable(int sigma, std::uint8_t deps);
+
+  bool useN() const { return deps_ & kTableDepN; }
+  bool useE() const { return deps_ & kTableDepE; }
+  bool useS() const { return deps_ & kTableDepS; }
+  bool useW() const { return deps_ & kTableDepW; }
+
+  /// Calls f(row, n, e, s, w) for every stored row, in storage order, with
+  /// irrelevant positions pinned to 0.
+  template <typename F>
+  void visitRows(F&& f) const {
+    const int dN = useN() ? sigma_ : 1;
+    const int dE = useE() ? sigma_ : 1;
+    const int dS = useS() ? sigma_ : 1;
+    const int dW = useW() ? sigma_ : 1;
+    std::size_t index = 0;
+    for (int n = 0; n < dN; ++n) {
+      for (int e = 0; e < dE; ++e) {
+        for (int s = 0; s < dS; ++s) {
+          for (int w = 0; w < dW; ++w) {
+            f(rows_[index++], n, e, s, w);
+          }
+        }
+      }
+    }
+  }
+
+  /// Computes projections, decomposability and the trivial label from the
+  /// packed rows (called at the end of every construction path).
+  void finalise();
+
+  int sigma_;
+  std::uint8_t deps_;
+  std::uint64_t fullRow_ = 0;
+  std::size_t strideN_ = 0, strideE_ = 0, strideS_ = 0, strideW_ = 0;
+  std::vector<std::uint64_t> rows_;
+
+  // Derived at compile time.
+  std::vector<std::uint8_t> hPairs_;  // sigma x sigma, [west * sigma + east]
+  std::vector<std::uint8_t> vPairs_;  // sigma x sigma, [south * sigma + north]
+  bool edgeDecomposable_ = false;
+  int trivialLabel_ = -1;
+};
+
+}  // namespace lclgrid

@@ -5,6 +5,96 @@
 
 namespace lclgrid {
 
+namespace {
+
+bool allLabelsInRange(int sigma, std::span<const int> labels) {
+  for (int label : labels) {
+    if (static_cast<unsigned>(label) >= static_cast<unsigned>(sigma)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Table-driven kernel over one labelling, laid out row-major (node y*n+x).
+/// Requires every label in [0, sigma). Neighbour lookups use row pointers
+/// instead of Torus2D::step, so the inner loop is a handful of loads, one
+/// table row fetch and a bit test per node.
+template <bool StopAtFirst>
+std::int64_t tableViolations(const LclTable& table, int n, const int* labels) {
+  std::int64_t bad = 0;
+  for (int y = 0; y < n; ++y) {
+    const int* row = labels + static_cast<std::size_t>(y) * n;
+    const int* rowNorth =
+        labels + static_cast<std::size_t>(y + 1 == n ? 0 : y + 1) * n;
+    const int* rowSouth =
+        labels + static_cast<std::size_t>(y == 0 ? n - 1 : y - 1) * n;
+    for (int x = 0; x < n; ++x) {
+      const int east = row[x + 1 == n ? 0 : x + 1];
+      const int west = row[x == 0 ? n - 1 : x - 1];
+      const std::uint64_t mask =
+          table.centreMask(rowNorth[x], east, rowSouth[x], west);
+      if (!((mask >> row[x]) & 1u)) {
+        if constexpr (StopAtFirst) return 1;
+        ++bad;
+      }
+    }
+  }
+  return bad;
+}
+
+/// Fallback for uncompiled problems or out-of-alphabet labels: mirrors the
+/// seed's per-node loop. An out-of-alphabet centre label is a violation;
+/// neighbourhoods are otherwise judged by GridLcl::allows (which routes
+/// garbage neighbour labels to the raw predicate, as the seed did).
+template <bool StopAtFirst>
+std::int64_t functionalViolations(const Torus2D& torus, const GridLcl& lcl,
+                                  std::span<const int> labels) {
+  std::int64_t bad = 0;
+  for (int v = 0; v < torus.size(); ++v) {
+    const int c = labels[static_cast<std::size_t>(v)];
+    bool violated;
+    if (c < 0 || c >= lcl.sigma()) {
+      violated = true;
+    } else {
+      const int n = labels[static_cast<std::size_t>(torus.step(v, Dir::North))];
+      const int e = labels[static_cast<std::size_t>(torus.step(v, Dir::East))];
+      const int s = labels[static_cast<std::size_t>(torus.step(v, Dir::South))];
+      const int w = labels[static_cast<std::size_t>(torus.step(v, Dir::West))];
+      violated = !lcl.allows(c, n, e, s, w);
+    }
+    if (violated) {
+      if constexpr (StopAtFirst) return 1;
+      ++bad;
+    }
+  }
+  return bad;
+}
+
+template <bool StopAtFirst>
+std::int64_t violationsKernel(const Torus2D& torus, const GridLcl& lcl,
+                              std::span<const int> labels) {
+  if (static_cast<int>(labels.size()) != torus.size()) {
+    throw std::invalid_argument("verifier: labelling size mismatch");
+  }
+  if (lcl.hasTable() && allLabelsInRange(lcl.sigma(), labels)) {
+    return tableViolations<StopAtFirst>(lcl.table(), torus.n(), labels.data());
+  }
+  return functionalViolations<StopAtFirst>(torus, lcl, labels);
+}
+
+std::size_t batchCount(const Torus2D& torus,
+                       std::span<const int> labelsBatch) {
+  const std::size_t stride = static_cast<std::size_t>(torus.size());
+  if (stride == 0 || labelsBatch.size() % stride != 0) {
+    throw std::invalid_argument(
+        "verifier: batch size is not a multiple of torus.size()");
+  }
+  return labelsBatch.size() / stride;
+}
+
+}  // namespace
+
 std::vector<Violation> listViolations(const Torus2D& torus, const GridLcl& lcl,
                                       std::span<const int> labels,
                                       int maxReported) {
@@ -39,7 +129,55 @@ std::vector<Violation> listViolations(const Torus2D& torus, const GridLcl& lcl,
 
 bool verify(const Torus2D& torus, const GridLcl& lcl,
             std::span<const int> labels) {
-  return listViolations(torus, lcl, labels, 1).empty();
+  return violationsKernel<true>(torus, lcl, labels) == 0;
+}
+
+std::int64_t countViolations(const Torus2D& torus, const GridLcl& lcl,
+                             std::span<const int> labels) {
+  return violationsKernel<false>(torus, lcl, labels);
+}
+
+std::vector<std::uint8_t> verifyBatch(const Torus2D& torus, const GridLcl& lcl,
+                                      std::span<const int> labelsBatch) {
+  const std::size_t count = batchCount(torus, labelsBatch);
+  const std::size_t stride = static_cast<std::size_t>(torus.size());
+  std::vector<std::uint8_t> feasible(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    feasible[i] = violationsKernel<true>(
+                      torus, lcl, labelsBatch.subspan(i * stride, stride)) == 0
+                      ? 1
+                      : 0;
+  }
+  return feasible;
+}
+
+std::vector<std::int64_t> countViolationsBatch(
+    const Torus2D& torus, const GridLcl& lcl,
+    std::span<const int> labelsBatch) {
+  const std::size_t count = batchCount(torus, labelsBatch);
+  const std::size_t stride = static_cast<std::size_t>(torus.size());
+  std::vector<std::int64_t> violations(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    violations[i] = violationsKernel<false>(
+        torus, lcl, labelsBatch.subspan(i * stride, stride));
+  }
+  return violations;
+}
+
+std::vector<std::uint8_t> verifyBatch(
+    const GridLcl& lcl, std::span<const LabellingInstance> instances) {
+  std::vector<std::uint8_t> feasible(instances.size(), 0);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const LabellingInstance& instance = instances[i];
+    if (instance.torus == nullptr) {
+      throw std::invalid_argument("verifyBatch: null torus in instance");
+    }
+    feasible[i] =
+        violationsKernel<true>(*instance.torus, lcl, instance.labels) == 0
+            ? 1
+            : 0;
+  }
+  return feasible;
 }
 
 std::string renderLabelling(const Torus2D& torus, const GridLcl& lcl,

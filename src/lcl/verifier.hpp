@@ -1,8 +1,18 @@
 // Verification of LCL labellings on tori: the locally checkable predicate is
 // evaluated at every node. Used as the ground truth behind every algorithm
 // and every synthesis result in the library.
+//
+// Two tiers:
+//  * diagnostics (listViolations / renderLabelling) -- per-node reports with
+//    coordinates and label names, for tests and debugging;
+//  * the batched engine (verify / countViolations / verifyBatch /
+//    countViolationsBatch) -- compiled-table lookups over flat row buffers,
+//    no per-node allocation, amortised over many labellings or many tori in
+//    one call. This is the hot path behind the randomised lower-bound
+//    experiments and the perf benches.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,6 +35,33 @@ std::vector<Violation> listViolations(const Torus2D& torus, const GridLcl& lcl,
 /// True iff the labelling is a feasible solution of the LCL on the torus.
 bool verify(const Torus2D& torus, const GridLcl& lcl,
             std::span<const int> labels);
+
+/// Number of violated node constraints (nodes carrying out-of-alphabet
+/// labels count as violated).
+std::int64_t countViolations(const Torus2D& torus, const GridLcl& lcl,
+                             std::span<const int> labels);
+
+/// Batched verification of many labellings of the same torus, stored
+/// back-to-back (labelsBatch.size() must be a multiple of torus.size()).
+/// Element i of the result is 1 iff labelling i is feasible.
+std::vector<std::uint8_t> verifyBatch(const Torus2D& torus, const GridLcl& lcl,
+                                      std::span<const int> labelsBatch);
+
+/// Per-labelling violation counts for a back-to-back batch.
+std::vector<std::int64_t> countViolationsBatch(
+    const Torus2D& torus, const GridLcl& lcl,
+    std::span<const int> labelsBatch);
+
+/// A labelling of some torus; lets one batch call span heterogeneous
+/// instance sizes (many tori in one pass).
+struct LabellingInstance {
+  const Torus2D* torus = nullptr;
+  std::span<const int> labels;
+};
+
+/// Batched verification across heterogeneous tori.
+std::vector<std::uint8_t> verifyBatch(
+    const GridLcl& lcl, std::span<const LabellingInstance> instances);
 
 /// Renders a labelling as an ASCII grid (row y = n-1 on top, matching the
 /// north-up orientation), using the problem's label names.

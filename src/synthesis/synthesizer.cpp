@@ -97,33 +97,44 @@ SynthesisAttempt synthesizeForShape(const GridLcl& lcl, int k,
       }
     }
   } else {
+    // One blocking clause per forbidden table row and tile cross; the
+    // compiled table walks only the dependent positions (fully-allowed
+    // rows are skipped a word at a time). Uncompiled problems fall back
+    // to the seed's sigma^5 predicate enumeration.
     const std::uint8_t deps = lcl.deps();
     const bool useN = deps & kDepN, useE = deps & kDepE;
     const bool useS = deps & kDepS, useW = deps & kDepW;
+    std::vector<int> clause;
     for (const TileCross& cross : constraints.crosses) {
-      for (int c = 0; c < sigma; ++c) {
-        for (int n = 0; n < (useN ? sigma : 1); ++n) {
-          for (int e = 0; e < (useE ? sigma : 1); ++e) {
-            for (int s = 0; s < (useS ? sigma : 1); ++s) {
-              for (int w = 0; w < (useW ? sigma : 1); ++w) {
-                if (lcl.allows(c, n, e, s, w)) continue;
-                std::vector<int> clause;
-                clause.push_back(
-                    label[static_cast<std::size_t>(cross.centre)].isNot(c));
-                if (useN)
-                  clause.push_back(
-                      label[static_cast<std::size_t>(cross.north)].isNot(n));
-                if (useE)
-                  clause.push_back(
-                      label[static_cast<std::size_t>(cross.east)].isNot(e));
-                if (useS)
-                  clause.push_back(
-                      label[static_cast<std::size_t>(cross.south)].isNot(s));
-                if (useW)
-                  clause.push_back(
-                      label[static_cast<std::size_t>(cross.west)].isNot(w));
-                solver.addClause(clause);
-                ++clauses;
+      auto blockTuple = [&](int c, int n, int e, int s, int w) {
+        clause.clear();
+        clause.push_back(
+            label[static_cast<std::size_t>(cross.centre)].isNot(c));
+        if (useN)
+          clause.push_back(
+              label[static_cast<std::size_t>(cross.north)].isNot(n));
+        if (useE)
+          clause.push_back(
+              label[static_cast<std::size_t>(cross.east)].isNot(e));
+        if (useS)
+          clause.push_back(
+              label[static_cast<std::size_t>(cross.south)].isNot(s));
+        if (useW)
+          clause.push_back(
+              label[static_cast<std::size_t>(cross.west)].isNot(w));
+        solver.addClause(clause);
+        ++clauses;
+      };
+      if (lcl.hasTable()) {
+        lcl.table().forEachForbidden(blockTuple);
+      } else {
+        for (int c = 0; c < sigma; ++c) {
+          for (int n = 0; n < (useN ? sigma : 1); ++n) {
+            for (int e = 0; e < (useE ? sigma : 1); ++e) {
+              for (int s = 0; s < (useS ? sigma : 1); ++s) {
+                for (int w = 0; w < (useW ? sigma : 1); ++w) {
+                  if (!lcl.allows(c, n, e, s, w)) blockTuple(c, n, e, s, w);
+                }
               }
             }
           }

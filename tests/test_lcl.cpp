@@ -201,7 +201,9 @@ TEST(GlobalSolver, TwoColouringFeasibilityByParity) {
     Torus2D torus(n);
     auto result = solveGlobally(torus, lcl);
     EXPECT_EQ(result.feasible, n % 2 == 0) << n;
-    if (result.feasible) EXPECT_TRUE(verify(torus, lcl, result.labels));
+    if (result.feasible) {
+      EXPECT_TRUE(verify(torus, lcl, result.labels));
+    }
   }
 }
 
@@ -266,7 +268,9 @@ TEST_P(OrientationFeasibility, OneThreeOrientationParity) {
   auto lcl = problems::orientation({1, 3});
   auto result = solveGlobally(torus, lcl);
   EXPECT_EQ(result.feasible, expectFeasible);
-  if (result.feasible) EXPECT_TRUE(verify(torus, lcl, result.labels));
+  if (result.feasible) {
+    EXPECT_TRUE(verify(torus, lcl, result.labels));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -78,7 +78,9 @@ TEST_P(RowInvariantOnSatColourings, Lemma12RowsAgreeAndLemma14Parity) {
         << "row invariant differs at row " << r << " (n=" << n << ")";
   }
   long long s = rows[0];
-  if (n % 2 == 1) EXPECT_EQ(((s % 2) + 2) % 2, 1) << "s(n) must be odd";
+  if (n % 2 == 1) {
+    EXPECT_EQ(((s % 2) + 2) % 2, 1) << "s(n) must be odd";
+  }
   EXPECT_LE(std::abs(s), n / 2);
 }
 
