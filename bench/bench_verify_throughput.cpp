@@ -1,22 +1,32 @@
-// Verification throughput: compiled-table batched engine vs. the seed's
-// functional path (std::function predicate + Torus2D::step per node) on a
-// 512 x 512 torus. Reports verified nodes/sec for both paths and their
-// ratio, as JSON for the perf trajectory.
+// Verification throughput: the compiled-table batched engine (serial and
+// sharded across the engine's work-stealing pool) vs. the seed's functional
+// path (std::function predicate + Torus2D::step per node). Reports verified
+// nodes/sec per path and the speedup ratios, as JSON in the repo-wide
+// {name, config, results[]} schema for the perf trajectory.
 //
-// The functional baseline below is a faithful transcription of the seed's
+// Usage: bench_verify_throughput [n] [min_seconds] [--threads N]
+//   n            torus side (default 512)
+//   min_seconds  measurement window per path (default 1.0)
+//   --threads N  lanes for the sharded paths (default: hardware concurrency)
+//
+// The functional baseline is a faithful transcription of the seed's
 // listViolations inner loop; the table path is lcl::countViolations, whose
 // kernel walks flat row buffers and does one table-row load plus a bit test
-// per node.
+// per node; the sharded path runs the same kernel split by grid rows with
+// per-shard accumulators -- its violation count must be bit-identical.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "engine/thread_pool.hpp"
 #include "grid/torus2d.hpp"
 #include "lcl/problems.hpp"
 #include "lcl/verifier.hpp"
+#include "support/json.hpp"
 
 using namespace lclgrid;
 
@@ -51,6 +61,7 @@ double secondsSince(std::chrono::steady_clock::time_point start) {
 }
 
 struct PathResult {
+  std::string path;
   double seconds = 0.0;
   double nodesPerSec = 0.0;
   long long passes = 0;
@@ -58,8 +69,10 @@ struct PathResult {
 };
 
 template <typename Body>
-PathResult measure(std::int64_t nodesPerPass, double minSeconds, Body&& body) {
+PathResult measure(std::string path, std::int64_t nodesPerPass,
+                   double minSeconds, Body&& body) {
   PathResult result;
+  result.path = std::move(path);
   // Warm-up pass (page in the labelling and the table).
   result.violations = body();
   auto start = std::chrono::steady_clock::now();
@@ -76,11 +89,32 @@ PathResult measure(std::int64_t nodesPerPass, double minSeconds, Body&& body) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 512;
-  const double minSeconds = argc > 2 ? std::atof(argv[2]) : 1.0;
+  int n = 512;
+  double minSeconds = 1.0;
+  int threads = engine::defaultThreads();
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (positional == 0) {
+      n = std::atoi(argv[i]);
+      ++positional;
+    } else if (positional == 1) {
+      minSeconds = std::atof(argv[i]);
+      ++positional;
+    }
+  }
+  if (n < 1 || threads < 1) {
+    std::fprintf(stderr,
+                 "usage: %s [n] [min_seconds] [--threads N] (n, N >= 1)\n",
+                 argv[0]);
+    return 2;
+  }
 
   Torus2D torus(n);
   GridLcl lcl = problems::vertexColouring(4);
+  engine::ThreadPool pool(threads);
+  engine::EngineOptions engineOptions{.threads = threads, .pool = &pool};
 
   // Feasible diagonal 4-colouring when 4 | n; the full grid is scanned
   // either way, so feasibility only affects the violation checksum.
@@ -90,53 +124,76 @@ int main(int argc, char** argv) {
   }
 
   const std::int64_t nodes = torus.size();
-  PathResult functional =
-      measure(nodes, minSeconds, [&]() {
-        return functionalCountViolations(torus, lcl.predicate(), lcl.sigma(),
-                                         labels);
-      });
-  PathResult table = measure(nodes, minSeconds, [&]() {
+  std::vector<PathResult> results;
+  results.push_back(measure("functional", nodes, minSeconds, [&]() {
+    return functionalCountViolations(torus, lcl.predicate(), lcl.sigma(),
+                                     labels);
+  }));
+  results.push_back(measure("table", nodes, minSeconds, [&]() {
     return countViolations(torus, lcl, labels);
-  });
+  }));
+  results.push_back(measure("table_sharded", nodes, minSeconds, [&]() {
+    return countViolations(torus, lcl, labels, engineOptions);
+  }));
 
-  // Batched path: 8 labellings back-to-back through one call.
+  // Batched paths: 8 labellings back-to-back through one call.
   const int batchSize = 8;
   std::vector<int> batch;
-  batch.reserve(labels.size() * batchSize);
+  batch.reserve(labels.size() * static_cast<std::size_t>(batchSize));
   for (int i = 0; i < batchSize; ++i) {
     batch.insert(batch.end(), labels.begin(), labels.end());
   }
-  PathResult batched =
-      measure(nodes * batchSize, minSeconds, [&]() -> std::int64_t {
-        auto counts = countViolationsBatch(torus, lcl, batch);
-        std::int64_t total = 0;
-        for (auto count : counts) total += count;
-        return total / batchSize;
-      });
+  auto sumCounts = [&](const std::vector<std::int64_t>& counts) {
+    std::int64_t total = 0;
+    for (auto count : counts) total += count;
+    return total / batchSize;
+  };
+  results.push_back(
+      measure("batched", nodes * batchSize, minSeconds, [&]() {
+        return sumCounts(countViolationsBatch(torus, lcl, batch));
+      }));
+  results.push_back(
+      measure("batched_sharded", nodes * batchSize, minSeconds, [&]() {
+        return sumCounts(countViolationsBatch(torus, lcl, batch, engineOptions));
+      }));
 
-  const bool checksumOk = functional.violations == table.violations &&
-                          table.violations == batched.violations;
-  const double speedup = table.nodesPerSec / functional.nodesPerSec;
-  const double batchedSpeedup = batched.nodesPerSec / functional.nodesPerSec;
+  bool checksumOk = true;
+  for (const PathResult& result : results) {
+    checksumOk = checksumOk && result.violations == results[0].violations;
+  }
+  const double functionalRate = results[0].nodesPerSec;
+  const double tableRate = results[1].nodesPerSec;
 
-  std::printf(
-      "{\n"
-      "  \"bench\": \"verify_throughput\",\n"
-      "  \"problem\": \"%s\",\n"
-      "  \"torus_n\": %d,\n"
-      "  \"nodes\": %lld,\n"
-      "  \"violations\": %lld,\n"
-      "  \"checksum_ok\": %s,\n"
-      "  \"functional_nodes_per_sec\": %.3e,\n"
-      "  \"table_nodes_per_sec\": %.3e,\n"
-      "  \"batched_nodes_per_sec\": %.3e,\n"
-      "  \"table_speedup\": %.2f,\n"
-      "  \"batched_speedup\": %.2f\n"
-      "}\n",
-      lcl.name().c_str(), n, static_cast<long long>(nodes),
-      static_cast<long long>(table.violations), checksumOk ? "true" : "false",
-      functional.nodesPerSec, table.nodesPerSec, batched.nodesPerSec, speedup,
-      batchedSpeedup);
+  support::JsonWriter json;
+  json.beginObject();
+  json.key("name").value("verify_throughput");
+  json.key("config").beginObject();
+  json.key("problem").value(lcl.name());
+  json.key("torus_n").value(n);
+  json.key("nodes").value(static_cast<std::int64_t>(nodes));
+  json.key("batch").value(batchSize);
+  json.key("threads").value(threads);
+  json.key("min_seconds").value(minSeconds);
+  json.endObject();
+  json.key("results").beginArray();
+  for (const PathResult& result : results) {
+    json.beginObject();
+    json.key("path").value(result.path);
+    json.key("nodes_per_sec").value(result.nodesPerSec);
+    json.key("passes").value(result.passes);
+    json.key("seconds").value(result.seconds);
+    json.key("violations").value(result.violations);
+    json.key("speedup_vs_functional")
+        .value(result.nodesPerSec / functionalRate);
+    if (result.path == "table_sharded") {
+      json.key("speedup_vs_table").value(result.nodesPerSec / tableRate);
+    }
+    json.endObject();
+  }
+  json.endArray();
+  json.key("checksum_ok").value(checksumOk);
+  json.endObject();
+  std::printf("%s\n", json.str().c_str());
 
   if (!checksumOk) {
     std::fprintf(stderr, "FAIL: paths disagree on the violation count\n");

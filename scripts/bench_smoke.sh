@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench binary at tiny sizes so the benches cannot bit-rot:
+# CI executes this after the test suite. Each binary must appear in the `run`
+# list below -- the coverage check at the end fails the script if a new
+# bench/*.cpp was added without registering smoke arguments here.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+declare -A covered
+
+run() {
+  local name="$1"
+  shift
+  covered["$name"]=1
+  if [ ! -x "$build/$name" ]; then
+    echo "-- $name: not built, skipping"
+    return 0
+  fi
+  echo "== $name $*"
+  "$build/$name" "$@" > /dev/null
+}
+
+# JSON benches (repo schema {name, config, results[]}).
+run bench_verify_throughput 64 0.05 --threads 2
+run bench_family_sweep --smoke --threads 2
+
+# Google Benchmark binaries (skipped automatically if the library was
+# unavailable at configure time).
+run bench_sat --benchmark_min_time=0.01
+run bench_simulator --benchmark_min_time=0.01
+
+# Figure / table reproductions. The slow ones take --smoke.
+run fig2_cycle_classification
+run fig_colouring_rounds
+run fig_corner_coordination
+run fig_edge_colouring_rounds
+run fig_normal_form
+run fig_randomised
+run tab_edge_colouring --smoke
+run tab_orientation --smoke
+run tab_orientation_invariant
+run tab_qsum_invariant
+run tab_synthesis_tiles
+run tab_turing_lcl --smoke
+run tab_vertex_colouring
+
+# Coverage check: every bench source must be registered above. The glob is
+# anchored to the script's repo so the check works from any cwd.
+missing=0
+for source in "$repo_root"/bench/*.cpp; do
+  name="$(basename "$source" .cpp)"
+  if [ -z "${covered[$name]:-}" ]; then
+    echo "ERROR: $name has no smoke entry in scripts/bench_smoke.sh"
+    missing=1
+  fi
+done
+exit "$missing"

@@ -1,6 +1,8 @@
 #include "algorithms/orientations.hpp"
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "lcl/global_solver.hpp"
@@ -20,19 +22,37 @@ bool containsAll(const std::set<int>& x, std::initializer_list<int> needed) {
 }
 
 /// Cache of synthesized rules per X (synthesis is deterministic; k = 1
-/// suffices for both log* cases, per Lemma 23).
+/// suffices for both log* cases, per Lemma 23). The map mutex is held only
+/// to look up / insert the per-X cell; the synthesis itself runs under the
+/// cell's once_flag, so concurrent engine-pool sweeps neither race, nor
+/// synthesize the same X twice, nor serialise *different* X values behind
+/// one deep SAT call. Cells are heap-owned shared_ptrs, so references stay
+/// valid across later map insertions.
 const synthesis::SynthesizedRule& synthesizedRuleFor(const std::set<int>& x) {
-  static std::map<std::set<int>, synthesis::SynthesizedRule> cache;
-  auto it = cache.find(x);
-  if (it != cache.end()) return it->second;
-  auto lcl = problems::orientation(x);
-  synthesis::SynthesisOptions options;
-  options.maxK = 2;
-  auto result = synthesis::synthesize(lcl, options);
-  if (!result.success) {
-    throw std::logic_error("orientation synthesis failed for a log* case");
+  struct Cell {
+    std::once_flag once;
+    synthesis::SynthesizedRule rule;
+  };
+  static std::mutex cacheMutex;
+  static std::map<std::set<int>, std::shared_ptr<Cell>> cache;
+  std::shared_ptr<Cell> cell;
+  {
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    auto& slot = cache[x];
+    if (!slot) slot = std::make_shared<Cell>();
+    cell = slot;
   }
-  return cache.emplace(x, std::move(*result.rule)).first->second;
+  std::call_once(cell->once, [&]() {
+    auto lcl = problems::orientation(x);
+    synthesis::SynthesisOptions options;
+    options.maxK = 2;
+    auto result = synthesis::synthesize(lcl, options);
+    if (!result.success) {
+      throw std::logic_error("orientation synthesis failed for a log* case");
+    }
+    cell->rule = std::move(*result.rule);
+  });
+  return cell->rule;
 }
 
 }  // namespace

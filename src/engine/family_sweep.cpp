@@ -1,0 +1,139 @@
+#include "engine/family_sweep.hpp"
+
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "support/json.hpp"
+
+namespace lclgrid::engine {
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+SweepReport sweepFamily(std::span<const GridLcl> family,
+                        const SweepOptions& options) {
+  const auto sweepStart = std::chrono::steady_clock::now();
+  SweepReport report;
+  report.entries.resize(family.size());
+
+  // Resolve the cache structure up front (deterministically, on the
+  // caller): each family index is either the designated runner for its
+  // fingerprint or a reader of an earlier run. Uncompiled problems get no
+  // fingerprint and always run.
+  std::vector<std::size_t> runOf(family.size());
+  std::vector<std::size_t> jobs;  // indices that run the oracle
+  std::unordered_map<std::uint64_t, std::size_t> firstWithFingerprint;
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    SweepEntry& entry = report.entries[i];
+    entry.problem = family[i].name();
+    if (options.cacheByFingerprint && family[i].hasTable()) {
+      entry.fingerprint = family[i].table().fingerprint();
+      auto [it, inserted] =
+          firstWithFingerprint.try_emplace(entry.fingerprint, i);
+      // Exact content check behind the 64-bit hash: a fingerprint
+      // collision between different relations must run fresh, never alias
+      // another problem's report.
+      if (!inserted &&
+          family[i].table().sameContent(family[it->second].table())) {
+        runOf[i] = it->second;
+        entry.cacheHit = true;
+        continue;
+      }
+    } else if (family[i].hasTable()) {
+      entry.fingerprint = family[i].table().fingerprint();
+    }
+    runOf[i] = i;
+    jobs.push_back(i);
+  }
+  report.oracleRuns = static_cast<int>(jobs.size());
+  report.cacheHits = static_cast<int>(family.size() - jobs.size());
+
+  // One oracle run per unique problem, one job per pool task. grain 1: a
+  // single slow classification (a deep synthesis loop) must not serialise
+  // its chunk-mates, and the work-stealing deques rebalance the rest.
+  PoolHandle handle(options.engine);
+  report.threads = handle.pool().lanes();
+  handle.pool().parallelFor(
+      0, static_cast<std::int64_t>(jobs.size()), /*grain=*/1,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t j = begin; j < end; ++j) {
+          const std::size_t i = jobs[static_cast<std::size_t>(j)];
+          const auto start = std::chrono::steady_clock::now();
+          report.entries[i].report =
+              std::make_shared<const synthesis::OracleReport>(
+                  synthesis::classifyOnGrid(family[i], options.oracle));
+          report.entries[i].seconds = secondsSince(start);
+        }
+      });
+
+  // Fan cached reports out to their readers.
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    if (runOf[i] != i) {
+      report.entries[i].report = report.entries[runOf[i]].report;
+    }
+  }
+  report.seconds = secondsSince(sweepStart);
+  return report;
+}
+
+std::string sweepReportJson(const SweepReport& report,
+                            const SweepOptions& options) {
+  support::JsonWriter json;
+  json.beginObject();
+  json.key("name").value("family_sweep");
+  json.key("config").beginObject();
+  json.key("threads").value(report.threads);
+  json.key("problems").value(static_cast<int>(report.entries.size()));
+  json.key("cache_by_fingerprint").value(options.cacheByFingerprint);
+  json.key("max_k").value(options.oracle.synthesis.maxK);
+  json.key("probe_sizes").beginArray();
+  for (int n : options.oracle.probeSizes) json.value(n);
+  json.endArray();
+  json.endObject();
+
+  json.key("results").beginArray();
+  for (const SweepEntry& entry : report.entries) {
+    json.beginObject();
+    json.key("problem").value(entry.problem);
+    json.key("fingerprint")
+        .value(support::JsonWriter::hex(entry.fingerprint));
+    json.key("cache_hit").value(entry.cacheHit);
+    json.key("seconds").value(entry.seconds);
+    if (entry.report) {
+      json.key("complexity")
+          .value(synthesis::gridComplexityName(entry.report->complexity));
+      json.key("trivial_label").value(entry.report->trivialLabel);
+      json.key("synthesis_attempts")
+          .value(static_cast<int>(entry.report->attempts.size()));
+      if (entry.report->rule) {
+        json.key("rule_k").value(entry.report->rule->k);
+      }
+      json.key("feasibility").beginArray();
+      for (const auto& [n, feasible] : entry.report->feasibility) {
+        json.beginObject();
+        json.key("n").value(n);
+        json.key("feasible").value(feasible);
+        json.endObject();
+      }
+      json.endArray();
+    }
+    json.endObject();
+  }
+  json.endArray();
+
+  json.key("oracle_runs").value(report.oracleRuns);
+  json.key("cache_hits").value(report.cacheHits);
+  json.key("seconds").value(report.seconds);
+  json.endObject();
+  return json.str();
+}
+
+}  // namespace lclgrid::engine

@@ -1,0 +1,69 @@
+// The concurrent family sweep driver: runs the Section 7 oracle pipeline
+// (synthesis probes + classifyOnGrid) over a whole problem family on the
+// work-stealing pool, one problem per task. This is the "multi-instance
+// workload" of the ROADMAP -- the machine-classification loop behind
+// surveys like Chang's (arXiv:2311.06726), where whole families of LCLs are
+// classified mechanically.
+//
+// Results are cached by LclTable content fingerprint: a family that
+// contains the same relation twice (e.g. the same problem under two names,
+// or a combinator composition that collapses to a known table) runs the
+// oracle once and fans the report out. Problems without a compiled table
+// (alphabets beyond the table limits) bypass the cache.
+//
+// Determinism: entries come back in family order, and unique problems are
+// classified independently (classifyOnGrid takes no shared mutable state,
+// see synthesis/oracle.hpp), so the report content is independent of
+// scheduling and thread count; only per-entry wall times vary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/thread_pool.hpp"
+#include "lcl/grid_lcl.hpp"
+#include "synthesis/oracle.hpp"
+
+namespace lclgrid::engine {
+
+struct SweepOptions {
+  synthesis::OracleOptions oracle;
+  EngineOptions engine;
+  /// Reuse oracle reports across equal-fingerprint problems (default on;
+  /// turn off to force one oracle run per family member, e.g. for timing).
+  bool cacheByFingerprint = true;
+};
+
+struct SweepEntry {
+  std::string problem;            // GridLcl::name()
+  std::uint64_t fingerprint = 0;  // 0 iff the problem has no compiled table
+  /// True iff this entry reused the report of an earlier equal-fingerprint
+  /// family member instead of running the oracle.
+  bool cacheHit = false;
+  double seconds = 0.0;  // oracle wall time; 0 for cache hits
+  std::shared_ptr<const synthesis::OracleReport> report;
+};
+
+struct SweepReport {
+  std::vector<SweepEntry> entries;  // in family order
+  int oracleRuns = 0;
+  int cacheHits = 0;
+  int threads = 1;
+  double seconds = 0.0;  // wall time of the whole sweep
+};
+
+/// Classifies every problem of the family; unique fingerprints run
+/// concurrently on the pool selected by options.engine.
+SweepReport sweepFamily(std::span<const GridLcl> family,
+                        const SweepOptions& options = {});
+
+/// Structured report in the repo-wide JSON schema
+/// {name, config, results[]}; results carry one object per family member
+/// (problem, fingerprint, complexity, cache_hit, probe outcomes, timings).
+std::string sweepReportJson(const SweepReport& report,
+                            const SweepOptions& options);
+
+}  // namespace lclgrid::engine

@@ -1,0 +1,224 @@
+// The sharded parallel verifier: the threaded overloads declared in
+// lcl/verifier.hpp. A single labelling is sharded by grid rows (the flat
+// row-pointer kernel is allocation-free and data-parallel); batches run one
+// labelling per chunk. Per-shard violation counts are combined in shard
+// order, so every result is bit-identical to the serial engine -- the
+// determinism tests pin this down for 1/2/8 threads on every registry
+// problem.
+#include <atomic>
+#include <stdexcept>
+
+#include "engine/thread_pool.hpp"
+#include "lcl/verifier.hpp"
+
+namespace lclgrid {
+
+namespace {
+
+using verifier_detail::allLabelsInRange;
+using verifier_detail::functionalViolationRange;
+using verifier_detail::tableViolationRows;
+
+/// EngineOptions::grain counts grid rows for a single labelling; the
+/// functional fallback shards by node index, so the row grain is scaled by
+/// the row length to keep the chunk payload (and hence the scheduling
+/// overhead) identical on both paths.
+std::int64_t nodeGrain(std::int64_t rowGrain, const Torus2D& torus) {
+  return rowGrain > 0 ? rowGrain * torus.n() : 0;
+}
+
+/// Sharded table-path precondition check. The serial allLabelsInRange scan
+/// would sit in front of the parallel kernel as a serial O(N) pass (a
+/// material Amdahl fraction -- the kernel itself is only a few loads per
+/// node), so the scan is sharded too, with chunks after the first
+/// out-of-range find returning immediately.
+bool shardedAllInRange(engine::ThreadPool& pool, std::int64_t grain,
+                       const Torus2D& torus, int sigma,
+                       std::span<const int> labels) {
+  std::atomic<bool> outOfRange{false};
+  pool.parallelFor(
+      0, static_cast<std::int64_t>(labels.size()), nodeGrain(grain, torus),
+      [&](std::int64_t begin, std::int64_t end) {
+        if (outOfRange.load(std::memory_order_relaxed)) return;
+        if (!allLabelsInRange(
+                sigma, labels.subspan(static_cast<std::size_t>(begin),
+                                      static_cast<std::size_t>(end - begin)))) {
+          outOfRange.store(true, std::memory_order_relaxed);
+        }
+      });
+  return !outOfRange.load();
+}
+
+/// Sharded violation count over one labelling; exact same shard kernels as
+/// the serial path, summed in shard order.
+std::int64_t shardedCount(engine::ThreadPool& pool, std::int64_t grain,
+                          const Torus2D& torus, const GridLcl& lcl,
+                          std::span<const int> labels) {
+  if (static_cast<int>(labels.size()) != torus.size()) {
+    throw std::invalid_argument("verifier: labelling size mismatch");
+  }
+  const auto sum = [](std::int64_t a, std::int64_t b) { return a + b; };
+  if (lcl.hasTable() &&
+      shardedAllInRange(pool, grain, torus, lcl.sigma(), labels)) {
+    return pool.parallelReduce(
+        0, torus.n(), grain, std::int64_t{0},
+        [&](std::int64_t yBegin, std::int64_t yEnd) {
+          return tableViolationRows(lcl.table(), torus.n(), labels.data(),
+                                    static_cast<int>(yBegin),
+                                    static_cast<int>(yEnd),
+                                    /*stopAtFirst=*/false);
+        },
+        sum);
+  }
+  return pool.parallelReduce(
+      0, torus.size(), nodeGrain(grain, torus), std::int64_t{0},
+      [&](std::int64_t vBegin, std::int64_t vEnd) {
+        return functionalViolationRange(torus, lcl, labels,
+                                        static_cast<int>(vBegin),
+                                        static_cast<int>(vEnd),
+                                        /*stopAtFirst=*/false);
+      },
+      sum);
+}
+
+/// Sharded feasibility check with cooperative early exit: shards that start
+/// after a violation was found return immediately. The boolean outcome is
+/// scheduling-independent either way.
+bool shardedVerify(engine::ThreadPool& pool, std::int64_t grain,
+                   const Torus2D& torus, const GridLcl& lcl,
+                   std::span<const int> labels) {
+  if (static_cast<int>(labels.size()) != torus.size()) {
+    throw std::invalid_argument("verifier: labelling size mismatch");
+  }
+  std::atomic<bool> violated{false};
+  const bool tablePath =
+      lcl.hasTable() && shardedAllInRange(pool, grain, torus, lcl.sigma(), labels);
+  const std::int64_t items = tablePath ? torus.n() : torus.size();
+  pool.parallelFor(0, items, tablePath ? grain : nodeGrain(grain, torus),
+                   [&](std::int64_t begin, std::int64_t end) {
+                     if (violated.load(std::memory_order_relaxed)) return;
+                     const std::int64_t bad =
+                         tablePath
+                             ? tableViolationRows(
+                                   lcl.table(), torus.n(), labels.data(),
+                                   static_cast<int>(begin),
+                                   static_cast<int>(end), /*stopAtFirst=*/true)
+                             : functionalViolationRange(
+                                   torus, lcl, labels, static_cast<int>(begin),
+                                   static_cast<int>(end),
+                                   /*stopAtFirst=*/true);
+                     if (bad > 0) {
+                       violated.store(true, std::memory_order_relaxed);
+                     }
+                   });
+  return !violated.load();
+}
+
+}  // namespace
+
+bool verify(const Torus2D& torus, const GridLcl& lcl,
+            std::span<const int> labels,
+            const engine::EngineOptions& options) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) return verify(torus, lcl, labels);
+  return shardedVerify(handle.pool(), options.grain, torus, lcl, labels);
+}
+
+std::int64_t countViolations(const Torus2D& torus, const GridLcl& lcl,
+                             std::span<const int> labels,
+                             const engine::EngineOptions& options) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) return countViolations(torus, lcl, labels);
+  return shardedCount(handle.pool(), options.grain, torus, lcl, labels);
+}
+
+std::vector<std::uint8_t> verifyBatch(const Torus2D& torus, const GridLcl& lcl,
+                                      std::span<const int> labelsBatch,
+                                      const engine::EngineOptions& options) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) {
+    return verifyBatch(torus, lcl, labelsBatch);
+  }
+  const std::size_t count = verifier_detail::batchCount(torus, labelsBatch);
+  const std::size_t stride = static_cast<std::size_t>(torus.size());
+  std::vector<std::uint8_t> feasible(count, 0);
+  if (count == 1) {
+    // Auto row grain rather than options.grain: the caller's grain counts
+    // labellings on the batch entry points, not grid rows.
+    feasible[0] =
+        shardedVerify(handle.pool(), /*grain=*/0, torus, lcl, labelsBatch)
+            ? 1
+            : 0;
+    return feasible;
+  }
+  // One labelling per work item; each shard owns its result slots.
+  // options.grain counts labellings per chunk here (0 = auto).
+  handle.pool().parallelFor(
+      0, static_cast<std::int64_t>(count), options.grain,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          feasible[static_cast<std::size_t>(i)] =
+              verify(torus, lcl,
+                     labelsBatch.subspan(static_cast<std::size_t>(i) * stride,
+                                         stride))
+                  ? 1
+                  : 0;
+        }
+      });
+  return feasible;
+}
+
+std::vector<std::int64_t> countViolationsBatch(
+    const Torus2D& torus, const GridLcl& lcl, std::span<const int> labelsBatch,
+    const engine::EngineOptions& options) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) {
+    return countViolationsBatch(torus, lcl, labelsBatch);
+  }
+  const std::size_t count = verifier_detail::batchCount(torus, labelsBatch);
+  const std::size_t stride = static_cast<std::size_t>(torus.size());
+  std::vector<std::int64_t> violations(count, 0);
+  if (count == 1) {
+    // Auto row grain, as in verifyBatch: batch grain counts labellings.
+    violations[0] =
+        shardedCount(handle.pool(), /*grain=*/0, torus, lcl, labelsBatch);
+    return violations;
+  }
+  handle.pool().parallelFor(
+      0, static_cast<std::int64_t>(count), options.grain,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          violations[static_cast<std::size_t>(i)] = countViolations(
+              torus, lcl,
+              labelsBatch.subspan(static_cast<std::size_t>(i) * stride,
+                                  stride));
+        }
+      });
+  return violations;
+}
+
+std::vector<std::uint8_t> verifyBatch(
+    const GridLcl& lcl, std::span<const LabellingInstance> instances,
+    const engine::EngineOptions& options) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) return verifyBatch(lcl, instances);
+  for (const LabellingInstance& instance : instances) {
+    if (instance.torus == nullptr) {
+      throw std::invalid_argument("verifyBatch: null torus in instance");
+    }
+  }
+  std::vector<std::uint8_t> feasible(instances.size(), 0);
+  handle.pool().parallelFor(
+      0, static_cast<std::int64_t>(instances.size()), options.grain,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          const LabellingInstance& instance =
+              instances[static_cast<std::size_t>(i)];
+          feasible[static_cast<std::size_t>(i)] =
+              verify(*instance.torus, lcl, instance.labels) ? 1 : 0;
+        }
+      });
+  return feasible;
+}
+
+}  // namespace lclgrid

@@ -7,6 +7,10 @@
 //  * a generator of feasible labellings for the lower-bound invariant
 //    experiments of Section 9 (randomised solutions via seed-dependent
 //    symmetry-breaking assumptions).
+//
+// Thread-safety: solveGlobally is re-entrant (a fresh sat::Solver and CNF
+// per call; the problem is only read through GridLcl's const interface),
+// so feasibility probes run concurrently on engine pool threads.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,7 @@
 #include "lcl/grid_lcl.hpp"
 
+#include <atomic>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -28,6 +30,69 @@ GridLcl::GridLcl(std::string name, LclTable table)
     if (!in(c) || !in(n) || !in(e) || !in(s) || !in(w)) return false;
     return t->allows(c, n, e, s, w);
   };
+}
+
+GridLcl::GridLcl(const GridLcl& other)
+    : name_(other.name_),
+      sigma_(other.sigma_),
+      deps_(other.deps_),
+      ok_(other.ok_),
+      table_(other.table_),
+      labelNames_(other.labelNames_) {
+  // The acquire load synchronises with the publication in projections():
+  // once the pointer is visible, other.projections_ is immutable, so the
+  // plain shared_ptr copy is race-free. A null pointer (source not yet
+  // computed, or mid-compute) just means this copy recomputes on demand.
+  if (const Projections* computed =
+          other.projectionsPtr_.load(std::memory_order_acquire)) {
+    projections_ = other.projections_;
+    projectionsPtr_.store(computed, std::memory_order_release);
+  }
+}
+
+GridLcl& GridLcl::operator=(const GridLcl& other) {
+  if (this == &other) return *this;
+  GridLcl copy(other);
+  name_ = std::move(copy.name_);
+  sigma_ = copy.sigma_;
+  deps_ = copy.deps_;
+  ok_ = std::move(copy.ok_);
+  table_ = std::move(copy.table_);
+  labelNames_ = std::move(copy.labelNames_);
+  projections_ = std::move(copy.projections_);
+  projectionsPtr_.store(copy.projectionsPtr_.load(std::memory_order_relaxed),
+                        std::memory_order_release);
+  return *this;
+}
+
+GridLcl::GridLcl(GridLcl&& other) noexcept
+    : name_(std::move(other.name_)),
+      sigma_(other.sigma_),
+      deps_(other.deps_),
+      ok_(std::move(other.ok_)),
+      table_(std::move(other.table_)),
+      labelNames_(std::move(other.labelNames_)),
+      projections_(std::move(other.projections_)) {
+  projectionsPtr_.store(
+      other.projectionsPtr_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.projectionsPtr_.store(nullptr, std::memory_order_relaxed);
+}
+
+GridLcl& GridLcl::operator=(GridLcl&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  sigma_ = other.sigma_;
+  deps_ = other.deps_;
+  ok_ = std::move(other.ok_);
+  table_ = std::move(other.table_);
+  labelNames_ = std::move(other.labelNames_);
+  projections_ = std::move(other.projections_);
+  projectionsPtr_.store(
+      other.projectionsPtr_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.projectionsPtr_.store(nullptr, std::memory_order_relaxed);
+  return *this;
 }
 
 const LclTable& GridLcl::table() const {
@@ -61,12 +126,28 @@ int GridLcl::trivialLabel() const {
   return -1;
 }
 
-void GridLcl::computeProjections() const {
-  if (projectionsComputed_) return;
-  projectionsComputed_ = true;
+const GridLcl::Projections& GridLcl::projections() const {
+  // Fast path: one lock-free acquire load, as cheap as the plain flag it
+  // replaced -- the synthesizer calls the pair projections sigma^2 times
+  // per CNF build. The mutex only serialises the one-time compute (it is
+  // global because GridLcl must stay copyable and fallback-path computes
+  // are rare). The projections are only ever set once, so the returned
+  // reference stays valid for the problem's lifetime.
+  if (const Projections* computed =
+          projectionsPtr_.load(std::memory_order_acquire)) {
+    return *computed;
+  }
+  static std::mutex computeMutex;
+  std::lock_guard<std::mutex> lock(computeMutex);
+  if (const Projections* computed =
+          projectionsPtr_.load(std::memory_order_acquire)) {
+    return *computed;
+  }
+
+  auto fresh = std::make_shared<Projections>();
   const int s = sigma_;
-  hPairs_.assign(static_cast<std::size_t>(s) * s, 0);
-  vPairs_.assign(static_cast<std::size_t>(s) * s, 0);
+  fresh->hPairs.assign(static_cast<std::size_t>(s) * s, 0);
+  fresh->vPairs.assign(static_cast<std::size_t>(s) * s, 0);
 
   // Maximal candidate projections: a pair participates if it occurs in some
   // allowed cross, viewed from either of the two nodes it touches. If a
@@ -78,28 +159,29 @@ void GridLcl::computeProjections() const {
         for (int so = 0; so < s; ++so) {
           for (int w = 0; w < s; ++w) {
             if (!allows(c, n, e, so, w)) continue;
-            hPairs_[static_cast<std::size_t>(w) * s + c] = 1;
-            hPairs_[static_cast<std::size_t>(c) * s + e] = 1;
-            vPairs_[static_cast<std::size_t>(so) * s + c] = 1;
-            vPairs_[static_cast<std::size_t>(c) * s + n] = 1;
+            fresh->hPairs[static_cast<std::size_t>(w) * s + c] = 1;
+            fresh->hPairs[static_cast<std::size_t>(c) * s + e] = 1;
+            fresh->vPairs[static_cast<std::size_t>(so) * s + c] = 1;
+            fresh->vPairs[static_cast<std::size_t>(c) * s + n] = 1;
           }
         }
       }
     }
   }
 
-  edgeDecomposable_ = true;
-  for (int c = 0; c < s && edgeDecomposable_; ++c) {
-    for (int n = 0; n < s && edgeDecomposable_; ++n) {
-      for (int e = 0; e < s && edgeDecomposable_; ++e) {
-        for (int so = 0; so < s && edgeDecomposable_; ++so) {
+  bool decomposable = true;
+  for (int c = 0; c < s && decomposable; ++c) {
+    for (int n = 0; n < s && decomposable; ++n) {
+      for (int e = 0; e < s && decomposable; ++e) {
+        for (int so = 0; so < s && decomposable; ++so) {
           for (int w = 0; w < s; ++w) {
-            bool byPairs = hPairs_[static_cast<std::size_t>(w) * s + c] &&
-                           hPairs_[static_cast<std::size_t>(c) * s + e] &&
-                           vPairs_[static_cast<std::size_t>(so) * s + c] &&
-                           vPairs_[static_cast<std::size_t>(c) * s + n];
+            bool byPairs =
+                fresh->hPairs[static_cast<std::size_t>(w) * s + c] &&
+                fresh->hPairs[static_cast<std::size_t>(c) * s + e] &&
+                fresh->vPairs[static_cast<std::size_t>(so) * s + c] &&
+                fresh->vPairs[static_cast<std::size_t>(c) * s + n];
             if (byPairs != allows(c, n, e, so, w)) {
-              edgeDecomposable_ = false;
+              decomposable = false;
               break;
             }
           }
@@ -107,24 +189,30 @@ void GridLcl::computeProjections() const {
       }
     }
   }
+  fresh->edgeDecomposable = decomposable;
+
+  // Ownership lands in projections_ under the mutex; the release store of
+  // the raw pointer is the publication readers synchronise with.
+  projections_ = std::move(fresh);
+  projectionsPtr_.store(projections_.get(), std::memory_order_release);
+  return *projections_;
 }
 
 bool GridLcl::isEdgeDecomposable() const {
   if (table_) return table_->edgeDecomposable();
-  computeProjections();
-  return edgeDecomposable_;
+  return projections().edgeDecomposable;
 }
 
 bool GridLcl::horizontalOk(int west, int east) const {
   if (table_) return table_->horizontalOk(west, east);
-  computeProjections();
-  return hPairs_[static_cast<std::size_t>(west) * sigma_ + east] != 0;
+  return projections()
+             .hPairs[static_cast<std::size_t>(west) * sigma_ + east] != 0;
 }
 
 bool GridLcl::verticalOk(int south, int north) const {
   if (table_) return table_->verticalOk(south, north);
-  computeProjections();
-  return vPairs_[static_cast<std::size_t>(south) * sigma_ + north] != 0;
+  return projections()
+             .vPairs[static_cast<std::size_t>(south) * sigma_ + north] != 0;
 }
 
 }  // namespace lclgrid

@@ -15,8 +15,17 @@
 // Problems whose natural radius is larger (e.g. the Turing-machine problem
 // L_M of Section 6) get bespoke verifiers; per the paper this only shifts
 // running times by additive constants.
+//
+// Thread-safety contract: a constructed GridLcl is immutable apart from
+// setLabelNames, so const queries (allows, table, trivialLabel, the
+// projections) may run concurrently from engine pool threads -- the lazy
+// fallback projections are published atomically. The one obligation on
+// callers is that constructor predicates must be re-entrant (pure functions
+// of their five arguments); every problem in problems.hpp is. setLabelNames
+// must happen-before sharing the object across threads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -51,6 +60,15 @@ class GridLcl {
   /// Table-first construction (combinators compose tables directly); the
   /// predicate() accessor is backed by table lookups.
   GridLcl(std::string name, LclTable table);
+
+  /// Copying is safe concurrently with const queries on the source: the
+  /// lazily published projections are read through their atomic pointer (a
+  /// defaulted copy would race with projections()'s publication). Moving
+  /// requires exclusive ownership of the source, like any mutation.
+  GridLcl(const GridLcl& other);
+  GridLcl& operator=(const GridLcl& other);
+  GridLcl(GridLcl&& other) noexcept;
+  GridLcl& operator=(GridLcl&& other) noexcept;
 
   const std::string& name() const { return name_; }
   int sigma() const { return sigma_; }
@@ -101,7 +119,15 @@ class GridLcl {
   bool inRange(int label) const {
     return static_cast<unsigned>(label) < static_cast<unsigned>(sigma_);
   }
-  void computeProjections() const;
+
+  /// Decomposability data for the fallback path (alphabets beyond the table
+  /// limits), computed on first use and published once.
+  struct Projections {
+    bool edgeDecomposable = false;
+    std::vector<std::uint8_t> hPairs;  // sigma x sigma
+    std::vector<std::uint8_t> vPairs;
+  };
+  const Projections& projections() const;
 
   std::string name_;
   int sigma_;
@@ -110,12 +136,14 @@ class GridLcl {
   std::shared_ptr<const LclTable> table_;  // shared: copies stay cheap
   std::vector<std::string> labelNames_;
 
-  // Lazily computed decomposability data -- the fallback path for problems
-  // whose alphabet exceeds the table limits.
-  mutable bool projectionsComputed_ = false;
-  mutable bool edgeDecomposable_ = false;
-  mutable std::vector<std::uint8_t> hPairs_;  // sigma x sigma
-  mutable std::vector<std::uint8_t> vPairs_;
+  // Lazily computed, set at most once. The lock-free fast path is the raw
+  // atomic pointer (one acquire load per query -- as cheap as the plain
+  // flag it replaced); the shared_ptr carries ownership and is only
+  // touched under the compute mutex / after an acquire of the pointer, so
+  // concurrent queries and copies from engine pool threads are race-free.
+  // Copies taken before the computation each recompute at most once.
+  mutable std::shared_ptr<const Projections> projections_;
+  mutable std::atomic<const Projections*> projectionsPtr_{nullptr};
 };
 
 }  // namespace lclgrid

@@ -153,6 +153,24 @@ long long LclTable::forbiddenRowCount() const {
 void LclTable::finalise() {
   const int s = sigma_;
 
+  // FNV-1a over the content that defines the relation. The strides follow
+  // from (sigma, deps), so hashing sigma, deps and the rows covers the
+  // whole table.
+  constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+  auto mix = [](std::uint64_t hash, std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (8 * byte)) & 0xffu;
+      hash *= kFnvPrime;
+    }
+    return hash;
+  };
+  std::uint64_t hash = kFnvOffset;
+  hash = mix(hash, static_cast<std::uint64_t>(sigma_));
+  hash = mix(hash, static_cast<std::uint64_t>(deps_));
+  for (std::uint64_t row : rows_) hash = mix(hash, row);
+  fingerprint_ = hash;
+
   trivialLabel_ = -1;
   for (int c = 0; c < s; ++c) {
     if (allows(c, c, c, c, c)) {

@@ -115,6 +115,24 @@ class LclTable {
   /// characterisation on tori).
   int trivialLabel() const { return trivialLabel_; }
 
+  /// Content fingerprint: FNV-1a over (sigma, deps, rows). Tables with the
+  /// same alphabet, dependency mask and packed rows hash equal no matter
+  /// which construction path built them (predicate compile, disjointUnion,
+  /// remap). Note the deps mask is part of the content: the same relation
+  /// compiled under a pruned mask vs. a full mask stores different rows
+  /// and fingerprints differently. The engine's FamilySweep keys its
+  /// oracle result cache on this, so a family containing the same
+  /// (sigma, deps, rows) table twice runs the classification once.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Exact (sigma, deps, rows) equality -- what fingerprint() approximates.
+  /// Cache users compare this on fingerprint match so a 64-bit collision
+  /// can never alias two different relations.
+  bool sameContent(const LclTable& other) const {
+    return sigma_ == other.sigma_ && deps_ == other.deps_ &&
+           rows_ == other.rows_;
+  }
+
   /// True iff the relation factorises into horizontal and vertical pair
   /// constraints: ok(c,n,e,s,w) == H(w,c) && H(c,e) && V(s,c) && V(c,n).
   bool edgeDecomposable() const { return edgeDecomposable_; }
@@ -169,6 +187,7 @@ class LclTable {
   std::vector<std::uint8_t> vPairs_;  // sigma x sigma, [south * sigma + north]
   bool edgeDecomposable_ = false;
   int trivialLabel_ = -1;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace lclgrid

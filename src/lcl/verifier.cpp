@@ -7,23 +7,18 @@ namespace lclgrid {
 
 namespace {
 
-bool allLabelsInRange(int sigma, std::span<const int> labels) {
-  for (int label : labels) {
-    if (static_cast<unsigned>(label) >= static_cast<unsigned>(sigma)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-/// Table-driven kernel over one labelling, laid out row-major (node y*n+x).
-/// Requires every label in [0, sigma). Neighbour lookups use row pointers
-/// instead of Torus2D::step, so the inner loop is a handful of loads, one
-/// table row fetch and a bit test per node.
+/// Table-driven kernel over grid rows [yBegin, yEnd) of one labelling, laid
+/// out row-major (node y*n+x). Requires every label in [0, sigma).
+/// Neighbour lookups use row pointers instead of Torus2D::step, so the
+/// inner loop is a handful of loads, one table row fetch and a bit test per
+/// node. The row-range form is what the engine's sharded verifier
+/// distributes across threads (per-shard accumulators, combined in shard
+/// order, hence bit-identical to one serial sweep).
 template <bool StopAtFirst>
-std::int64_t tableViolations(const LclTable& table, int n, const int* labels) {
+std::int64_t tableViolations(const LclTable& table, int n, const int* labels,
+                             int yBegin, int yEnd) {
   std::int64_t bad = 0;
-  for (int y = 0; y < n; ++y) {
+  for (int y = yBegin; y < yEnd; ++y) {
     const int* row = labels + static_cast<std::size_t>(y) * n;
     const int* rowNorth =
         labels + static_cast<std::size_t>(y + 1 == n ? 0 : y + 1) * n;
@@ -43,15 +38,17 @@ std::int64_t tableViolations(const LclTable& table, int n, const int* labels) {
   return bad;
 }
 
-/// Fallback for uncompiled problems or out-of-alphabet labels: mirrors the
-/// seed's per-node loop. An out-of-alphabet centre label is a violation;
-/// neighbourhoods are otherwise judged by GridLcl::allows (which routes
-/// garbage neighbour labels to the raw predicate, as the seed did).
+/// Fallback for uncompiled problems or out-of-alphabet labels, over nodes
+/// [vBegin, vEnd): mirrors the seed's per-node loop. An out-of-alphabet
+/// centre label is a violation; neighbourhoods are otherwise judged by
+/// GridLcl::allows (which routes garbage neighbour labels to the raw
+/// predicate, as the seed did).
 template <bool StopAtFirst>
 std::int64_t functionalViolations(const Torus2D& torus, const GridLcl& lcl,
-                                  std::span<const int> labels) {
+                                  std::span<const int> labels, int vBegin,
+                                  int vEnd) {
   std::int64_t bad = 0;
-  for (int v = 0; v < torus.size(); ++v) {
+  for (int v = vBegin; v < vEnd; ++v) {
     const int c = labels[static_cast<std::size_t>(v)];
     bool violated;
     if (c < 0 || c >= lcl.sigma()) {
@@ -77,23 +74,18 @@ std::int64_t violationsKernel(const Torus2D& torus, const GridLcl& lcl,
   if (static_cast<int>(labels.size()) != torus.size()) {
     throw std::invalid_argument("verifier: labelling size mismatch");
   }
-  if (lcl.hasTable() && allLabelsInRange(lcl.sigma(), labels)) {
-    return tableViolations<StopAtFirst>(lcl.table(), torus.n(), labels.data());
+  if (lcl.hasTable() &&
+      verifier_detail::allLabelsInRange(lcl.sigma(), labels)) {
+    return tableViolations<StopAtFirst>(lcl.table(), torus.n(), labels.data(),
+                                        0, torus.n());
   }
-  return functionalViolations<StopAtFirst>(torus, lcl, labels);
-}
-
-std::size_t batchCount(const Torus2D& torus,
-                       std::span<const int> labelsBatch) {
-  const std::size_t stride = static_cast<std::size_t>(torus.size());
-  if (stride == 0 || labelsBatch.size() % stride != 0) {
-    throw std::invalid_argument(
-        "verifier: batch size is not a multiple of torus.size()");
-  }
-  return labelsBatch.size() / stride;
+  return functionalViolations<StopAtFirst>(torus, lcl, labels, 0,
+                                           torus.size());
 }
 
 }  // namespace
+
+using verifier_detail::batchCount;
 
 std::vector<Violation> listViolations(const Torus2D& torus, const GridLcl& lcl,
                                       std::span<const int> labels,
@@ -179,6 +171,45 @@ std::vector<std::uint8_t> verifyBatch(
   }
   return feasible;
 }
+
+namespace verifier_detail {
+
+bool allLabelsInRange(int sigma, std::span<const int> labels) {
+  for (int label : labels) {
+    if (static_cast<unsigned>(label) >= static_cast<unsigned>(sigma)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t batchCount(const Torus2D& torus,
+                       std::span<const int> labelsBatch) {
+  const std::size_t stride = static_cast<std::size_t>(torus.size());
+  if (stride == 0 || labelsBatch.size() % stride != 0) {
+    throw std::invalid_argument(
+        "verifier: batch size is not a multiple of torus.size()");
+  }
+  return labelsBatch.size() / stride;
+}
+
+std::int64_t tableViolationRows(const LclTable& table, int n,
+                                const int* labels, int yBegin, int yEnd,
+                                bool stopAtFirst) {
+  return stopAtFirst
+             ? tableViolations<true>(table, n, labels, yBegin, yEnd)
+             : tableViolations<false>(table, n, labels, yBegin, yEnd);
+}
+
+std::int64_t functionalViolationRange(const Torus2D& torus, const GridLcl& lcl,
+                                      std::span<const int> labels, int vBegin,
+                                      int vEnd, bool stopAtFirst) {
+  return stopAtFirst
+             ? functionalViolations<true>(torus, lcl, labels, vBegin, vEnd)
+             : functionalViolations<false>(torus, lcl, labels, vBegin, vEnd);
+}
+
+}  // namespace verifier_detail
 
 std::string renderLabelling(const Torus2D& torus, const GridLcl& lcl,
                             std::span<const int> labels) {

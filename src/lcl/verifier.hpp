@@ -10,6 +10,17 @@
 //    no per-node allocation, amortised over many labellings or many tori in
 //    one call. This is the hot path behind the randomised lower-bound
 //    experiments and the perf benches.
+//
+// Every batched entry point also has a threaded overload taking
+// engine::EngineOptions: the flat row-pointer kernel is sharded across the
+// work-stealing pool (per-shard accumulators, combined in shard order, so
+// counts are bit-identical to the serial path) and batches run one labelling
+// per task. Implemented in src/engine/parallel_verifier.cpp -- callers of
+// the threaded overloads link lclgrid_engine (or the umbrella `lclgrid`
+// target); an overload called with EngineOptions{.threads = 1} takes
+// exactly the serial code path. Thread-safety: the threaded overloads only read the torus, the
+// problem and the label buffers; uncompiled problems must carry re-entrant
+// predicates (every problem in the library does).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine_options.hpp"
 #include "grid/torus2d.hpp"
 #include "lcl/grid_lcl.hpp"
 
@@ -62,6 +74,57 @@ struct LabellingInstance {
 /// Batched verification across heterogeneous tori.
 std::vector<std::uint8_t> verifyBatch(
     const GridLcl& lcl, std::span<const LabellingInstance> instances);
+
+// --- threaded overloads (src/engine/parallel_verifier.cpp) ----------------
+// Results are bit-identical to the serial functions above for every thread
+// count: shards accumulate independently and are combined in shard order.
+
+bool verify(const Torus2D& torus, const GridLcl& lcl,
+            std::span<const int> labels, const engine::EngineOptions& options);
+
+std::int64_t countViolations(const Torus2D& torus, const GridLcl& lcl,
+                             std::span<const int> labels,
+                             const engine::EngineOptions& options);
+
+std::vector<std::uint8_t> verifyBatch(const Torus2D& torus, const GridLcl& lcl,
+                                      std::span<const int> labelsBatch,
+                                      const engine::EngineOptions& options);
+
+std::vector<std::int64_t> countViolationsBatch(
+    const Torus2D& torus, const GridLcl& lcl, std::span<const int> labelsBatch,
+    const engine::EngineOptions& options);
+
+std::vector<std::uint8_t> verifyBatch(const GridLcl& lcl,
+                                      std::span<const LabellingInstance> instances,
+                                      const engine::EngineOptions& options);
+
+/// Row-range and node-range slices of the serial kernels, exposed so the
+/// engine's sharded verifier runs the exact same code per shard. Not part
+/// of the stable API.
+namespace verifier_detail {
+
+/// True iff every label lies in [0, sigma) -- the precondition of the
+/// table kernel.
+bool allLabelsInRange(int sigma, std::span<const int> labels);
+
+/// Number of labellings in a back-to-back batch; throws the verifier's
+/// std::invalid_argument when the batch is not a whole number of tori.
+/// Shared by the serial and sharded batch entry points so their
+/// validation cannot diverge.
+std::size_t batchCount(const Torus2D& torus, std::span<const int> labelsBatch);
+
+/// Violations of the compiled-table kernel on grid rows [yBegin, yEnd);
+/// labels must all be in range. stopAtFirst returns at most 1.
+std::int64_t tableViolationRows(const LclTable& table, int n,
+                                const int* labels, int yBegin, int yEnd,
+                                bool stopAtFirst);
+
+/// Violations of the functional fallback on nodes [vBegin, vEnd).
+std::int64_t functionalViolationRange(const Torus2D& torus, const GridLcl& lcl,
+                                      std::span<const int> labels, int vBegin,
+                                      int vEnd, bool stopAtFirst);
+
+}  // namespace verifier_detail
 
 /// Renders a labelling as an ASCII grid (row y = n-1 on top, matching the
 /// north-up orientation), using the problem's label names.

@@ -11,6 +11,12 @@
 // External literal convention follows DIMACS: variables are 1-based, a
 // negative integer denotes negation. addClause({}) makes the formula
 // unsatisfiable.
+//
+// Thread-safety contract: a Solver instance is single-threaded (every call
+// mutates instance state), but all state is per-instance -- no globals, no
+// caches shared between solvers -- so distinct instances run concurrently
+// on engine pool threads without synchronisation. This is what lets the
+// family sweep driver run one synthesis/probe pipeline per thread.
 #pragma once
 
 #include <cstdint>

@@ -8,6 +8,12 @@
 // A feasibility probe on small tori additionally distinguishes "global but
 // solvable" from "no solution exists for infinitely many n" (both are
 // Theta(n)-class per Section 3).
+//
+// Thread-safety contract: classifyOnGrid is re-entrant -- it composes
+// solveGlobally and synthesize, both of which keep all mutable state local
+// (see lcl/global_solver.hpp, synthesis/synthesizer.hpp, sat/solver.hpp).
+// The engine's FamilySweep runs one classification per pool thread with no
+// shared locks on the hot path.
 #pragma once
 
 #include <cstdint>

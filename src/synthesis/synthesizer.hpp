@@ -1,6 +1,12 @@
 // The synthesis engine of Section 7: reduce "does problem P admit a normal
 // form A' o S_k with window shape h x w?" to SAT over per-tile label
 // variables, and extract the finite function A' from the model.
+//
+// Thread-safety contract: synthesize / synthesizeForShape are re-entrant --
+// every solver, tile set and constraint system is a local; the only reads
+// of the problem go through GridLcl's const interface (itself safe, see
+// lcl/grid_lcl.hpp). Concurrent synthesis of different problems (or the
+// same problem twice) from engine pool threads needs no locking.
 #pragma once
 
 #include <optional>
