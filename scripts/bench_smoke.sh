@@ -26,10 +26,10 @@ run() {
 # JSON benches (repo schema {name, config, results[]}).
 run bench_verify_throughput 64 0.05 --threads 2
 run bench_family_sweep --smoke --threads 2
+run bench_sat --smoke
 
 # Google Benchmark binaries (skipped automatically if the library was
 # unavailable at configure time).
-run bench_sat --benchmark_min_time=0.01
 run bench_simulator --benchmark_min_time=0.01
 
 # Figure / table reproductions. The slow ones take --smoke.
@@ -43,7 +43,7 @@ run tab_edge_colouring --smoke
 run tab_orientation --smoke
 run tab_orientation_invariant
 run tab_qsum_invariant
-run tab_synthesis_tiles
+run tab_synthesis_tiles --smoke
 run tab_turing_lcl --smoke
 run tab_vertex_colouring
 

@@ -15,6 +15,13 @@
 // classified independently (classifyOnGrid takes no shared mutable state,
 // see synthesis/oracle.hpp), so the report content is independent of
 // scheduling and thread count; only per-entry wall times vary.
+//
+// Incremental SAT: each classification task owns one live solver pipeline
+// (FeasibilityProber + IncrementalSynthesizer) for its whole probe/synthesis
+// ladder -- solver instances are reused *within* a task, never shared
+// across pool threads, per sat::Solver's thread-safety contract. The
+// differential suite (tests/test_differential.cpp) pins sweep verdicts to
+// the fresh-solver-per-instance reference at 1/2/8 threads.
 #pragma once
 
 #include <cstdint>

@@ -7,14 +7,29 @@ namespace lclgrid {
 
 namespace {
 
-/// Builds the full node-label CSP for the LCL on the torus into `solver`.
+/// Builds the full node-label CSP for the LCL on the torus into `solver`,
+/// routing every clause (domain and blocking alike) through `add` so the
+/// incremental prober can guard the instance with an activation literal
+/// while solveGlobally keeps plain unconditional clauses.
+template <typename AddClause>
 std::vector<sat::DomainVar> buildTorusCsp(const Torus2D& torus,
                                           const GridLcl& lcl,
-                                          sat::Solver& solver) {
+                                          sat::Solver& solver,
+                                          AddClause&& add) {
   const int sigma = lcl.sigma();
   std::vector<sat::DomainVar> label(static_cast<std::size_t>(torus.size()));
+  std::vector<int> atLeastOne;
   for (int v = 0; v < torus.size(); ++v) {
-    label[static_cast<std::size_t>(v)] = sat::makeDomainVar(solver, sigma);
+    sat::DomainVar dv(solver, sigma);
+    atLeastOne.clear();
+    for (int c = 0; c < sigma; ++c) atLeastOne.push_back(dv.is(c));
+    add(atLeastOne);
+    for (int a = 0; a < sigma; ++a) {
+      for (int b = a + 1; b < sigma; ++b) {
+        add({dv.isNot(a), dv.isNot(b)});
+      }
+    }
+    label[static_cast<std::size_t>(v)] = dv;
   }
 
   // One blocking clause per forbidden constraint-table row and node.
@@ -39,7 +54,7 @@ std::vector<sat::DomainVar> buildTorusCsp(const Torus2D& torus,
       if (useE) clause.push_back(label[static_cast<std::size_t>(nE)].isNot(e));
       if (useS) clause.push_back(label[static_cast<std::size_t>(nS)].isNot(s));
       if (useW) clause.push_back(label[static_cast<std::size_t>(nW)].isNot(w));
-      solver.addClause(clause);
+      add(clause);
     };
     if (lcl.hasTable()) {
       lcl.table().forEachForbidden(blockTuple);
@@ -60,11 +75,11 @@ std::vector<sat::DomainVar> buildTorusCsp(const Torus2D& torus,
   return label;
 }
 
-std::vector<int> decodeModel(const Torus2D& torus,
+std::vector<int> decodeModel(int nodeCount,
                              const std::vector<sat::DomainVar>& label,
                              const sat::Solver& solver) {
-  std::vector<int> labels(static_cast<std::size_t>(torus.size()));
-  for (int v = 0; v < torus.size(); ++v) {
+  std::vector<int> labels(static_cast<std::size_t>(nodeCount));
+  for (int v = 0; v < nodeCount; ++v) {
     labels[static_cast<std::size_t>(v)] =
         label[static_cast<std::size_t>(v)].decode(solver);
   }
@@ -78,13 +93,16 @@ GlobalSolveResult solveGlobally(const Torus2D& torus, const GridLcl& lcl,
                                 std::int64_t conflictBudget) {
   GlobalSolveResult result;
 
+  sat::Solver solver;
+  auto label = buildTorusCsp(
+      torus, lcl, solver,
+      [&](const std::vector<int>& clause) { solver.addClause(clause); });
+
   if (seed == 0) {
-    sat::Solver solver;
-    auto label = buildTorusCsp(torus, lcl, solver);
     auto outcome = solver.solve(conflictBudget);
     if (outcome == sat::Result::Sat) {
       result.feasible = true;
-      result.labels = decodeModel(torus, label, solver);
+      result.labels = decodeModel(torus.size(), label, solver);
     }
     result.decided = outcome != sat::Result::Unknown;
     result.satConflicts = solver.conflicts();
@@ -95,6 +113,8 @@ GlobalSolveResult solveGlobally(const Torus2D& torus, const GridLcl& lcl,
   // the first satisfiable branch. The union of branches covers the whole
   // space, so feasibility is unchanged, but different seeds surface
   // different solutions (used by the Section 9 invariant experiments).
+  // Branches run as assumptions on the one live solver: the CSP is encoded
+  // once and every branch inherits what the earlier branches learnt.
   SplitMix64 rng(seed);
   const int forcedNode =
       static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(torus.size())));
@@ -107,18 +127,49 @@ GlobalSolveResult solveGlobally(const Torus2D& torus, const GridLcl& lcl,
   }
 
   for (int candidate : order) {
-    sat::Solver solver;
-    auto label = buildTorusCsp(torus, lcl, solver);
-    solver.addClause(
-        {label[static_cast<std::size_t>(forcedNode)].is(candidate)});
-    auto outcome = solver.solve(conflictBudget);
-    result.satConflicts += solver.conflicts();
+    auto outcome = solver.solve(
+        {label[static_cast<std::size_t>(forcedNode)].is(candidate)},
+        conflictBudget);
     if (outcome == sat::Result::Unknown) result.decided = false;
     if (outcome == sat::Result::Sat) {
       result.feasible = true;
-      result.labels = decodeModel(torus, label, solver);
-      return result;
+      result.labels = decodeModel(torus.size(), label, solver);
+      break;
     }
+  }
+  result.satConflicts = solver.conflicts();
+  return result;
+}
+
+FeasibilityProber::FeasibilityProber(const GridLcl& lcl) : lcl_(lcl) {}
+
+FeasibilityProber::SizeBlock& FeasibilityProber::blockFor(int n) {
+  for (SizeBlock& block : blocks_) {
+    if (block.n == n) return block;
+  }
+  SizeBlock block;
+  block.n = n;
+  block.group = sat::ClauseGroup(solver_);
+  Torus2D torus(n);
+  block.label = buildTorusCsp(
+      torus, lcl_, solver_, [&](const std::vector<int>& clause) {
+        block.group.addClause(solver_, clause);
+      });
+  blocks_.push_back(std::move(block));
+  return blocks_.back();
+}
+
+GlobalSolveResult FeasibilityProber::probe(int n,
+                                           std::int64_t conflictBudget) {
+  SizeBlock& block = blockFor(n);
+  GlobalSolveResult result;
+  const std::int64_t conflictsBefore = solver_.conflicts();
+  auto outcome = solver_.solve({block.group.activation()}, conflictBudget);
+  result.satConflicts = solver_.conflicts() - conflictsBefore;
+  result.decided = outcome != sat::Result::Unknown;
+  if (outcome == sat::Result::Sat) {
+    result.feasible = true;
+    result.labels = decodeModel(n * n, block.label, solver_);
   }
   return result;
 }

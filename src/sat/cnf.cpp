@@ -43,4 +43,24 @@ DomainVar makeDomainVar(Solver& solver, int domain) {
   return dv;
 }
 
+ClauseGroup::ClauseGroup(Solver& solver) : guard_(solver.newVar()) {}
+
+bool ClauseGroup::addClause(Solver& solver, std::vector<int> clause) {
+  if (!open()) throw std::logic_error("ClauseGroup: add to a closed group");
+  clause.push_back(-guard_);
+  return solver.addClause(clause);
+}
+
+void ClauseGroup::retire(Solver& solver) {
+  if (!open()) return;
+  solver.addClause({-guard_});
+  closed_ = true;
+}
+
+void ClauseGroup::commit(Solver& solver) {
+  if (!open()) return;
+  solver.addClause({guard_});
+  closed_ = true;
+}
+
 }  // namespace lclgrid::sat

@@ -37,4 +37,44 @@ void addExactlyOne(Solver& solver, const std::vector<int>& lits);
 /// Creates a one-hot domain variable with its exactly-one constraint.
 DomainVar makeDomainVar(Solver& solver, int domain);
 
+/// A push/pop-style activation-literal layer: clauses added through a group
+/// carry the negated guard literal, so they only constrain solves that pass
+/// the group's activation() literal in their assumption set. This turns the
+/// incremental solver's assumptions into scoped clause sets:
+///
+///   ClauseGroup block(solver);              // "push"
+///   block.addClause(solver, {...});         // clauses live in the scope
+///   solver.solve({block.activation()}, -1); // solve with the scope active
+///   block.retire(solver);                   // "pop": clauses go dead
+///
+/// retire() pins the guard false, permanently satisfying (and thereby
+/// disabling) every clause of the group; commit() pins it true, promoting
+/// the group to unconditional clauses. Both are one unit clause -- no
+/// clause database surgery -- which is what keeps learnt clauses sound
+/// across the ladder: learnt clauses derived while a group was active
+/// mention its guard and die with it.
+class ClauseGroup {
+ public:
+  ClauseGroup() = default;
+  /// Allocates the guard variable in `solver`; the group starts active
+  /// (usable via assumption) and open (not retired or committed).
+  explicit ClauseGroup(Solver& solver);
+
+  /// DIMACS literal to include in solve() assumptions to activate the
+  /// group's clauses. Zero for a default-constructed (null) group.
+  int activation() const { return guard_; }
+  bool open() const { return guard_ != 0 && !closed_; }
+
+  /// Adds `clause \/ !guard` -- active only under activation().
+  bool addClause(Solver& solver, std::vector<int> clause);
+  /// Permanently disables the group (unit !guard).
+  void retire(Solver& solver);
+  /// Permanently enables the group (unit guard).
+  void commit(Solver& solver);
+
+ private:
+  int guard_ = 0;
+  bool closed_ = false;
+};
+
 }  // namespace lclgrid::sat

@@ -50,7 +50,7 @@ void loadInto(const Cnf& cnf, Solver& solver) {
   if (solver.numVars() != 0) {
     throw std::invalid_argument("loadInto: solver must be empty");
   }
-  for (int i = 0; i < cnf.numVars; ++i) solver.newVar();
+  solver.reserveVars(cnf.numVars);
   for (const auto& clause : cnf.clauses) solver.addClause(clause);
 }
 

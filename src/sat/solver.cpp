@@ -30,6 +30,12 @@ int Solver::newVar() {
   return var + 1;
 }
 
+void Solver::reserveVars(int count) {
+  assigns_.reserve(static_cast<std::size_t>(count));
+  watches_.reserve(2 * static_cast<std::size_t>(count));
+  while (numVars() < count) newVar();
+}
+
 Solver::Lit Solver::fromDimacs(int d) const {
   if (d == 0) throw std::invalid_argument("DIMACS literal 0");
   int var = std::abs(d) - 1;
@@ -362,11 +368,21 @@ std::int64_t Solver::luby(std::int64_t i) {
 }
 
 Result Solver::solve(std::int64_t conflictBudget) {
+  return solve({}, conflictBudget);
+}
+
+Result Solver::solve(const std::vector<int>& assumptions,
+                     std::int64_t conflictBudget) {
+  conflictCore_.clear();
   if (unsatisfiable_) return Result::Unsat;
   if (propagate() != kUndef) {
     unsatisfiable_ = true;
     return Result::Unsat;
   }
+
+  std::vector<Lit> assumps;
+  assumps.reserve(assumptions.size());
+  for (int d : assumptions) assumps.push_back(fromDimacs(d));
 
   std::int64_t restartNumber = 0;
   std::int64_t conflictsUntilRestart = kRestartBase * luby(restartNumber);
@@ -410,20 +426,75 @@ Result Solver::solve(std::int64_t conflictBudget) {
         learntLimit += learntLimit / 10;
       }
     } else {
-      Lit next = pickBranchLit();
-      if (next == kUndef) return Result::Sat;  // all variables assigned
-      ++stats_.decisions;
+      // Place pending assumptions as pseudo-decisions below real decisions;
+      // a restart or conflict backjump unwinds them and this loop replays
+      // the remainder, so assumptions always occupy the lowest levels.
+      Lit next = kUndef;
+      while (currentLevel() < static_cast<int>(assumps.size())) {
+        Lit p = assumps[static_cast<std::size_t>(currentLevel())];
+        std::uint8_t value = litValue(p);
+        if (value == kTrue) {
+          // Already implied: open an empty level so level indices keep
+          // lining up with assumption positions.
+          trailLimits_.push_back(static_cast<int>(trail_.size()));
+        } else if (value == kFalse) {
+          analyzeFinal(p);
+          backtrackTo(0);
+          return Result::Unsat;  // unsat under assumptions; solver stays ok()
+        } else {
+          next = p;
+          break;
+        }
+      }
+      if (next == kUndef) {
+        next = pickBranchLit();
+        if (next == kUndef) {  // all variables assigned
+          captureModel();
+          backtrackTo(0);
+          return Result::Sat;
+        }
+        ++stats_.decisions;
+      }
       trailLimits_.push_back(static_cast<int>(trail_.size()));
       enqueue(next, kUndef);
     }
   }
 }
 
+void Solver::analyzeFinal(Lit failedAssumption) {
+  conflictCore_.clear();
+  conflictCore_.push_back(toDimacs(failedAssumption));
+  if (currentLevel() == 0) return;
+  seen_[varOf(failedAssumption)] = 1;
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= trailLimits_[0]; --i) {
+    int var = varOf(trail_[i]);
+    if (!seen_[var]) continue;
+    if (reason_[var] == kUndef) {
+      // A decision below the first real decision level is an assumption:
+      // the trail literal is the assumption as passed by the caller.
+      conflictCore_.push_back(toDimacs(trail_[i]));
+    } else {
+      const Clause& clause = clauses_[reason_[var]];
+      for (std::size_t j = 1; j < clause.lits.size(); ++j) {
+        int other = varOf(clause.lits[j]);
+        if (level_[other] > 0) seen_[other] = 1;
+      }
+    }
+    seen_[var] = 0;
+  }
+  seen_[varOf(failedAssumption)] = 0;
+}
+
+void Solver::captureModel() {
+  model_.assign(assigns_.begin(), assigns_.end());
+}
+
 bool Solver::modelValue(int dimacsVar) const {
-  if (dimacsVar <= 0 || dimacsVar > numVars()) {
+  if (dimacsVar <= 0 ||
+      static_cast<std::size_t>(dimacsVar) > model_.size()) {
     throw std::out_of_range("modelValue: unknown variable");
   }
-  return assigns_[dimacsVar - 1] == kTrue;
+  return model_[static_cast<std::size_t>(dimacsVar) - 1] == kTrue;
 }
 
 // --- activity heap -----------------------------------------------------------

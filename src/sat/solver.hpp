@@ -12,11 +12,39 @@
 // negative integer denotes negation. addClause({}) makes the formula
 // unsatisfiable.
 //
+// Incremental contract: a Solver is a live object, not a one-shot decision
+// procedure. Every solve() call leaves the solver at decision level 0 with
+// the clause database (original and learnt) intact, so a caller may freely
+// interleave newVar / addClause / solve:
+//  * solve(assumptions): decides the formula under a conjunction of
+//    assumption literals, placed as pseudo-decisions below all search
+//    decisions. Learnt clauses never depend on assumptions (conflict
+//    analysis resolves them like decisions), so everything learnt in one
+//    call soundly persists into every later call -- this is what makes
+//    re-solving a growing formula cheap (the synthesis ladder, the seeded
+//    branch enumeration of solveGlobally, budget-staged deepening).
+//  * After Result::Sat, modelValue() reads a snapshot of the model; the
+//    trail itself is already unwound, so addClause / solve may follow
+//    immediately.
+//  * After Result::Unsat under assumptions, conflictCore() names the guilty
+//    subset of the assumptions; the solver stays usable (the formula itself
+//    is not marked unsatisfiable unless it is unsat under *no* assumptions,
+//    in which case the core is empty).
+//  * After Result::Unknown (conflict budget exhausted) the solver is back
+//    at level 0 with all clauses -- original and learnt -- retained and
+//    statistics advanced; any later call is valid, and re-solving with a
+//    larger (or no) budget resumes from the learnt state rather than from
+//    scratch. Unknown never corrupts or forgets anything.
+// Activation-literal clause groups (push/pop-style scoped clauses) are
+// layered on top of assumptions by cnf.hpp's ClauseGroup.
+//
 // Thread-safety contract: a Solver instance is single-threaded (every call
 // mutates instance state), but all state is per-instance -- no globals, no
 // caches shared between solvers -- so distinct instances run concurrently
 // on engine pool threads without synchronisation. This is what lets the
-// family sweep driver run one synthesis/probe pipeline per thread.
+// family sweep driver run one synthesis/probe pipeline per thread: each
+// pool task owns its solvers (IncrementalSynthesizer, FeasibilityProber)
+// outright and never shares them across tasks.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +60,10 @@ class Solver {
 
   /// Creates a fresh variable and returns its (1-based) DIMACS index.
   int newVar();
+  /// Ensures variables 1..count exist (no-op when numVars() >= count).
+  /// Incremental encoders reserve their block up front so DIMACS literals
+  /// can be laid out before any clause is added.
+  void reserveVars(int count);
   int numVars() const { return static_cast<int>(assigns_.size()); }
 
   /// Adds a clause of DIMACS literals. Returns false if the solver is
@@ -42,7 +74,26 @@ class Solver {
   /// Solves the formula. conflictBudget < 0 means no limit.
   Result solve(std::int64_t conflictBudget = -1);
 
-  /// Value of a variable in the model after solve() returned Sat.
+  /// Solves the formula under a conjunction of assumption literals
+  /// (DIMACS convention). On Unsat, conflictCore() holds the guilty subset
+  /// of the assumptions; an empty core means the formula is unsat on its
+  /// own. conflictBudget < 0 means no limit; the budget counts conflicts
+  /// of this call only.
+  Result solve(const std::vector<int>& assumptions,
+               std::int64_t conflictBudget);
+
+  /// The final-conflict core of the most recent solve() that returned
+  /// Unsat: a subset of the assumption literals passed to that call whose
+  /// conjunction is inconsistent with the formula. Empty when the formula
+  /// is unsatisfiable without any assumptions.
+  const std::vector<int>& conflictCore() const { return conflictCore_; }
+
+  /// True until the formula itself (independent of any assumptions) has
+  /// been proven unsatisfiable.
+  bool ok() const { return !unsatisfiable_; }
+
+  /// Value of a variable in the model snapshot taken when solve() last
+  /// returned Sat. Variables created after that solve have no model value.
   bool modelValue(int dimacsVar) const;
 
   // --- statistics ---
@@ -85,10 +136,15 @@ class Solver {
     std::int64_t learnt = 0;
   };
 
+  static int toDimacs(Lit l) { return signOf(l) ? -(varOf(l) + 1) : varOf(l) + 1; }
   std::uint8_t litValue(Lit l) const;
   void enqueue(Lit l, int reason);
   int propagate();  // returns conflicting clause index or kUndef
   void analyze(int conflictClause, std::vector<Lit>& learnt, int& backtrackLevel);
+  /// Final-conflict analysis for a falsified assumption: collects the
+  /// assumption decisions that imply the falsification into conflictCore_.
+  void analyzeFinal(Lit failedAssumption);
+  void captureModel();
   bool litRedundant(Lit l, std::uint32_t abstractLevels);
   void backtrackTo(int level);
   Lit pickBranchLit();
@@ -130,6 +186,8 @@ class Solver {
   std::vector<Lit> analyzeStack_;
 
   std::vector<int> learntIndices_;
+  std::vector<std::uint8_t> model_;  // snapshot of assigns_ at the last Sat
+  std::vector<int> conflictCore_;    // DIMACS lits; see conflictCore()
   bool unsatisfiable_ = false;
   Stats stats_;
 };

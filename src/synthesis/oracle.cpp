@@ -19,11 +19,22 @@ OracleReport classifyOnGrid(const GridLcl& lcl, const OracleOptions& options) {
   OracleReport report;
 
   // Feasibility probe first: it both detects parity-obstructed problems and
-  // provides evidence for the "global" verdict.
+  // provides evidence for the "global" verdict. The incremental regime
+  // holds every probed size on one live solver (FeasibilityProber);
+  // verdicts are identical to the fresh-per-size reference path, which is
+  // kept for the differential suite and the LCLGRID_INCREMENTAL_SAT=0
+  // escape hatch.
   bool unsolvableSomewhere = false;
+  std::optional<FeasibilityProber> prober;
+  if (options.synthesis.incremental) prober.emplace(lcl);
   for (int n : options.probeSizes) {
-    Torus2D torus(n);
-    auto probe = solveGlobally(torus, lcl, 0, options.probeConflictBudget);
+    GlobalSolveResult probe;
+    if (prober) {
+      probe = prober->probe(n, options.probeConflictBudget);
+    } else {
+      Torus2D torus(n);
+      probe = solveGlobally(torus, lcl, 0, options.probeConflictBudget);
+    }
     // An undecided probe (budget exhausted) is reported as feasible=true in
     // the sense of "not proven unsolvable".
     bool feasible = probe.feasible || !probe.decided;

@@ -1,11 +1,19 @@
 #include "synthesis/synthesizer.hpp"
 
 #include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
 
 #include "sat/cnf.hpp"
 #include "tiles/enumerator.hpp"
 
 namespace lclgrid::synthesis {
+
+bool incrementalSatDefault() {
+  const char* env = std::getenv("LCLGRID_INCREMENTAL_SAT");
+  return env == nullptr || std::string_view(env) != "0";
+}
 
 std::vector<tiles::TileShape> candidateShapes(const GridLcl& lcl, int k,
                                               bool wider) {
@@ -39,9 +47,118 @@ std::vector<tiles::TileShape> candidateShapes(const GridLcl& lcl, int k,
   return shapes;
 }
 
-SynthesisAttempt synthesizeForShape(const GridLcl& lcl, int k,
-                                    tiles::TileShape shape,
-                                    std::int64_t satConflictBudget) {
+namespace {
+
+/// One-hot label variables for every tile, with the exactly-one constraints
+/// routed through `add` so the incremental path can guard them with its
+/// activation literal. The fresh path's `add` is a plain solver.addClause,
+/// which reproduces makeDomainVar() clause for clause.
+template <typename AddClause>
+std::vector<sat::DomainVar> makeTileLabels(sat::Solver& solver, int tileCount,
+                                           int sigma, AddClause&& add) {
+  std::vector<sat::DomainVar> label;
+  label.reserve(static_cast<std::size_t>(tileCount));
+  std::vector<int> atLeastOne;
+  for (int t = 0; t < tileCount; ++t) {
+    sat::DomainVar dv(solver, sigma);
+    atLeastOne.clear();
+    for (int v = 0; v < sigma; ++v) atLeastOne.push_back(dv.is(v));
+    add(atLeastOne);
+    for (int a = 0; a < sigma; ++a) {
+      for (int b = a + 1; b < sigma; ++b) {
+        add({dv.isNot(a), dv.isNot(b)});
+      }
+    }
+    label.push_back(dv);
+  }
+  return label;
+}
+
+/// Emits every blocking clause of the synthesis CSP through `add`; shared by
+/// the fresh and incremental paths so both encode the identical instance.
+/// Returns the number of blocking clauses (the attempt's clauseCount).
+template <typename AddClause>
+long long encodeConstraints(const GridLcl& lcl,
+                            const ConstraintSystem& constraints,
+                            const std::vector<sat::DomainVar>& label,
+                            AddClause&& add) {
+  const int sigma = lcl.sigma();
+  long long clauses = 0;
+
+  if (constraints.edgeDecomposable) {
+    for (const TilePair& pair : constraints.horizontal) {
+      for (int a = 0; a < sigma; ++a) {
+        for (int b = 0; b < sigma; ++b) {
+          if (lcl.horizontalOk(a, b)) continue;
+          add({label[static_cast<std::size_t>(pair.a)].isNot(a),
+               label[static_cast<std::size_t>(pair.b)].isNot(b)});
+          ++clauses;
+        }
+      }
+    }
+    for (const TilePair& pair : constraints.vertical) {
+      for (int a = 0; a < sigma; ++a) {
+        for (int b = 0; b < sigma; ++b) {
+          if (lcl.verticalOk(a, b)) continue;
+          add({label[static_cast<std::size_t>(pair.a)].isNot(a),
+               label[static_cast<std::size_t>(pair.b)].isNot(b)});
+          ++clauses;
+        }
+      }
+    }
+    return clauses;
+  }
+
+  // One blocking clause per forbidden table row and tile cross; the
+  // compiled table walks only the dependent positions (fully-allowed
+  // rows are skipped a word at a time). Uncompiled problems fall back
+  // to the seed's sigma^5 predicate enumeration.
+  const std::uint8_t deps = lcl.deps();
+  const bool useN = deps & kDepN, useE = deps & kDepE;
+  const bool useS = deps & kDepS, useW = deps & kDepW;
+  std::vector<int> clause;
+  for (const TileCross& cross : constraints.crosses) {
+    auto blockTuple = [&](int c, int n, int e, int s, int w) {
+      clause.clear();
+      clause.push_back(label[static_cast<std::size_t>(cross.centre)].isNot(c));
+      if (useN)
+        clause.push_back(label[static_cast<std::size_t>(cross.north)].isNot(n));
+      if (useE)
+        clause.push_back(label[static_cast<std::size_t>(cross.east)].isNot(e));
+      if (useS)
+        clause.push_back(label[static_cast<std::size_t>(cross.south)].isNot(s));
+      if (useW)
+        clause.push_back(label[static_cast<std::size_t>(cross.west)].isNot(w));
+      add(clause);
+      ++clauses;
+    };
+    if (lcl.hasTable()) {
+      lcl.table().forEachForbidden(blockTuple);
+    } else {
+      for (int c = 0; c < sigma; ++c) {
+        for (int n = 0; n < (useN ? sigma : 1); ++n) {
+          for (int e = 0; e < (useE ? sigma : 1); ++e) {
+            for (int s = 0; s < (useS ? sigma : 1); ++s) {
+              for (int w = 0; w < (useW ? sigma : 1); ++w) {
+                if (!lcl.allows(c, n, e, s, w)) blockTuple(c, n, e, s, w);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return clauses;
+}
+
+/// The fresh-regime attempt: encode (k, shape) into the throwaway `solver`
+/// with unconditional clauses and solve. The incremental regime reuses the
+/// same generators (makeTileLabels / encodeConstraints) through its
+/// activation-gated ClauseGroup instead.
+SynthesisAttempt attemptOn(const GridLcl& lcl, int k, tiles::TileShape shape,
+                           std::int64_t satConflictBudget,
+                           sat::Solver& solver) {
+  auto add = [&](const std::vector<int>& clause) { solver.addClause(clause); };
   SynthesisAttempt attempt;
   attempt.k = k;
   attempt.shape = shape;
@@ -64,85 +181,8 @@ SynthesisAttempt synthesizeForShape(const GridLcl& lcl, int k,
     return finish();
   }
 
-  // SAT encoding: a one-hot label per tile plus blocking clauses for every
-  // violating label combination on every tile adjacency.
-  sat::Solver solver;
-  const int sigma = lcl.sigma();
-  std::vector<sat::DomainVar> label;
-  label.reserve(static_cast<std::size_t>(tileSet.size()));
-  for (int t = 0; t < tileSet.size(); ++t) {
-    label.push_back(sat::makeDomainVar(solver, sigma));
-  }
-  long long clauses = 0;
-
-  if (constraints.edgeDecomposable) {
-    for (const TilePair& pair : constraints.horizontal) {
-      for (int a = 0; a < sigma; ++a) {
-        for (int b = 0; b < sigma; ++b) {
-          if (lcl.horizontalOk(a, b)) continue;
-          solver.addClause({label[static_cast<std::size_t>(pair.a)].isNot(a),
-                            label[static_cast<std::size_t>(pair.b)].isNot(b)});
-          ++clauses;
-        }
-      }
-    }
-    for (const TilePair& pair : constraints.vertical) {
-      for (int a = 0; a < sigma; ++a) {
-        for (int b = 0; b < sigma; ++b) {
-          if (lcl.verticalOk(a, b)) continue;
-          solver.addClause({label[static_cast<std::size_t>(pair.a)].isNot(a),
-                            label[static_cast<std::size_t>(pair.b)].isNot(b)});
-          ++clauses;
-        }
-      }
-    }
-  } else {
-    // One blocking clause per forbidden table row and tile cross; the
-    // compiled table walks only the dependent positions (fully-allowed
-    // rows are skipped a word at a time). Uncompiled problems fall back
-    // to the seed's sigma^5 predicate enumeration.
-    const std::uint8_t deps = lcl.deps();
-    const bool useN = deps & kDepN, useE = deps & kDepE;
-    const bool useS = deps & kDepS, useW = deps & kDepW;
-    std::vector<int> clause;
-    for (const TileCross& cross : constraints.crosses) {
-      auto blockTuple = [&](int c, int n, int e, int s, int w) {
-        clause.clear();
-        clause.push_back(
-            label[static_cast<std::size_t>(cross.centre)].isNot(c));
-        if (useN)
-          clause.push_back(
-              label[static_cast<std::size_t>(cross.north)].isNot(n));
-        if (useE)
-          clause.push_back(
-              label[static_cast<std::size_t>(cross.east)].isNot(e));
-        if (useS)
-          clause.push_back(
-              label[static_cast<std::size_t>(cross.south)].isNot(s));
-        if (useW)
-          clause.push_back(
-              label[static_cast<std::size_t>(cross.west)].isNot(w));
-        solver.addClause(clause);
-        ++clauses;
-      };
-      if (lcl.hasTable()) {
-        lcl.table().forEachForbidden(blockTuple);
-      } else {
-        for (int c = 0; c < sigma; ++c) {
-          for (int n = 0; n < (useN ? sigma : 1); ++n) {
-            for (int e = 0; e < (useE ? sigma : 1); ++e) {
-              for (int s = 0; s < (useS ? sigma : 1); ++s) {
-                for (int w = 0; w < (useW ? sigma : 1); ++w) {
-                  if (!lcl.allows(c, n, e, s, w)) blockTuple(c, n, e, s, w);
-                }
-              }
-            }
-          }
-        }
-      }
-    }
-  }
-  attempt.clauseCount = clauses;
+  auto label = makeTileLabels(solver, tileSet.size(), lcl.sigma(), add);
+  attempt.clauseCount = encodeConstraints(lcl, constraints, label, add);
 
   sat::Result outcome = solver.solve(satConflictBudget);
   attempt.satConflicts = solver.conflicts();
@@ -169,13 +209,16 @@ SynthesisAttempt synthesizeForShape(const GridLcl& lcl, int k,
   return finish();
 }
 
-SynthesisResult synthesize(const GridLcl& lcl, const SynthesisOptions& options) {
+/// The ladder loop shared by the two regimes.
+template <typename Attempt>
+SynthesisResult runLadder(const GridLcl& lcl, const SynthesisOptions& options,
+                          Attempt&& attemptShape) {
   SynthesisResult result;
   for (int k = 1; k <= options.maxK; ++k) {
     for (const tiles::TileShape& shape :
          candidateShapes(lcl, k, options.tryWiderShapes)) {
       SynthesisAttempt attempt =
-          synthesizeForShape(lcl, k, shape, options.satConflictBudget);
+          attemptShape(k, shape, options.satConflictBudget);
       bool success = attempt.success;
       if (success) {
         result.rule = std::move(attempt.rule);
@@ -189,6 +232,124 @@ SynthesisResult synthesize(const GridLcl& lcl, const SynthesisOptions& options) 
     }
   }
   return result;
+}
+
+}  // namespace
+
+SynthesisAttempt synthesizeForShape(const GridLcl& lcl, int k,
+                                    tiles::TileShape shape,
+                                    std::int64_t satConflictBudget) {
+  sat::Solver solver;
+  return attemptOn(lcl, k, shape, satConflictBudget, solver);
+}
+
+IncrementalSynthesizer::IncrementalSynthesizer(const GridLcl& lcl)
+    : lcl_(lcl) {}
+
+SynthesisAttempt IncrementalSynthesizer::attemptShape(
+    int k, tiles::TileShape shape, std::int64_t satConflictBudget) {
+  auto startTime = std::chrono::steady_clock::now();
+  // Retire the previous instance: one unit clause kills its whole group,
+  // including every learnt clause that mentioned its activation literal.
+  if (activeGroup_.open()) activeGroup_.retire(solver_);
+  activeGroup_ = sat::ClauseGroup(solver_);
+  active_ = ActiveInstance{};
+  active_.k = k;
+  active_.shape = shape;
+  active_.tileSet = tiles::enumerateTiles(k, shape.height, shape.width);
+
+  ConstraintSystem constraints;
+  try {
+    constraints = buildConstraints(lcl_, active_.tileSet);
+  } catch (const std::invalid_argument&) {
+    SynthesisAttempt attempt;
+    attempt.k = k;
+    attempt.shape = shape;
+    attempt.tileCount = active_.tileSet.size();
+    attempt.failureReason = "window too large to encode";
+    attempt.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - startTime)
+                          .count();
+    return attempt;
+  }
+
+  auto add = [&](const std::vector<int>& clause) {
+    activeGroup_.addClause(solver_, clause);
+  };
+  active_.label =
+      makeTileLabels(solver_, active_.tileSet.size(), lcl_.sigma(), add);
+  active_.clauseCount = encodeConstraints(lcl_, constraints, active_.label, add);
+  active_.encodable = true;
+  return solveActive(satConflictBudget, startTime);
+}
+
+SynthesisAttempt IncrementalSynthesizer::resolveActive(
+    std::int64_t satConflictBudget) {
+  if (!active_.encodable) {
+    throw std::logic_error(
+        "IncrementalSynthesizer::resolveActive: no encoded instance");
+  }
+  return solveActive(satConflictBudget, std::chrono::steady_clock::now());
+}
+
+SynthesisAttempt IncrementalSynthesizer::solveActive(
+    std::int64_t satConflictBudget,
+    std::chrono::steady_clock::time_point startTime) {
+  SynthesisAttempt attempt;
+  attempt.k = active_.k;
+  attempt.shape = active_.shape;
+  attempt.tileCount = active_.tileSet.size();
+  attempt.clauseCount = active_.clauseCount;
+  auto finish = [&]() {
+    attempt.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - startTime)
+                          .count();
+    return attempt;
+  };
+
+  const std::int64_t conflictsBefore = solver_.conflicts();
+  sat::Result outcome =
+      solver_.solve({activeGroup_.activation()}, satConflictBudget);
+  attempt.satConflicts = solver_.conflicts() - conflictsBefore;
+  if (outcome == sat::Result::Unknown) {
+    attempt.failureReason = "sat budget exhausted";
+    return finish();
+  }
+  if (outcome == sat::Result::Unsat) {
+    attempt.failureReason = "unsat";
+    return finish();
+  }
+
+  SynthesizedRule rule;
+  rule.k = active_.k;
+  rule.shape = active_.shape;
+  rule.labelOf.resize(static_cast<std::size_t>(active_.tileSet.size()));
+  for (int t = 0; t < active_.tileSet.size(); ++t) {
+    rule.labelOf[static_cast<std::size_t>(t)] =
+        active_.label[static_cast<std::size_t>(t)].decode(solver_);
+  }
+  rule.tileSet = active_.tileSet;  // copy: the instance stays live
+  attempt.success = true;
+  attempt.rule = std::move(rule);
+  return finish();
+}
+
+SynthesisResult IncrementalSynthesizer::run(const SynthesisOptions& options) {
+  return runLadder(lcl_, options,
+                   [&](int k, tiles::TileShape shape, std::int64_t budget) {
+                     return attemptShape(k, shape, budget);
+                   });
+}
+
+SynthesisResult synthesize(const GridLcl& lcl, const SynthesisOptions& options) {
+  if (options.incremental) {
+    IncrementalSynthesizer synthesizer(lcl);
+    return synthesizer.run(options);
+  }
+  return runLadder(lcl, options,
+                   [&](int k, tiles::TileShape shape, std::int64_t budget) {
+                     return synthesizeForShape(lcl, k, shape, budget);
+                   });
 }
 
 }  // namespace lclgrid::synthesis

@@ -419,5 +419,78 @@ TEST(CycleWindowTable, OutOfAlphabetCycleLabelsRejected) {
   EXPECT_FALSE(lcl.verifyCycle(labels));
 }
 
+// --- fingerprint properties (the family-sweep cache key) --------------------
+
+TEST(Fingerprint, EqualTablesHashEqualAcrossConstructionPaths) {
+  // Equal content => equal fingerprint, regardless of how the table was
+  // built: a re-compile of the same predicate, the identity remap, and a
+  // repeated disjointUnion must all collide with their originals exactly.
+  for (const GridLcl& lcl : problemRegistry()) {
+    const LclTable& table = lcl.table();
+    LclTable recompiled =
+        LclTable::compile(lcl.sigma(), lcl.deps(), lcl.predicate());
+    EXPECT_TRUE(table.sameContent(recompiled)) << lcl.name();
+    EXPECT_EQ(table.fingerprint(), recompiled.fingerprint()) << lcl.name();
+
+    std::vector<int> identity(static_cast<std::size_t>(lcl.sigma()));
+    for (int i = 0; i < lcl.sigma(); ++i) {
+      identity[static_cast<std::size_t>(i)] = i;
+    }
+    LclTable remapped = LclTable::remap(table, identity);
+    EXPECT_TRUE(table.sameContent(remapped)) << lcl.name();
+    EXPECT_EQ(table.fingerprint(), remapped.fingerprint()) << lcl.name();
+  }
+
+  const LclTable& p = problems::independentSet().table();
+  const LclTable& q = problems::maximalIndependentSet().table();
+  EXPECT_EQ(LclTable::disjointUnion(p, q).fingerprint(),
+            LclTable::disjointUnion(p, q).fingerprint());
+}
+
+TEST(Fingerprint, NearCollidingTablesAreDistinguished) {
+  // The cache's collision guard: tables that differ in exactly one tuple
+  // (the hardest near-collision to separate) must differ in sameContent --
+  // and, for FNV-1a over the rows, in fingerprint as well. sweepFamily
+  // compares sameContent behind the hash, so even an engineered 64-bit
+  // collision could never alias two different relations.
+  const int sigma = 3;
+  const std::uint8_t deps = kDepN | kDepE;
+  auto base = [](int c, int n, int e, int, int) {
+    return (c + n + e) % 3 != 0;
+  };
+  LclTable baseTable = LclTable::compile(sigma, deps, base);
+  LclTable baseAgain = LclTable::compile(sigma, deps, base);
+  ASSERT_TRUE(baseTable.sameContent(baseAgain));
+
+  for (int fc = 0; fc < sigma; ++fc) {
+    for (int fn = 0; fn < sigma; ++fn) {
+      for (int fe = 0; fe < sigma; ++fe) {
+        auto flipped = [&](int c, int n, int e, int s, int w) {
+          bool value = base(c, n, e, s, w);
+          if (c == fc && n == fn && e == fe) return !value;
+          return value;
+        };
+        LclTable flippedTable = LclTable::compile(sigma, deps, flipped);
+        EXPECT_FALSE(baseTable.sameContent(flippedTable))
+            << "flip at (" << fc << "," << fn << "," << fe << ")";
+        EXPECT_NE(baseTable.fingerprint(), flippedTable.fingerprint())
+            << "flip at (" << fc << "," << fn << "," << fe << ")";
+      }
+    }
+  }
+}
+
+TEST(Fingerprint, DepsMaskIsPartOfTheContent) {
+  // The same relation compiled under different dependency masks stores
+  // different rows; the guard must separate them too (documented on
+  // LclTable::fingerprint).
+  const int sigma = 2;
+  auto alwaysTrue = [](int, int, int, int, int) { return true; };
+  LclTable narrow = LclTable::compile(sigma, kDepN, alwaysTrue);
+  LclTable wide = LclTable::compile(sigma, kDepN | kDepE, alwaysTrue);
+  EXPECT_FALSE(narrow.sameContent(wide));
+  EXPECT_NE(narrow.fingerprint(), wide.fingerprint());
+}
+
 }  // namespace
 }  // namespace lclgrid

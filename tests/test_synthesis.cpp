@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "lcl/problems.hpp"
 #include "lcl/verifier.hpp"
 #include "local/graph_view.hpp"
@@ -178,6 +181,84 @@ TEST(Oracle, ReportsFeasibilityProbe) {
   EXPECT_TRUE(report.feasibility[0].second);   // n=4 even
   EXPECT_FALSE(report.feasibility[1].second);  // n=5 odd
   EXPECT_TRUE(report.feasibility[2].second);   // n=6 even
+}
+
+TEST(IncrementalSynthesis, LadderMatchesFreshRegime) {
+  // synthesize() must reach the same verdict, rule shape and attempt ladder
+  // whichever regime SynthesisOptions::incremental selects. (The full
+  // registry version of this lives in tests/test_differential.cpp.)
+  for (bool wider : {false, true}) {
+    SynthesisOptions fresh;
+    fresh.maxK = 3;
+    fresh.tryWiderShapes = wider;
+    fresh.incremental = false;
+    SynthesisOptions incremental = fresh;
+    incremental.incremental = true;
+
+    auto lcl = problems::vertexColouring(4);
+    auto a = synthesize(lcl, fresh);
+    auto b = synthesize(lcl, incremental);
+    ASSERT_TRUE(a.success);
+    ASSERT_TRUE(b.success);
+    EXPECT_EQ(a.rule->k, b.rule->k);
+    EXPECT_TRUE(a.rule->shape == b.rule->shape);
+    ASSERT_EQ(a.attempts.size(), b.attempts.size());
+    for (std::size_t i = 0; i < a.attempts.size(); ++i) {
+      EXPECT_EQ(a.attempts[i].success, b.attempts[i].success);
+      EXPECT_EQ(a.attempts[i].failureReason, b.attempts[i].failureReason);
+      EXPECT_EQ(a.attempts[i].tileCount, b.attempts[i].tileCount);
+      EXPECT_EQ(a.attempts[i].clauseCount, b.attempts[i].clauseCount);
+    }
+  }
+}
+
+TEST(IncrementalSynthesis, SynthesizedRuleExecutes) {
+  // The incremental regime's rule is decoded from a live solver's model
+  // snapshot; it must drive the normal-form algorithm end to end.
+  SynthesisOptions options;
+  options.incremental = true;
+  auto lcl = problems::vertexColouring(4);
+  auto result = synthesize(lcl, options);
+  ASSERT_TRUE(result.success);
+  NormalFormAlgorithm algorithm(*result.rule);
+  Torus2D torus(24);
+  auto run = algorithm.execute(torus, local::randomIds(torus.size(), 11));
+  ASSERT_TRUE(run.solved) << run.failure;
+  EXPECT_TRUE(verify(torus, lcl, run.labels));
+}
+
+TEST(IncrementalSynthesis, ResolveActiveResumesAfterBudgetExhaustion) {
+  // Budget-staged deepening: an Unknown attempt is resumed in place (no
+  // re-encode) and must converge to the fresh verdict, spending conflicts
+  // across stages rather than restarting from zero.
+  auto lcl = problems::vertexColouring(4);
+  IncrementalSynthesizer live(lcl);
+  auto attempt = live.attemptShape(3, tiles::TileShape{7, 5}, 8);
+  int stages = 1;
+  while (!attempt.success && attempt.failureReason == "sat budget exhausted") {
+    attempt = live.resolveActive(16 << stages);
+    ++stages;
+    ASSERT_LE(stages, 40);
+  }
+  EXPECT_TRUE(attempt.success);
+  ASSERT_TRUE(attempt.rule.has_value());
+  EXPECT_EQ(static_cast<int>(attempt.rule->labelOf.size()), 2079);
+  EXPECT_GT(stages, 1) << "budget 8 was expected to exhaust at least once";
+}
+
+TEST(IncrementalSynthesis, ResolveActiveWithoutInstanceThrows) {
+  auto lcl = problems::vertexColouring(3);
+  IncrementalSynthesizer live(lcl);
+  EXPECT_THROW(live.resolveActive(), std::logic_error);
+}
+
+TEST(IncrementalSynthesis, DefaultHonoursEnvironmentToggle) {
+  // CI runs the whole shard under LCLGRID_INCREMENTAL_SAT=0/1; the options
+  // default must track the toggle (unset or "1" => incremental).
+  const char* env = std::getenv("LCLGRID_INCREMENTAL_SAT");
+  const bool expected = env == nullptr || std::string(env) != "0";
+  EXPECT_EQ(incrementalSatDefault(), expected);
+  EXPECT_EQ(SynthesisOptions{}.incremental, expected);
 }
 
 TEST(Constraints, EdgeDecomposableUsesPairConstraints) {
