@@ -1,20 +1,29 @@
 // Verification throughput: the compiled-table batched engine (serial and
 // sharded across the engine's work-stealing pool) vs. the seed's functional
-// path (std::function predicate + Torus2D::step per node). Reports verified
-// nodes/sec per path and the speedup ratios, as JSON in the repo-wide
-// {name, config, results[]} schema for the perf trajectory.
+// path (std::function predicate + step calls per node), swept over torus
+// dimensions. d = 2 measures the Torus2D/LclTable stack; d = 3 and d = 4
+// measure the TorusD/LclTableD stack (whose d = 2 case delegates to the 2D
+// table, so there is exactly one 2D code path to benchmark). Reports
+// verified nodes/sec per (dims, path) and the speedup ratios, as JSON in
+// the repo-wide {name, config, results[]} schema for the perf trajectory.
 //
 // Usage: bench_verify_throughput [n] [min_seconds] [--threads N]
-//   n            torus side (default 512)
+//                                [--dims LIST] [--smoke]
+//   n            2D torus side (default 512); the d >= 3 sides are derived
+//                as floor((n*n)^(1/d)) so every sweep touches ~n^2 nodes
 //   min_seconds  measurement window per path (default 1.0)
 //   --threads N  lanes for the sharded paths (default: hardware concurrency)
+//   --dims LIST  comma-separated dimension list (default "2,3,4")
+//   --smoke      tiny sizes and windows for CI (n = 32, min_seconds = 0.02)
 //
-// The functional baseline is a faithful transcription of the seed's
-// listViolations inner loop; the table path is lcl::countViolations, whose
-// kernel walks flat row buffers and does one table-row load plus a bit test
-// per node; the sharded path runs the same kernel split by grid rows with
-// per-shard accumulators -- its violation count must be bit-identical.
+// The functional baselines are faithful transcriptions of the seed-style
+// per-node loop (std::function dispatch plus torus step calls); the table
+// paths are lcl countViolations, whose kernels walk flat line buffers and
+// do one table-row load plus a bit test per node; the sharded paths run
+// the same kernels split along the outermost axes with chunk-ordered
+// accumulators -- their violation counts must be bit-identical.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +33,8 @@
 
 #include "engine/thread_pool.hpp"
 #include "grid/torus2d.hpp"
+#include "grid/torusd.hpp"
+#include "lcl/grid_lcl_d.hpp"
 #include "lcl/problems.hpp"
 #include "lcl/verifier.hpp"
 #include "support/json.hpp"
@@ -32,8 +43,9 @@ using namespace lclgrid;
 
 namespace {
 
-/// The seed's per-node verification loop, kept as the measurement baseline:
-/// four Torus2D::step calls and one std::function dispatch per node.
+/// The seed's per-node verification loop on Torus2D, kept as the 2D
+/// measurement baseline: four Torus2D::step calls and one std::function
+/// dispatch per node.
 std::int64_t functionalCountViolations(const Torus2D& torus,
                                        const GridLcl::Predicate& ok,
                                        int sigma,
@@ -54,6 +66,33 @@ std::int64_t functionalCountViolations(const Torus2D& torus,
   return bad;
 }
 
+/// The same seed-style loop on TorusD: 2d TorusD::step calls and one
+/// std::function dispatch per node -- the slow functional path the
+/// compiled LclTableD kernel replaces.
+std::int64_t functionalCountViolationsD(const TorusD& torus,
+                                        const GridLclD::Predicate& ok,
+                                        int sigma,
+                                        std::span<const int> labels) {
+  const int dims = torus.dims();
+  std::vector<int> nbrs(static_cast<std::size_t>(2 * dims), 0);
+  std::int64_t bad = 0;
+  for (long long v = 0; v < torus.size(); ++v) {
+    int c = labels[static_cast<std::size_t>(v)];
+    if (c < 0 || c >= sigma) {
+      ++bad;
+      continue;
+    }
+    for (int a = 0; a < dims; ++a) {
+      nbrs[static_cast<std::size_t>(2 * a)] =
+          labels[static_cast<std::size_t>(torus.step(v, a, true))];
+      nbrs[static_cast<std::size_t>(2 * a + 1)] =
+          labels[static_cast<std::size_t>(torus.step(v, a, false))];
+    }
+    if (!ok(c, nbrs)) ++bad;
+  }
+  return bad;
+}
+
 double secondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
@@ -61,17 +100,23 @@ double secondsSince(std::chrono::steady_clock::time_point start) {
 }
 
 struct PathResult {
+  int dims = 2;
+  int n = 0;
+  std::string problem;  // the sweep's actual problem name (per dimension)
   std::string path;
   double seconds = 0.0;
   double nodesPerSec = 0.0;
   long long passes = 0;
-  std::int64_t violations = 0;  // checksum: must match across paths
+  std::int64_t violations = 0;  // checksum: must match within a sweep
 };
 
 template <typename Body>
-PathResult measure(std::string path, std::int64_t nodesPerPass,
-                   double minSeconds, Body&& body) {
+PathResult measure(int dims, int n, std::string path,
+                   std::int64_t nodesPerPass, double minSeconds,
+                   Body&& body) {
   PathResult result;
+  result.dims = dims;
+  result.n = n;
   result.path = std::move(path);
   // Warm-up pass (page in the labelling and the table).
   result.violations = body();
@@ -86,16 +131,48 @@ PathResult measure(std::string path, std::int64_t nodesPerPass,
   return result;
 }
 
+/// Side of the d-dimensional sweep: the largest side with side^d <= n2d^2
+/// nodes. Computed with an exact integer check around the floating-point
+/// root -- floor(pow(...)) alone undershoots exact roots on some libms
+/// (e.g. pow(512*512, 1/3) = 63.999...), which would silently change the
+/// recorded sweep sizes across platforms.
+int sideForDims(int n2d, int dims) {
+  const double nodes = static_cast<double>(n2d) * n2d;
+  int side = static_cast<int>(std::floor(
+      std::pow(nodes, 1.0 / static_cast<double>(dims))));
+  auto fits = [&](int candidate) {
+    double total = 1.0;
+    for (int a = 0; a < dims; ++a) total *= candidate;
+    return total <= nodes;
+  };
+  while (fits(side + 1)) ++side;
+  while (side > 4 && !fits(side)) --side;
+  return std::max(4, side);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int n = 512;
   double minSeconds = 1.0;
   int threads = engine::defaultThreads();
+  std::vector<int> dimsList = {2, 3, 4};
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dims") == 0 && i + 1 < argc) {
+      dimsList.clear();
+      for (const char* cursor = argv[++i]; *cursor != '\0';) {
+        char* end = nullptr;
+        const long dims = std::strtol(cursor, &end, 10);
+        if (end == cursor) break;
+        dimsList.push_back(static_cast<int>(dims));
+        cursor = *end == ',' ? end + 1 : end;
+      }
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      n = 32;
+      minSeconds = 0.02;
     } else if (positional == 0) {
       n = std::atoi(argv[i]);
       ++positional;
@@ -104,89 +181,153 @@ int main(int argc, char** argv) {
       ++positional;
     }
   }
-  if (n < 1 || threads < 1) {
+  bool dimsOk = !dimsList.empty();
+  for (int dims : dimsList) dimsOk = dimsOk && dims >= 1 && dims <= 8;
+  if (n < 4 || threads < 1 || !dimsOk) {
     std::fprintf(stderr,
-                 "usage: %s [n] [min_seconds] [--threads N] (n, N >= 1)\n",
+                 "usage: %s [n] [min_seconds] [--threads N] [--dims LIST] "
+                 "[--smoke] (n >= 4, N >= 1, dims in [1, 8])\n",
                  argv[0]);
     return 2;
   }
 
-  Torus2D torus(n);
-  GridLcl lcl = problems::vertexColouring(4);
   engine::ThreadPool pool(threads);
   engine::EngineOptions engineOptions{.threads = threads, .pool = &pool};
-
-  // Feasible diagonal 4-colouring when 4 | n; the full grid is scanned
-  // either way, so feasibility only affects the violation checksum.
-  std::vector<int> labels(static_cast<std::size_t>(torus.size()));
-  for (int v = 0; v < torus.size(); ++v) {
-    labels[static_cast<std::size_t>(v)] = (torus.xOf(v) + torus.yOf(v)) % 4;
-  }
-
-  const std::int64_t nodes = torus.size();
-  std::vector<PathResult> results;
-  results.push_back(measure("functional", nodes, minSeconds, [&]() {
-    return functionalCountViolations(torus, lcl.predicate(), lcl.sigma(),
-                                     labels);
-  }));
-  results.push_back(measure("table", nodes, minSeconds, [&]() {
-    return countViolations(torus, lcl, labels);
-  }));
-  results.push_back(measure("table_sharded", nodes, minSeconds, [&]() {
-    return countViolations(torus, lcl, labels, engineOptions);
-  }));
-
-  // Batched paths: 8 labellings back-to-back through one call.
   const int batchSize = 8;
-  std::vector<int> batch;
-  batch.reserve(labels.size() * static_cast<std::size_t>(batchSize));
-  for (int i = 0; i < batchSize; ++i) {
-    batch.insert(batch.end(), labels.begin(), labels.end());
-  }
-  auto sumCounts = [&](const std::vector<std::int64_t>& counts) {
-    std::int64_t total = 0;
-    for (auto count : counts) total += count;
-    return total / batchSize;
-  };
-  results.push_back(
-      measure("batched", nodes * batchSize, minSeconds, [&]() {
-        return sumCounts(countViolationsBatch(torus, lcl, batch));
-      }));
-  results.push_back(
-      measure("batched_sharded", nodes * batchSize, minSeconds, [&]() {
-        return sumCounts(countViolationsBatch(torus, lcl, batch, engineOptions));
-      }));
+  const int colours = 4;
 
+  std::vector<PathResult> results;
   bool checksumOk = true;
-  for (const PathResult& result : results) {
-    checksumOk = checksumOk && result.violations == results[0].violations;
+
+  for (int dims : dimsList) {
+    if (dims == 2) {
+      Torus2D torus(n);
+      GridLcl lcl = problems::vertexColouring(colours);
+      // Feasible diagonal colouring when colours | n; the full grid is
+      // scanned either way, so feasibility only affects the checksum.
+      std::vector<int> labels(static_cast<std::size_t>(torus.size()));
+      for (int v = 0; v < torus.size(); ++v) {
+        labels[static_cast<std::size_t>(v)] =
+            (torus.xOf(v) + torus.yOf(v)) % colours;
+      }
+      const std::int64_t nodes = torus.size();
+      const std::size_t first = results.size();
+      results.push_back(measure(dims, n, "functional", nodes, minSeconds, [&]() {
+        return functionalCountViolations(torus, lcl.predicate(), lcl.sigma(),
+                                         labels);
+      }));
+      results.push_back(measure(dims, n, "table", nodes, minSeconds, [&]() {
+        return countViolations(torus, lcl, labels);
+      }));
+      results.push_back(
+          measure(dims, n, "table_sharded", nodes, minSeconds, [&]() {
+            return countViolations(torus, lcl, labels, engineOptions);
+          }));
+
+      // Batched paths: 8 labellings back-to-back through one call.
+      std::vector<int> batch;
+      batch.reserve(labels.size() * static_cast<std::size_t>(batchSize));
+      for (int i = 0; i < batchSize; ++i) {
+        batch.insert(batch.end(), labels.begin(), labels.end());
+      }
+      auto sumCounts = [&](const std::vector<std::int64_t>& counts) {
+        std::int64_t total = 0;
+        for (auto count : counts) total += count;
+        return total / batchSize;
+      };
+      results.push_back(
+          measure(dims, n, "batched", nodes * batchSize, minSeconds, [&]() {
+            return sumCounts(countViolationsBatch(torus, lcl, batch));
+          }));
+      results.push_back(measure(
+          dims, n, "batched_sharded", nodes * batchSize, minSeconds, [&]() {
+            return sumCounts(
+                countViolationsBatch(torus, lcl, batch, engineOptions));
+          }));
+      for (std::size_t i = first; i < results.size(); ++i) {
+        results[i].problem = lcl.name();
+        checksumOk =
+            checksumOk && results[i].violations == results[first].violations;
+      }
+    } else {
+      const int side = sideForDims(n, dims);
+      TorusD torus(dims, side);
+      GridLclD lcl = problems_d::vertexColouring(dims, colours);
+      std::vector<int> labels(static_cast<std::size_t>(torus.size()));
+      for (long long v = 0; v < torus.size(); ++v) {
+        int sum = 0;
+        for (int a = 0; a < dims; ++a) sum += torus.coord(v, a);
+        labels[static_cast<std::size_t>(v)] = sum % colours;
+      }
+      const std::int64_t nodes = torus.size();
+      const std::size_t first = results.size();
+      results.push_back(
+          measure(dims, side, "functional", nodes, minSeconds, [&]() {
+            return functionalCountViolationsD(torus, lcl.predicate(),
+                                              lcl.sigma(), labels);
+          }));
+      results.push_back(measure(dims, side, "table", nodes, minSeconds, [&]() {
+        return countViolations(torus, lcl, labels);
+      }));
+      results.push_back(
+          measure(dims, side, "table_sharded", nodes, minSeconds, [&]() {
+            return countViolations(torus, lcl, labels, engineOptions);
+          }));
+      for (std::size_t i = first; i < results.size(); ++i) {
+        results[i].problem = lcl.name();
+        checksumOk =
+            checksumOk && results[i].violations == results[first].violations;
+      }
+    }
   }
-  const double functionalRate = results[0].nodesPerSec;
-  const double tableRate = results[1].nodesPerSec;
+
+  // Per-sweep speedup baselines: the functional and table rates of the
+  // sweep (dims) each result belongs to.
+  auto rateOf = [&](int dims, const char* path) {
+    for (const PathResult& result : results) {
+      if (result.dims == dims && result.path == path) {
+        return result.nodesPerSec;
+      }
+    }
+    return 0.0;
+  };
 
   support::JsonWriter json;
   json.beginObject();
   json.key("name").value("verify_throughput");
   json.key("config").beginObject();
-  json.key("problem").value(lcl.name());
+  // The per-dimension problem names and sides live on each result entry;
+  // the config records the shared family and the 2D anchor size.
+  json.key("problem_family").value("vertex-colouring(4)");
   json.key("torus_n").value(n);
-  json.key("nodes").value(static_cast<std::int64_t>(nodes));
   json.key("batch").value(batchSize);
   json.key("threads").value(threads);
   json.key("min_seconds").value(minSeconds);
+  json.key("dims").beginArray();
+  for (int dims : dimsList) json.value(dims);
+  json.endArray();
   json.endObject();
   json.key("results").beginArray();
   for (const PathResult& result : results) {
     json.beginObject();
+    json.key("dims").value(result.dims);
+    json.key("torus_n").value(result.n);
+    json.key("problem").value(result.problem);
     json.key("path").value(result.path);
     json.key("nodes_per_sec").value(result.nodesPerSec);
     json.key("passes").value(result.passes);
     json.key("seconds").value(result.seconds);
     json.key("violations").value(result.violations);
-    json.key("speedup_vs_functional")
-        .value(result.nodesPerSec / functionalRate);
+    const double functionalRate = rateOf(result.dims, "functional");
+    if (functionalRate > 0.0) {
+      json.key("speedup_vs_functional")
+          .value(result.nodesPerSec / functionalRate);
+    }
     if (result.path == "table_sharded") {
-      json.key("speedup_vs_table").value(result.nodesPerSec / tableRate);
+      const double tableRate = rateOf(result.dims, "table");
+      if (tableRate > 0.0) {
+        json.key("speedup_vs_table").value(result.nodesPerSec / tableRate);
+      }
     }
     json.endObject();
   }

@@ -4,7 +4,13 @@
 # list below -- the coverage check at the end fails the script if a new
 # bench/*.cpp was added without registering smoke arguments here.
 #
-# Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
+# When BENCH_JSON_DIR is set, the stdout of the `run_json` entries (the
+# binaries emitting the repo {name, config, results[]} schema) is captured
+# to $BENCH_JSON_DIR/<name>[-tag].json; CI validates the captured files
+# with scripts/check_bench_json.py and uploads them as workflow artifacts.
+#
+# Usage: [BENCH_JSON_DIR=dir] scripts/bench_smoke.sh [build-dir]
+#        (build-dir default: build)
 set -euo pipefail
 
 build="${1:-build}"
@@ -23,10 +29,40 @@ run() {
   "$build/$name" "$@" > /dev/null
 }
 
+# Like `run`, but the binary emits the repo JSON schema: capture it when
+# BENCH_JSON_DIR is set. An optional leading `-t tag` suffixes the capture
+# file so one binary can contribute several configurations.
+run_json() {
+  local tag=""
+  if [ "$1" = "-t" ]; then
+    tag="-$2"
+    shift 2
+  fi
+  local name="$1"
+  shift
+  covered["$name"]=1
+  if [ ! -x "$build/$name" ]; then
+    echo "-- $name: not built, skipping"
+    return 0
+  fi
+  echo "== $name $*"
+  if [ -n "${BENCH_JSON_DIR:-}" ]; then
+    mkdir -p "$BENCH_JSON_DIR"
+    "$build/$name" "$@" > "$BENCH_JSON_DIR/$name$tag.json"
+  else
+    "$build/$name" "$@" > /dev/null
+  fi
+}
+
 # JSON benches (repo schema {name, config, results[]}).
-run bench_verify_throughput 64 0.05 --threads 2
-run bench_family_sweep --smoke --threads 2
-run bench_sat --smoke
+# --smoke sweeps d = 2, 3 and 4 through the compiled-table kernels; the
+# explicit --dims runs keep the per-dimension entry points covered even if
+# the default dimension list changes.
+run_json -t smoke bench_verify_throughput --smoke --threads 2
+run_json -t d3 bench_verify_throughput 24 0.02 --threads 2 --dims 3
+run_json -t d4 bench_verify_throughput 16 0.02 --threads 2 --dims 4
+run_json bench_family_sweep --smoke --threads 2
+run_json bench_sat --smoke
 
 # Google Benchmark binaries (skipped automatically if the library was
 # unavailable at configure time).

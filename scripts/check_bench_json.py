@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate bench JSON output against the repo-wide schema.
+
+Every JSON-emitting bench binary (and the engine's sweep driver) writes one
+top-level document of the form
+
+    { "name": <bench/driver id>, "config": { ... }, "results": [ ... ] }
+
+so the perf-trajectory tooling can ingest every binary uniformly. CI runs
+this over the JSON captured by scripts/bench_smoke.sh before uploading the
+files as workflow artifacts: a bench that drifts off the schema fails the
+push that broke it, not the tooling run weeks later.
+
+Usage: check_bench_json.py <file-or-directory>...
+Directories are scanned (non-recursively) for *.json. Exits non-zero with
+one line per violation.
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def reject_constant(token):
+    raise ValueError(f"non-finite number {token!r} (JSON has no NaN/Inf)")
+
+
+def check_document(doc, errors):
+    if not isinstance(doc, dict):
+        errors.append("top level is not an object")
+        return
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append('"name" must be a non-empty string')
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        errors.append('"config" must be an object')
+    results = doc.get("results")
+    if not isinstance(results, list):
+        errors.append('"results" must be an array')
+        return
+    if not results:
+        errors.append('"results" must not be empty')
+    for index, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            errors.append(f"results[{index}] is not an object")
+            continue
+        for key, value in entry.items():
+            if isinstance(value, float) and not math.isfinite(value):
+                errors.append(f"results[{index}].{key} is not finite")
+
+
+def check_file(path):
+    errors = []
+    try:
+        with path.open() as handle:
+            doc = json.load(handle, parse_constant=reject_constant)
+    except (OSError, ValueError) as error:
+        return [str(error)]
+    check_document(doc, errors)
+    return errors
+
+
+def collect(arguments):
+    files = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.json")))
+        else:
+            files.append(path)
+    return files
+
+
+def main(arguments):
+    if not arguments:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = collect(arguments)
+    if not files:
+        print("check_bench_json: no JSON files found", file=sys.stderr)
+        return 1
+    failed = False
+    for path in files:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"FAIL {path}: {error}")
+        else:
+            print(f"ok   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

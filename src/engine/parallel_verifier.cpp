@@ -1,10 +1,18 @@
 // The sharded parallel verifier: the threaded overloads declared in
-// lcl/verifier.hpp. A single labelling is sharded by grid rows (the flat
-// row-pointer kernel is allocation-free and data-parallel); batches run one
-// labelling per chunk. Per-shard violation counts are combined in shard
-// order, so every result is bit-identical to the serial engine -- the
-// determinism tests pin this down for 1/2/8 threads on every registry
-// problem.
+// lcl/verifier.hpp, for Torus2D and TorusD. A single labelling is sharded
+// into contiguous ranges of "shard items" -- grid rows on Torus2D, axis-0
+// lines on TorusD (a chunk of the line space is a slab along the outermost
+// axes) -- each shard runs the exact serial kernel slice, and per-shard
+// violation counts are combined in chunk order, so every result is
+// bit-identical to the serial engine; the determinism tests pin this down
+// for 1/2/8 threads. Batches run one labelling per chunk.
+//
+// Both torus families share one set of sharding templates below; the
+// per-family differences (item count, kernel slice, size validation) are
+// small overloaded shims, so the sharding scheme itself cannot diverge
+// between 2D and d dimensions. The d = 2 TorusD case additionally
+// delegates to the 2D row kernel inside tableViolationLinesD, so the
+// sharded 2D fast path is one code path however it is reached.
 #include <atomic>
 #include <stdexcept>
 
@@ -17,14 +25,82 @@ namespace {
 
 using verifier_detail::allLabelsInRange;
 using verifier_detail::functionalViolationRange;
+using verifier_detail::functionalViolationRangeD;
+using verifier_detail::lineCountD;
+using verifier_detail::tableViolationLinesD;
 using verifier_detail::tableViolationRows;
 
-/// EngineOptions::grain counts grid rows for a single labelling; the
-/// functional fallback shards by node index, so the row grain is scaled by
-/// the row length to keep the chunk payload (and hence the scheduling
-/// overhead) identical on both paths.
-std::int64_t nodeGrain(std::int64_t rowGrain, const Torus2D& torus) {
-  return rowGrain > 0 ? rowGrain * torus.n() : 0;
+// --- per-torus shims -------------------------------------------------------
+
+/// Shard items of one labelling: grid rows / axis-0 lines.
+std::int64_t shardItems(const Torus2D& torus) { return torus.n(); }
+std::int64_t shardItems(const TorusD& torus) { return lineCountD(torus); }
+
+/// Labelling size validation (TorusD also checks the dimension match).
+void checkLabelling(const Torus2D& torus, const GridLcl&,
+                    std::span<const int> labels) {
+  if (static_cast<int>(labels.size()) != torus.size()) {
+    throw std::invalid_argument("verifier: labelling size mismatch");
+  }
+}
+void checkLabelling(const TorusD& torus, const GridLclD& lcl,
+                    std::span<const int> labels) {
+  if (torus.dims() != lcl.dims()) {
+    throw std::invalid_argument("verifier: torus/problem dimension mismatch");
+  }
+  if (static_cast<long long>(labels.size()) != torus.size()) {
+    throw std::invalid_argument("verifier: labelling size mismatch");
+  }
+}
+
+/// The serial compiled-table kernel slice over shard items [begin, end).
+std::int64_t tableSlice(const Torus2D& torus, const GridLcl& lcl,
+                        const int* labels, std::int64_t begin,
+                        std::int64_t end, bool stopAtFirst) {
+  return tableViolationRows(lcl.table(), torus.n(), labels,
+                            static_cast<int>(begin), static_cast<int>(end),
+                            stopAtFirst);
+}
+std::int64_t tableSlice(const TorusD& torus, const GridLclD& lcl,
+                        const int* labels, std::int64_t begin,
+                        std::int64_t end, bool stopAtFirst) {
+  return tableViolationLinesD(lcl.table(), torus, labels, begin, end,
+                              stopAtFirst);
+}
+
+/// The serial functional-fallback slice over nodes [begin, end).
+std::int64_t functionalSlice(const Torus2D& torus, const GridLcl& lcl,
+                             std::span<const int> labels, std::int64_t begin,
+                             std::int64_t end, bool stopAtFirst) {
+  return functionalViolationRange(torus, lcl, labels,
+                                  static_cast<int>(begin),
+                                  static_cast<int>(end), stopAtFirst);
+}
+std::int64_t functionalSlice(const TorusD& torus, const GridLclD& lcl,
+                             std::span<const int> labels, std::int64_t begin,
+                             std::int64_t end, bool stopAtFirst) {
+  return functionalViolationRangeD(torus, lcl, labels, begin, end,
+                                   stopAtFirst);
+}
+
+std::size_t batchCountOf(const Torus2D& torus,
+                         std::span<const int> labelsBatch) {
+  return verifier_detail::batchCount(torus, labelsBatch);
+}
+std::size_t batchCountOf(const TorusD& torus,
+                         std::span<const int> labelsBatch) {
+  return verifier_detail::batchCountD(torus, labelsBatch);
+}
+
+// --- shared sharding scheme ------------------------------------------------
+
+/// EngineOptions::grain counts shard items (rows / lines) for a single
+/// labelling; the functional fallback shards by node index, so the item
+/// grain is scaled by the item length to keep the chunk payload (and hence
+/// the scheduling overhead) identical on both paths.
+template <typename Torus>
+std::int64_t nodeGrain(std::int64_t itemGrain, const Torus& torus) {
+  return itemGrain > 0 ? itemGrain * torus.n() : 0;
 }
 
 /// Sharded table-path precondition check. The serial allLabelsInRange scan
@@ -32,8 +108,9 @@ std::int64_t nodeGrain(std::int64_t rowGrain, const Torus2D& torus) {
 /// material Amdahl fraction -- the kernel itself is only a few loads per
 /// node), so the scan is sharded too, with chunks after the first
 /// out-of-range find returning immediately.
+template <typename Torus>
 bool shardedAllInRange(engine::ThreadPool& pool, std::int64_t grain,
-                       const Torus2D& torus, int sigma,
+                       const Torus& torus, int sigma,
                        std::span<const int> labels) {
   std::atomic<bool> outOfRange{false};
   pool.parallelFor(
@@ -51,32 +128,28 @@ bool shardedAllInRange(engine::ThreadPool& pool, std::int64_t grain,
 
 /// Sharded violation count over one labelling; exact same shard kernels as
 /// the serial path, summed in shard order.
+template <typename Torus, typename Lcl>
 std::int64_t shardedCount(engine::ThreadPool& pool, std::int64_t grain,
-                          const Torus2D& torus, const GridLcl& lcl,
+                          const Torus& torus, const Lcl& lcl,
                           std::span<const int> labels) {
-  if (static_cast<int>(labels.size()) != torus.size()) {
-    throw std::invalid_argument("verifier: labelling size mismatch");
-  }
+  checkLabelling(torus, lcl, labels);
   const auto sum = [](std::int64_t a, std::int64_t b) { return a + b; };
   if (lcl.hasTable() &&
       shardedAllInRange(pool, grain, torus, lcl.sigma(), labels)) {
     return pool.parallelReduce(
-        0, torus.n(), grain, std::int64_t{0},
-        [&](std::int64_t yBegin, std::int64_t yEnd) {
-          return tableViolationRows(lcl.table(), torus.n(), labels.data(),
-                                    static_cast<int>(yBegin),
-                                    static_cast<int>(yEnd),
-                                    /*stopAtFirst=*/false);
+        0, shardItems(torus), grain, std::int64_t{0},
+        [&](std::int64_t begin, std::int64_t end) {
+          return tableSlice(torus, lcl, labels.data(), begin, end,
+                            /*stopAtFirst=*/false);
         },
         sum);
   }
   return pool.parallelReduce(
-      0, torus.size(), nodeGrain(grain, torus), std::int64_t{0},
-      [&](std::int64_t vBegin, std::int64_t vEnd) {
-        return functionalViolationRange(torus, lcl, labels,
-                                        static_cast<int>(vBegin),
-                                        static_cast<int>(vEnd),
-                                        /*stopAtFirst=*/false);
+      0, static_cast<std::int64_t>(labels.size()), nodeGrain(grain, torus),
+      std::int64_t{0},
+      [&](std::int64_t begin, std::int64_t end) {
+        return functionalSlice(torus, lcl, labels, begin, end,
+                               /*stopAtFirst=*/false);
       },
       sum);
 }
@@ -84,29 +157,27 @@ std::int64_t shardedCount(engine::ThreadPool& pool, std::int64_t grain,
 /// Sharded feasibility check with cooperative early exit: shards that start
 /// after a violation was found return immediately. The boolean outcome is
 /// scheduling-independent either way.
+template <typename Torus, typename Lcl>
 bool shardedVerify(engine::ThreadPool& pool, std::int64_t grain,
-                   const Torus2D& torus, const GridLcl& lcl,
+                   const Torus& torus, const Lcl& lcl,
                    std::span<const int> labels) {
-  if (static_cast<int>(labels.size()) != torus.size()) {
-    throw std::invalid_argument("verifier: labelling size mismatch");
-  }
+  checkLabelling(torus, lcl, labels);
   std::atomic<bool> violated{false};
   const bool tablePath =
-      lcl.hasTable() && shardedAllInRange(pool, grain, torus, lcl.sigma(), labels);
-  const std::int64_t items = tablePath ? torus.n() : torus.size();
+      lcl.hasTable() &&
+      shardedAllInRange(pool, grain, torus, lcl.sigma(), labels);
+  const std::int64_t items = tablePath
+                                 ? shardItems(torus)
+                                 : static_cast<std::int64_t>(labels.size());
   pool.parallelFor(0, items, tablePath ? grain : nodeGrain(grain, torus),
                    [&](std::int64_t begin, std::int64_t end) {
                      if (violated.load(std::memory_order_relaxed)) return;
                      const std::int64_t bad =
                          tablePath
-                             ? tableViolationRows(
-                                   lcl.table(), torus.n(), labels.data(),
-                                   static_cast<int>(begin),
-                                   static_cast<int>(end), /*stopAtFirst=*/true)
-                             : functionalViolationRange(
-                                   torus, lcl, labels, static_cast<int>(begin),
-                                   static_cast<int>(end),
-                                   /*stopAtFirst=*/true);
+                             ? tableSlice(torus, lcl, labels.data(), begin,
+                                          end, /*stopAtFirst=*/true)
+                             : functionalSlice(torus, lcl, labels, begin, end,
+                                               /*stopAtFirst=*/true);
                      if (bad > 0) {
                        violated.store(true, std::memory_order_relaxed);
                      }
@@ -114,7 +185,68 @@ bool shardedVerify(engine::ThreadPool& pool, std::int64_t grain,
   return !violated.load();
 }
 
+/// Batched feasibility: one labelling per work item (options.grain counts
+/// labellings); a single-labelling batch falls through to the sharded
+/// single-labelling path with auto item grain (the caller's grain counts
+/// labellings on the batch entry points, not rows/lines).
+template <typename Torus, typename Lcl>
+std::vector<std::uint8_t> shardedVerifyBatch(engine::ThreadPool& pool,
+                                             std::int64_t grain,
+                                             const Torus& torus,
+                                             const Lcl& lcl,
+                                             std::span<const int> labelsBatch) {
+  const std::size_t count = batchCountOf(torus, labelsBatch);
+  const std::size_t stride = static_cast<std::size_t>(torus.size());
+  std::vector<std::uint8_t> feasible(count, 0);
+  if (count == 1) {
+    feasible[0] =
+        shardedVerify(pool, /*grain=*/0, torus, lcl, labelsBatch) ? 1 : 0;
+    return feasible;
+  }
+  pool.parallelFor(
+      0, static_cast<std::int64_t>(count), grain,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          feasible[static_cast<std::size_t>(i)] =
+              verify(torus, lcl,
+                     labelsBatch.subspan(static_cast<std::size_t>(i) * stride,
+                                         stride))
+                  ? 1
+                  : 0;
+        }
+      });
+  return feasible;
+}
+
+/// Batched violation counts; same chunking contract as shardedVerifyBatch.
+template <typename Torus, typename Lcl>
+std::vector<std::int64_t> shardedCountBatch(engine::ThreadPool& pool,
+                                            std::int64_t grain,
+                                            const Torus& torus, const Lcl& lcl,
+                                            std::span<const int> labelsBatch) {
+  const std::size_t count = batchCountOf(torus, labelsBatch);
+  const std::size_t stride = static_cast<std::size_t>(torus.size());
+  std::vector<std::int64_t> violations(count, 0);
+  if (count == 1) {
+    violations[0] = shardedCount(pool, /*grain=*/0, torus, lcl, labelsBatch);
+    return violations;
+  }
+  pool.parallelFor(
+      0, static_cast<std::int64_t>(count), grain,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          violations[static_cast<std::size_t>(i)] = countViolations(
+              torus, lcl,
+              labelsBatch.subspan(static_cast<std::size_t>(i) * stride,
+                                  stride));
+        }
+      });
+  return violations;
+}
+
 }  // namespace
+
+// --- Torus2D ---------------------------------------------------------------
 
 bool verify(const Torus2D& torus, const GridLcl& lcl,
             std::span<const int> labels,
@@ -139,33 +271,8 @@ std::vector<std::uint8_t> verifyBatch(const Torus2D& torus, const GridLcl& lcl,
   if (handle.pool().lanes() == 1) {
     return verifyBatch(torus, lcl, labelsBatch);
   }
-  const std::size_t count = verifier_detail::batchCount(torus, labelsBatch);
-  const std::size_t stride = static_cast<std::size_t>(torus.size());
-  std::vector<std::uint8_t> feasible(count, 0);
-  if (count == 1) {
-    // Auto row grain rather than options.grain: the caller's grain counts
-    // labellings on the batch entry points, not grid rows.
-    feasible[0] =
-        shardedVerify(handle.pool(), /*grain=*/0, torus, lcl, labelsBatch)
-            ? 1
-            : 0;
-    return feasible;
-  }
-  // One labelling per work item; each shard owns its result slots.
-  // options.grain counts labellings per chunk here (0 = auto).
-  handle.pool().parallelFor(
-      0, static_cast<std::int64_t>(count), options.grain,
-      [&](std::int64_t begin, std::int64_t end) {
-        for (std::int64_t i = begin; i < end; ++i) {
-          feasible[static_cast<std::size_t>(i)] =
-              verify(torus, lcl,
-                     labelsBatch.subspan(static_cast<std::size_t>(i) * stride,
-                                         stride))
-                  ? 1
-                  : 0;
-        }
-      });
-  return feasible;
+  return shardedVerifyBatch(handle.pool(), options.grain, torus, lcl,
+                            labelsBatch);
 }
 
 std::vector<std::int64_t> countViolationsBatch(
@@ -175,26 +282,8 @@ std::vector<std::int64_t> countViolationsBatch(
   if (handle.pool().lanes() == 1) {
     return countViolationsBatch(torus, lcl, labelsBatch);
   }
-  const std::size_t count = verifier_detail::batchCount(torus, labelsBatch);
-  const std::size_t stride = static_cast<std::size_t>(torus.size());
-  std::vector<std::int64_t> violations(count, 0);
-  if (count == 1) {
-    // Auto row grain, as in verifyBatch: batch grain counts labellings.
-    violations[0] =
-        shardedCount(handle.pool(), /*grain=*/0, torus, lcl, labelsBatch);
-    return violations;
-  }
-  handle.pool().parallelFor(
-      0, static_cast<std::int64_t>(count), options.grain,
-      [&](std::int64_t begin, std::int64_t end) {
-        for (std::int64_t i = begin; i < end; ++i) {
-          violations[static_cast<std::size_t>(i)] = countViolations(
-              torus, lcl,
-              labelsBatch.subspan(static_cast<std::size_t>(i) * stride,
-                                  stride));
-        }
-      });
-  return violations;
+  return shardedCountBatch(handle.pool(), options.grain, torus, lcl,
+                           labelsBatch);
 }
 
 std::vector<std::uint8_t> verifyBatch(
@@ -219,6 +308,46 @@ std::vector<std::uint8_t> verifyBatch(
         }
       });
   return feasible;
+}
+
+// --- TorusD ----------------------------------------------------------------
+
+bool verify(const TorusD& torus, const GridLclD& lcl,
+            std::span<const int> labels,
+            const engine::EngineOptions& options) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) return verify(torus, lcl, labels);
+  return shardedVerify(handle.pool(), options.grain, torus, lcl, labels);
+}
+
+std::int64_t countViolations(const TorusD& torus, const GridLclD& lcl,
+                             std::span<const int> labels,
+                             const engine::EngineOptions& options) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) return countViolations(torus, lcl, labels);
+  return shardedCount(handle.pool(), options.grain, torus, lcl, labels);
+}
+
+std::vector<std::uint8_t> verifyBatch(const TorusD& torus, const GridLclD& lcl,
+                                      std::span<const int> labelsBatch,
+                                      const engine::EngineOptions& options) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) {
+    return verifyBatch(torus, lcl, labelsBatch);
+  }
+  return shardedVerifyBatch(handle.pool(), options.grain, torus, lcl,
+                            labelsBatch);
+}
+
+std::vector<std::int64_t> countViolationsBatch(
+    const TorusD& torus, const GridLclD& lcl, std::span<const int> labelsBatch,
+    const engine::EngineOptions& options) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) {
+    return countViolationsBatch(torus, lcl, labelsBatch);
+  }
+  return shardedCountBatch(handle.pool(), options.grain, torus, lcl,
+                           labelsBatch);
 }
 
 }  // namespace lclgrid

@@ -84,6 +84,16 @@ class LclTable {
 
   std::size_t rowCount() const { return rows_.size(); }
 
+  /// Raw packed rows and per-position strides. Exposed for the verifier
+  /// kernels and the d-dimensional wrapper (LclTableD delegates its d=2
+  /// storage to an LclTable and views these rows directly, so the 2D fast
+  /// path is shared bit-for-bit). Not part of the stable API.
+  const std::uint64_t* rowData() const { return rows_.data(); }
+  std::size_t strideN() const { return strideN_; }
+  std::size_t strideE() const { return strideE_; }
+  std::size_t strideS() const { return strideS_; }
+  std::size_t strideW() const { return strideW_; }
+
   /// Visits every forbidden tuple once, with DepBit-irrelevant neighbour
   /// positions pinned to 0 (mirroring the CNF generators' convention).
   /// Fully-allowed rows are skipped a word at a time.

@@ -30,12 +30,15 @@
 
 #include "engine/engine_options.hpp"
 #include "grid/torus2d.hpp"
+#include "grid/torusd.hpp"
 #include "lcl/grid_lcl.hpp"
+#include "lcl/grid_lcl_d.hpp"
 
 namespace lclgrid {
 
 struct Violation {
-  int node = -1;
+  /// Linear node id; wide enough for TorusD instances beyond 2^31 nodes.
+  long long node = -1;
   std::string description;
 };
 
@@ -75,6 +78,36 @@ struct LabellingInstance {
 std::vector<std::uint8_t> verifyBatch(
     const GridLcl& lcl, std::span<const LabellingInstance> instances);
 
+// --- d-dimensional tori (src/lcl/verifier_d.cpp) ---------------------------
+// The same two tiers on TorusD: compiled LclTableD row-pointer kernel when
+// the problem compiled and all labels are in range, functional fallback
+// otherwise. A 2-dimensional GridLclD delegates its table to an LclTable,
+// and these entry points route it through the existing 2D row kernel, so
+// d = 2 runs the exact same code as the Torus2D overloads.
+
+/// All violated node constraints on a d-dimensional torus.
+std::vector<Violation> listViolations(const TorusD& torus, const GridLclD& lcl,
+                                      std::span<const int> labels,
+                                      int maxReported = 16);
+
+/// True iff the labelling is a feasible solution of the LCL on the torus.
+bool verify(const TorusD& torus, const GridLclD& lcl,
+            std::span<const int> labels);
+
+/// Number of violated node constraints (out-of-alphabet centres count).
+std::int64_t countViolations(const TorusD& torus, const GridLclD& lcl,
+                             std::span<const int> labels);
+
+/// Batched verification of many labellings of the same torus, stored
+/// back-to-back (labelsBatch.size() must be a multiple of torus.size()).
+std::vector<std::uint8_t> verifyBatch(const TorusD& torus, const GridLclD& lcl,
+                                      std::span<const int> labelsBatch);
+
+/// Per-labelling violation counts for a back-to-back batch.
+std::vector<std::int64_t> countViolationsBatch(
+    const TorusD& torus, const GridLclD& lcl,
+    std::span<const int> labelsBatch);
+
 // --- threaded overloads (src/engine/parallel_verifier.cpp) ----------------
 // Results are bit-identical to the serial functions above for every thread
 // count: shards accumulate independently and are combined in shard order.
@@ -97,6 +130,27 @@ std::vector<std::int64_t> countViolationsBatch(
 std::vector<std::uint8_t> verifyBatch(const GridLcl& lcl,
                                       std::span<const LabellingInstance> instances,
                                       const engine::EngineOptions& options);
+
+// Threaded TorusD overloads: one labelling is sharded along the torus's
+// outermost axes (contiguous ranges of axis-0 lines -- the same flat kernel
+// the serial engine runs per shard, accumulators combined in chunk order,
+// so counts are bit-identical at every thread count); batches run one
+// labelling per work item.
+
+bool verify(const TorusD& torus, const GridLclD& lcl,
+            std::span<const int> labels, const engine::EngineOptions& options);
+
+std::int64_t countViolations(const TorusD& torus, const GridLclD& lcl,
+                             std::span<const int> labels,
+                             const engine::EngineOptions& options);
+
+std::vector<std::uint8_t> verifyBatch(const TorusD& torus, const GridLclD& lcl,
+                                      std::span<const int> labelsBatch,
+                                      const engine::EngineOptions& options);
+
+std::vector<std::int64_t> countViolationsBatch(
+    const TorusD& torus, const GridLclD& lcl, std::span<const int> labelsBatch,
+    const engine::EngineOptions& options);
 
 /// Row-range and node-range slices of the serial kernels, exposed so the
 /// engine's sharded verifier runs the exact same code per shard. Not part
@@ -123,6 +177,31 @@ std::int64_t tableViolationRows(const LclTable& table, int n,
 std::int64_t functionalViolationRange(const Torus2D& torus, const GridLcl& lcl,
                                       std::span<const int> labels, int vBegin,
                                       int vEnd, bool stopAtFirst);
+
+/// d-dimensional slices (src/lcl/verifier_d.cpp). A "line" is a contiguous
+/// run of n nodes along axis 0; lines are indexed row-major over the outer
+/// axes (axis 1 fastest), so a line range is a slab along the outermost
+/// axis -- the unit the engine shards across threads.
+/// Number of axis-0 lines: torus.size() / torus.n().
+long long lineCountD(const TorusD& torus);
+
+/// Number of labellings in a back-to-back TorusD batch; throws
+/// std::invalid_argument when the batch is not a whole number of tori.
+std::size_t batchCountD(const TorusD& torus, std::span<const int> labelsBatch);
+
+/// Violations of the compiled-table kernel on lines [lineBegin, lineEnd);
+/// labels must all be in range. Routes d = 2 through tableViolationRows on
+/// the delegated LclTable. stopAtFirst returns at most 1.
+std::int64_t tableViolationLinesD(const LclTableD& table, const TorusD& torus,
+                                  const int* labels, long long lineBegin,
+                                  long long lineEnd, bool stopAtFirst);
+
+/// Violations of the functional fallback on nodes [vBegin, vEnd).
+std::int64_t functionalViolationRangeD(const TorusD& torus,
+                                       const GridLclD& lcl,
+                                       std::span<const int> labels,
+                                       long long vBegin, long long vEnd,
+                                       bool stopAtFirst);
 
 }  // namespace verifier_detail
 

@@ -1,0 +1,254 @@
+// Serial verification on d-dimensional tori: the TorusD overloads declared
+// in lcl/verifier.hpp. The compiled path is a flat line-pointer kernel --
+// nodes are walked one axis-0 line (n contiguous labels) at a time, with
+// one neighbour line pointer per outer axis recomputed per line, so the
+// inner loop is 2d loads, one table-row load and a bit test per node, no
+// TorusD::step and no per-node allocation. d = 2 routes through the proven
+// 2D row kernel on the delegated LclTable (one 2D code path in the
+// library). The threaded overloads shard the same line kernel; see
+// src/engine/parallel_verifier.cpp.
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "lcl/verifier.hpp"
+
+namespace lclgrid {
+
+namespace {
+
+/// Table-driven kernel over axis-0 lines [lineBegin, lineEnd) of one
+/// labelling. Requires every label in [0, sigma).
+template <bool StopAtFirst>
+std::int64_t tableViolationLines(const LclTableD& table, const TorusD& torus,
+                                 const int* labels, long long lineBegin,
+                                 long long lineEnd) {
+  const int n = torus.n();
+  if (const LclTable* table2d = table.as2d()) {
+    return verifier_detail::tableViolationRows(*table2d, n, labels,
+                                               static_cast<int>(lineBegin),
+                                               static_cast<int>(lineEnd),
+                                               StopAtFirst);
+  }
+  const int dims = torus.dims();
+  const std::size_t* strides = table.slotStrides();
+  const std::uint64_t* rows = table.rowData();
+  // lineStride[a] = n^(a-1): the distance in line space of a +1 step along
+  // outer axis a (axis 1 is the fastest-varying line coordinate).
+  std::vector<long long> lineStride(static_cast<std::size_t>(dims), 0);
+  long long stride = 1;
+  for (int a = 1; a < dims; ++a) {
+    lineStride[static_cast<std::size_t>(a)] = stride;
+    stride *= n;
+  }
+  std::vector<const int*> posLine(static_cast<std::size_t>(dims), nullptr);
+  std::vector<const int*> negLine(static_cast<std::size_t>(dims), nullptr);
+  std::int64_t bad = 0;
+  for (long long line = lineBegin; line < lineEnd; ++line) {
+    const int* row = labels + line * n;
+    long long rem = line;
+    for (int a = 1; a < dims; ++a) {
+      const long long ls = lineStride[static_cast<std::size_t>(a)];
+      const int coord = static_cast<int>(rem % n);
+      rem /= n;
+      posLine[static_cast<std::size_t>(a)] =
+          labels + (line + (coord + 1 == n ? ls * (1 - n) : ls)) * n;
+      negLine[static_cast<std::size_t>(a)] =
+          labels + (line + (coord == 0 ? ls * (n - 1) : -ls)) * n;
+    }
+    for (int x = 0; x < n; ++x) {
+      std::size_t index =
+          strides[0] * static_cast<std::size_t>(row[x + 1 == n ? 0 : x + 1]) +
+          strides[1] * static_cast<std::size_t>(row[x == 0 ? n - 1 : x - 1]);
+      for (int a = 1; a < dims; ++a) {
+        index +=
+            strides[2 * a] *
+                static_cast<std::size_t>(posLine[static_cast<std::size_t>(a)][x]) +
+            strides[2 * a + 1] *
+                static_cast<std::size_t>(negLine[static_cast<std::size_t>(a)][x]);
+      }
+      if (!((rows[index] >> row[x]) & 1u)) {
+        if constexpr (StopAtFirst) return 1;
+        ++bad;
+      }
+    }
+  }
+  return bad;
+}
+
+/// Fallback for uncompiled problems or out-of-alphabet labels, over nodes
+/// [vBegin, vEnd): TorusD::step per neighbour, GridLclD::allows per node.
+template <bool StopAtFirst>
+std::int64_t functionalViolations(const TorusD& torus, const GridLclD& lcl,
+                                  std::span<const int> labels,
+                                  long long vBegin, long long vEnd) {
+  const int dims = torus.dims();
+  std::vector<int> nbrs(static_cast<std::size_t>(2 * dims), 0);
+  std::int64_t bad = 0;
+  for (long long v = vBegin; v < vEnd; ++v) {
+    const int c = labels[static_cast<std::size_t>(v)];
+    bool violated;
+    if (c < 0 || c >= lcl.sigma()) {
+      violated = true;
+    } else {
+      for (int a = 0; a < dims; ++a) {
+        nbrs[static_cast<std::size_t>(2 * a)] =
+            labels[static_cast<std::size_t>(torus.step(v, a, true))];
+        nbrs[static_cast<std::size_t>(2 * a + 1)] =
+            labels[static_cast<std::size_t>(torus.step(v, a, false))];
+      }
+      violated = !lcl.allows(c, nbrs);
+    }
+    if (violated) {
+      if constexpr (StopAtFirst) return 1;
+      ++bad;
+    }
+  }
+  return bad;
+}
+
+void checkDims(const TorusD& torus, const GridLclD& lcl) {
+  if (torus.dims() != lcl.dims()) {
+    throw std::invalid_argument("verifier: torus/problem dimension mismatch");
+  }
+}
+
+template <bool StopAtFirst>
+std::int64_t violationsKernel(const TorusD& torus, const GridLclD& lcl,
+                              std::span<const int> labels) {
+  checkDims(torus, lcl);
+  if (static_cast<long long>(labels.size()) != torus.size()) {
+    throw std::invalid_argument("verifier: labelling size mismatch");
+  }
+  if (lcl.hasTable() &&
+      verifier_detail::allLabelsInRange(lcl.sigma(), labels)) {
+    return tableViolationLines<StopAtFirst>(
+        lcl.table(), torus, labels.data(), 0,
+        verifier_detail::lineCountD(torus));
+  }
+  return functionalViolations<StopAtFirst>(torus, lcl, labels, 0,
+                                           torus.size());
+}
+
+}  // namespace
+
+std::vector<Violation> listViolations(const TorusD& torus, const GridLclD& lcl,
+                                      std::span<const int> labels,
+                                      int maxReported) {
+  checkDims(torus, lcl);
+  if (static_cast<long long>(labels.size()) != torus.size()) {
+    throw std::invalid_argument("listViolations: labelling size mismatch");
+  }
+  const int dims = torus.dims();
+  std::vector<int> nbrs(static_cast<std::size_t>(2 * dims), 0);
+  std::vector<Violation> violations;
+  for (long long v = 0; v < torus.size() &&
+                        static_cast<int>(violations.size()) < maxReported;
+       ++v) {
+    const int c = labels[static_cast<std::size_t>(v)];
+    if (c < 0 || c >= lcl.sigma()) {
+      violations.push_back({v, "label out of alphabet"});
+      continue;
+    }
+    for (int a = 0; a < dims; ++a) {
+      nbrs[static_cast<std::size_t>(2 * a)] =
+          labels[static_cast<std::size_t>(torus.step(v, a, true))];
+      nbrs[static_cast<std::size_t>(2 * a + 1)] =
+          labels[static_cast<std::size_t>(torus.step(v, a, false))];
+    }
+    if (!lcl.allows(c, nbrs)) {
+      std::ostringstream os;
+      os << "constraint violated at (";
+      const std::vector<int> coords = torus.coords(v);
+      for (int a = 0; a < dims; ++a) {
+        if (a > 0) os << ",";
+        os << coords[static_cast<std::size_t>(a)];
+      }
+      os << "): c=" << lcl.labelName(c);
+      for (int a = 0; a < dims; ++a) {
+        os << " +" << a << "="
+           << lcl.labelName(nbrs[static_cast<std::size_t>(2 * a)]) << " -" << a
+           << "=" << lcl.labelName(nbrs[static_cast<std::size_t>(2 * a + 1)]);
+      }
+      violations.push_back({v, os.str()});
+    }
+  }
+  return violations;
+}
+
+bool verify(const TorusD& torus, const GridLclD& lcl,
+            std::span<const int> labels) {
+  return violationsKernel<true>(torus, lcl, labels) == 0;
+}
+
+std::int64_t countViolations(const TorusD& torus, const GridLclD& lcl,
+                             std::span<const int> labels) {
+  return violationsKernel<false>(torus, lcl, labels);
+}
+
+std::vector<std::uint8_t> verifyBatch(const TorusD& torus, const GridLclD& lcl,
+                                      std::span<const int> labelsBatch) {
+  const std::size_t count = verifier_detail::batchCountD(torus, labelsBatch);
+  const std::size_t stride = static_cast<std::size_t>(torus.size());
+  std::vector<std::uint8_t> feasible(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    feasible[i] = violationsKernel<true>(
+                      torus, lcl, labelsBatch.subspan(i * stride, stride)) == 0
+                      ? 1
+                      : 0;
+  }
+  return feasible;
+}
+
+std::vector<std::int64_t> countViolationsBatch(
+    const TorusD& torus, const GridLclD& lcl,
+    std::span<const int> labelsBatch) {
+  const std::size_t count = verifier_detail::batchCountD(torus, labelsBatch);
+  const std::size_t stride = static_cast<std::size_t>(torus.size());
+  std::vector<std::int64_t> violations(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    violations[i] = violationsKernel<false>(
+        torus, lcl, labelsBatch.subspan(i * stride, stride));
+  }
+  return violations;
+}
+
+namespace verifier_detail {
+
+long long lineCountD(const TorusD& torus) {
+  return torus.size() / torus.n();
+}
+
+std::size_t batchCountD(const TorusD& torus,
+                        std::span<const int> labelsBatch) {
+  const std::size_t stride = static_cast<std::size_t>(torus.size());
+  if (stride == 0 || labelsBatch.size() % stride != 0) {
+    throw std::invalid_argument(
+        "verifier: batch size is not a multiple of torus.size()");
+  }
+  return labelsBatch.size() / stride;
+}
+
+std::int64_t tableViolationLinesD(const LclTableD& table, const TorusD& torus,
+                                  const int* labels, long long lineBegin,
+                                  long long lineEnd, bool stopAtFirst) {
+  return stopAtFirst
+             ? tableViolationLines<true>(table, torus, labels, lineBegin,
+                                         lineEnd)
+             : tableViolationLines<false>(table, torus, labels, lineBegin,
+                                          lineEnd);
+}
+
+std::int64_t functionalViolationRangeD(const TorusD& torus,
+                                       const GridLclD& lcl,
+                                       std::span<const int> labels,
+                                       long long vBegin, long long vEnd,
+                                       bool stopAtFirst) {
+  return stopAtFirst
+             ? functionalViolations<true>(torus, lcl, labels, vBegin, vEnd)
+             : functionalViolations<false>(torus, lcl, labels, vBegin, vEnd);
+}
+
+}  // namespace verifier_detail
+
+}  // namespace lclgrid

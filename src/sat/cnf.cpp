@@ -55,6 +55,12 @@ void ClauseGroup::retire(Solver& solver) {
   if (!open()) return;
   solver.addClause({-guard_});
   closed_ = true;
+  // The unit guard satisfies (and thereby disables) every clause of the
+  // group, including learnt clauses that mention the guard: purge them now
+  // rather than carrying dead clauses until learnt-DB reduction. Long-lived
+  // ladder solvers retire one group per rung, so this keeps the database
+  // proportional to the *active* encoding.
+  solver.compactDatabase();
 }
 
 void ClauseGroup::commit(Solver& solver) {

@@ -49,10 +49,14 @@ DomainVar makeDomainVar(Solver& solver, int domain);
 ///
 /// retire() pins the guard false, permanently satisfying (and thereby
 /// disabling) every clause of the group; commit() pins it true, promoting
-/// the group to unconditional clauses. Both are one unit clause -- no
-/// clause database surgery -- which is what keeps learnt clauses sound
-/// across the ladder: learnt clauses derived while a group was active
-/// mention its guard and die with it.
+/// the group to unconditional clauses. Both are one unit clause, which is
+/// what keeps learnt clauses sound across the ladder: learnt clauses
+/// derived while a group was active mention its guard and die with it.
+/// retire() additionally runs Solver::compactDatabase(), so a retired
+/// group's clauses (and the learnt clauses guarded by it) are purged
+/// immediately instead of lingering until learnt-DB reduction -- the
+/// clause database of a long-lived ladder solver stays proportional to
+/// the active rung.
 class ClauseGroup {
  public:
   ClauseGroup() = default;

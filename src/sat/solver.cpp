@@ -350,6 +350,61 @@ void Solver::reduceLearntDb() {
       learntIndices_.end());
 }
 
+void Solver::compactDatabase() {
+  if (unsatisfiable_ || currentLevel() != 0) return;
+  // Level-0 facts are permanent; their reason clauses are never walked
+  // again (conflict analysis skips level-0 literals), so clear the links
+  // before purging -- a satisfied reason clause must not outlive as a
+  // dangling index.
+  for (Lit l : trail_) reason_[varOf(l)] = kUndef;
+  bool purgedAny = false;
+  for (Clause& clause : clauses_) {
+    if (clause.deleted) continue;
+    bool satisfied = false;
+    for (Lit l : clause.lits) {
+      if (level_[varOf(l)] == 0 && litValue(l) == kTrue) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) continue;
+    clause.deleted = true;
+    clause.lits.clear();
+    clause.lits.shrink_to_fit();
+    purgedAny = true;
+  }
+  if (!purgedAny) return;
+  // Eagerly drop watchers of purged clauses (propagate() would only shed
+  // them lazily on traversal) so the watch lists shrink with the database.
+  for (std::vector<Watcher>& watchList : watches_) {
+    std::size_t keep = 0;
+    for (const Watcher& w : watchList) {
+      if (!clauses_[w.clause].deleted) watchList[keep++] = w;
+    }
+    watchList.resize(keep);
+  }
+  learntIndices_.erase(
+      std::remove_if(learntIndices_.begin(), learntIndices_.end(),
+                     [&](int idx) { return clauses_[idx].deleted; }),
+      learntIndices_.end());
+}
+
+std::size_t Solver::liveClauses() const {
+  std::size_t live = 0;
+  for (const Clause& clause : clauses_) {
+    if (!clause.deleted) ++live;
+  }
+  return live;
+}
+
+std::size_t Solver::liveLiterals() const {
+  std::size_t literals = 0;
+  for (const Clause& clause : clauses_) {
+    if (!clause.deleted) literals += clause.lits.size();
+  }
+  return literals;
+}
+
 std::int64_t Solver::luby(std::int64_t i) {
   // MiniSat's formulation: find the finite subsequence containing index i
   // (0-based) and the position of i within it.

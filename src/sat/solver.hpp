@@ -92,6 +92,23 @@ class Solver {
   /// been proven unsatisfiable.
   bool ok() const { return !unsatisfiable_; }
 
+  /// Clause-database compaction for long-lived solvers: purges every
+  /// clause (original or learnt) satisfied by a level-0 assignment --
+  /// in particular whole retired activation groups, whose clauses all
+  /// contain the now-true negated guard -- and eagerly drops their
+  /// watchers. A no-op unless the solver is at decision level 0 (where
+  /// every solve() leaves it) and still ok(). Level-0 facts need no
+  /// reason clause, so purged reasons are detached safely. Called by
+  /// ClauseGroup::retire(); safe to call at any other quiescent point.
+  void compactDatabase();
+
+  /// Clauses not yet purged or reduced away (original + learnt): the live
+  /// clause database the propagation loop still walks.
+  std::size_t liveClauses() const;
+  /// Total literal count over the live clauses -- the memory the database
+  /// actually pins; compactDatabase() shrinks this.
+  std::size_t liveLiterals() const;
+
   /// Value of a variable in the model snapshot taken when solve() last
   /// returned Sat. Variables created after that solve have no model value.
   bool modelValue(int dimacsVar) const;

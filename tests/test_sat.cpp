@@ -333,6 +333,69 @@ TEST(SatAssumptions, RetiredGroupStopsConstraining) {
   EXPECT_EQ(solver.conflictCore(), std::vector<int>{group.activation()});
 }
 
+TEST(SatAssumptions, RetireCompactsTheClauseDatabase) {
+  // A retired group's clauses must leave the live database immediately
+  // (ROADMAP PR 3 headroom item), not linger until learnt-DB reduction.
+  Solver solver;
+  const int k = 8;
+  std::vector<int> vars;
+  for (int i = 0; i < k; ++i) vars.push_back(solver.newVar());
+  // A persistent backbone that must survive compaction.
+  solver.addClause({vars[0], vars[1]});
+  const std::size_t backboneClauses = solver.liveClauses();
+
+  ClauseGroup group(solver);
+  for (int i = 0; i + 1 < k; ++i) {
+    group.addClause(solver, {vars[i], vars[i + 1]});
+    group.addClause(solver, {-vars[i], -vars[i + 1]});
+  }
+  const std::size_t withGroup = solver.liveClauses();
+  const std::size_t withGroupLiterals = solver.liveLiterals();
+  ASSERT_GT(withGroup, backboneClauses);
+
+  ASSERT_EQ(solver.solve({group.activation()}, -1), Result::Sat);
+  group.retire(solver);
+  // Every group clause (and any learnt clause mentioning the guard) is
+  // satisfied by the unit !guard and must be purged.
+  EXPECT_LT(solver.liveClauses(), withGroup);
+  EXPECT_LT(solver.liveLiterals(), withGroupLiterals);
+  EXPECT_LE(solver.liveClauses(), backboneClauses);
+
+  // The solver stays fully usable: the backbone still constrains, the
+  // retired clauses do not.
+  ASSERT_EQ(solver.solve({-vars[0]}, -1), Result::Sat);
+  EXPECT_TRUE(solver.modelValue(vars[1]));
+  ASSERT_EQ(solver.solve({vars[0], vars[1]}, -1), Result::Sat);
+}
+
+TEST(SatAssumptions, CompactionKeepsLadderVerdicts) {
+  // Climb a retire-as-you-go ladder of contradictory rungs; after every
+  // retire the next rung must still solve correctly and the database must
+  // not accumulate dead rungs.
+  Solver solver;
+  int x = solver.newVar();
+  int y = solver.newVar();
+  std::size_t previousLive = 0;
+  for (int rung = 0; rung < 6; ++rung) {
+    ClauseGroup group(solver);
+    const bool even = rung % 2 == 0;
+    group.addClause(solver, {even ? x : -x});
+    group.addClause(solver, {even ? -y : y});
+    ASSERT_EQ(solver.solve({group.activation()}, -1), Result::Sat);
+    EXPECT_EQ(solver.modelValue(x), even);
+    EXPECT_EQ(solver.modelValue(y), !even);
+    group.retire(solver);
+    const std::size_t live = solver.liveClauses();
+    if (rung > 0) {
+      // Steady state: retiring rung r purges its clauses, so the live
+      // count does not grow with the rung index.
+      EXPECT_LE(live, previousLive + 2);
+    }
+    previousLive = live;
+  }
+  EXPECT_TRUE(solver.ok());
+}
+
 TEST(SatAssumptions, CommittedGroupConstrainsUnconditionally) {
   Solver solver;
   int x = solver.newVar();
