@@ -1,11 +1,23 @@
-// Verification throughput: the compiled-table batched engine (serial and
-// sharded across the engine's work-stealing pool) vs. the seed's functional
-// path (std::function predicate + step calls per node), swept over torus
-// dimensions. d = 2 measures the Torus2D/LclTable stack; d = 3 and d = 4
-// measure the TorusD/LclTableD stack (whose d = 2 case delegates to the 2D
-// table, so there is exactly one 2D code path to benchmark). Reports
-// verified nodes/sec per (dims, path) and the speedup ratios, as JSON in
-// the repo-wide {name, config, results[]} schema for the perf trajectory.
+// Verification throughput: the three kernel tiers of the batched engine --
+// functional (std::function predicate + step calls per node), the compiled
+// row-pointer table kernel, and the bit-sliced kernel (64 nodes per word,
+// docs/perf.md) -- serial and sharded across the engine's work-stealing
+// pool, swept over torus dimensions and problems. d = 2 measures the
+// Torus2D/LclTable stack on several registry problems (including at least
+// two decomposable sigma <= 4 problems, the bit-sliced kernel's headline
+// case); d = 3 and d = 4 measure the TorusD/LclTableD stack (whose d = 2
+// case delegates to the 2D table, so there is exactly one 2D code path).
+// Reports verified nodes/sec per (dims, problem, path) and the speedup
+// ratios, as JSON in the repo-wide {name, config, results[]} schema.
+//
+// Timing hygiene: every problem's table is compiled once, at GridLcl
+// construction, before any timed region; the table fingerprint is recorded
+// up front and asserted unchanged after the sweep, so the JSON measures
+// kernel throughput only -- a path that recompiled (or mutated) the table
+// would fail the run. The "table" paths pin the row-pointer kernel and the
+// "bitsliced" paths pin the bit-sliced kernel via bitslice::setEnabled;
+// the batched paths run whatever the process default (LCLGRID_BITSLICE)
+// selects, i.e. what an unconfigured caller gets.
 //
 // Usage: bench_verify_throughput [n] [min_seconds] [--threads N]
 //                                [--dims LIST] [--smoke]
@@ -15,13 +27,6 @@
 //   --threads N  lanes for the sharded paths (default: hardware concurrency)
 //   --dims LIST  comma-separated dimension list (default "2,3,4")
 //   --smoke      tiny sizes and windows for CI (n = 32, min_seconds = 0.02)
-//
-// The functional baselines are faithful transcriptions of the seed-style
-// per-node loop (std::function dispatch plus torus step calls); the table
-// paths are lcl countViolations, whose kernels walk flat line buffers and
-// do one table-row load plus a bit test per node; the sharded paths run
-// the same kernels split along the outermost axes with chunk-ordered
-// accumulators -- their violation counts must be bit-identical.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -35,6 +40,7 @@
 #include "grid/torus2d.hpp"
 #include "grid/torusd.hpp"
 #include "lcl/grid_lcl_d.hpp"
+#include "lcl/label_planes.hpp"
 #include "lcl/problems.hpp"
 #include "lcl/verifier.hpp"
 #include "support/json.hpp"
@@ -195,64 +201,94 @@ int main(int argc, char** argv) {
   engine::EngineOptions engineOptions{.threads = threads, .pool = &pool};
   const int batchSize = 8;
   const int colours = 4;
+  // What an unconfigured caller's auto-selection picks (LCLGRID_BITSLICE);
+  // restored around the explicitly pinned table/bitsliced paths.
+  const bool defaultBitslice = bitslice::enabled();
 
   std::vector<PathResult> results;
   bool checksumOk = true;
+  bool fingerprintOk = true;
 
   for (int dims : dimsList) {
     if (dims == 2) {
       Torus2D torus(n);
-      GridLcl lcl = problems::vertexColouring(colours);
-      // Feasible diagonal colouring when colours | n; the full grid is
-      // scanned either way, so feasibility only affects the checksum.
-      std::vector<int> labels(static_cast<std::size_t>(torus.size()));
-      for (int v = 0; v < torus.size(); ++v) {
-        labels[static_cast<std::size_t>(v)] =
-            (torus.xOf(v) + torus.yOf(v)) % colours;
-      }
-      const std::int64_t nodes = torus.size();
-      const std::size_t first = results.size();
-      results.push_back(measure(dims, n, "functional", nodes, minSeconds, [&]() {
-        return functionalCountViolations(torus, lcl.predicate(), lcl.sigma(),
-                                         labels);
-      }));
-      results.push_back(measure(dims, n, "table", nodes, minSeconds, [&]() {
-        return countViolations(torus, lcl, labels);
-      }));
-      results.push_back(
-          measure(dims, n, "table_sharded", nodes, minSeconds, [&]() {
-            return countViolations(torus, lcl, labels, engineOptions);
-          }));
+      // The decomposable sigma <= 4 problems are the bit-sliced kernel's
+      // headline case (>= 4x target); noHorizontalOnePair exercises the
+      // generic pair-network form on the same sweep.
+      std::vector<GridLcl> problems2d;
+      problems2d.push_back(problems::vertexColouring(colours));
+      problems2d.push_back(problems::vertexColouring(3));
+      problems2d.push_back(problems::noHorizontalOnePair());
+      for (const GridLcl& lcl : problems2d) {
+        // Compiled once, here, outside every timed region.
+        const std::uint64_t fingerprint = lcl.table().fingerprint();
+        std::vector<int> labels(static_cast<std::size_t>(torus.size()));
+        for (int v = 0; v < torus.size(); ++v) {
+          labels[static_cast<std::size_t>(v)] =
+              (torus.xOf(v) + torus.yOf(v)) % lcl.sigma();
+        }
+        const std::int64_t nodes = torus.size();
+        const std::size_t first = results.size();
+        results.push_back(
+            measure(dims, n, "functional", nodes, minSeconds, [&]() {
+              return functionalCountViolations(torus, lcl.predicate(),
+                                               lcl.sigma(), labels);
+            }));
+        bitslice::setEnabled(false);  // pin the row-pointer kernel
+        results.push_back(measure(dims, n, "table", nodes, minSeconds, [&]() {
+          return countViolations(torus, lcl, labels);
+        }));
+        results.push_back(
+            measure(dims, n, "table_sharded", nodes, minSeconds, [&]() {
+              return countViolations(torus, lcl, labels, engineOptions);
+            }));
+        bitslice::setEnabled(true);  // pin the bit-sliced kernel
+        if (verifier_detail::bitsliceSelected(lcl, torus.size())) {
+          results.push_back(
+              measure(dims, n, "bitsliced", nodes, minSeconds, [&]() {
+                return countViolations(torus, lcl, labels);
+              }));
+          results.push_back(
+              measure(dims, n, "bitsliced_sharded", nodes, minSeconds, [&]() {
+                return countViolations(torus, lcl, labels, engineOptions);
+              }));
+        }
+        bitslice::setEnabled(defaultBitslice);
 
-      // Batched paths: 8 labellings back-to-back through one call.
-      std::vector<int> batch;
-      batch.reserve(labels.size() * static_cast<std::size_t>(batchSize));
-      for (int i = 0; i < batchSize; ++i) {
-        batch.insert(batch.end(), labels.begin(), labels.end());
-      }
-      auto sumCounts = [&](const std::vector<std::int64_t>& counts) {
-        std::int64_t total = 0;
-        for (auto count : counts) total += count;
-        return total / batchSize;
-      };
-      results.push_back(
-          measure(dims, n, "batched", nodes * batchSize, minSeconds, [&]() {
-            return sumCounts(countViolationsBatch(torus, lcl, batch));
-          }));
-      results.push_back(measure(
-          dims, n, "batched_sharded", nodes * batchSize, minSeconds, [&]() {
-            return sumCounts(
-                countViolationsBatch(torus, lcl, batch, engineOptions));
-          }));
-      for (std::size_t i = first; i < results.size(); ++i) {
-        results[i].problem = lcl.name();
-        checksumOk =
-            checksumOk && results[i].violations == results[first].violations;
+        // Batched paths: 8 labellings back-to-back through one call, on
+        // the process-default kernel selection.
+        std::vector<int> batch;
+        batch.reserve(labels.size() * static_cast<std::size_t>(batchSize));
+        for (int i = 0; i < batchSize; ++i) {
+          batch.insert(batch.end(), labels.begin(), labels.end());
+        }
+        auto sumCounts = [&](const std::vector<std::int64_t>& counts) {
+          std::int64_t total = 0;
+          for (auto count : counts) total += count;
+          return total / batchSize;
+        };
+        results.push_back(
+            measure(dims, n, "batched", nodes * batchSize, minSeconds, [&]() {
+              return sumCounts(countViolationsBatch(torus, lcl, batch));
+            }));
+        results.push_back(measure(
+            dims, n, "batched_sharded", nodes * batchSize, minSeconds, [&]() {
+              return sumCounts(
+                  countViolationsBatch(torus, lcl, batch, engineOptions));
+            }));
+        for (std::size_t i = first; i < results.size(); ++i) {
+          results[i].problem = lcl.name();
+          checksumOk =
+              checksumOk && results[i].violations == results[first].violations;
+        }
+        fingerprintOk =
+            fingerprintOk && lcl.table().fingerprint() == fingerprint;
       }
     } else {
       const int side = sideForDims(n, dims);
       TorusD torus(dims, side);
       GridLclD lcl = problems_d::vertexColouring(dims, colours);
+      const std::uint64_t fingerprint = lcl.table().fingerprint();
       std::vector<int> labels(static_cast<std::size_t>(torus.size()));
       for (long long v = 0; v < torus.size(); ++v) {
         int sum = 0;
@@ -266,6 +302,7 @@ int main(int argc, char** argv) {
             return functionalCountViolationsD(torus, lcl.predicate(),
                                               lcl.sigma(), labels);
           }));
+      bitslice::setEnabled(false);
       results.push_back(measure(dims, side, "table", nodes, minSeconds, [&]() {
         return countViolations(torus, lcl, labels);
       }));
@@ -273,19 +310,34 @@ int main(int argc, char** argv) {
           measure(dims, side, "table_sharded", nodes, minSeconds, [&]() {
             return countViolations(torus, lcl, labels, engineOptions);
           }));
+      bitslice::setEnabled(true);
+      if (verifier_detail::bitsliceSelectedD(lcl, torus.size())) {
+        results.push_back(
+            measure(dims, side, "bitsliced", nodes, minSeconds, [&]() {
+              return countViolations(torus, lcl, labels);
+            }));
+        results.push_back(
+            measure(dims, side, "bitsliced_sharded", nodes, minSeconds, [&]() {
+              return countViolations(torus, lcl, labels, engineOptions);
+            }));
+      }
+      bitslice::setEnabled(defaultBitslice);
       for (std::size_t i = first; i < results.size(); ++i) {
         results[i].problem = lcl.name();
         checksumOk =
             checksumOk && results[i].violations == results[first].violations;
       }
+      fingerprintOk =
+          fingerprintOk && lcl.table().fingerprint() == fingerprint;
     }
   }
 
   // Per-sweep speedup baselines: the functional and table rates of the
-  // sweep (dims) each result belongs to.
-  auto rateOf = [&](int dims, const char* path) {
+  // (dims, problem) sweep each result belongs to.
+  auto rateOf = [&](int dims, const std::string& problem, const char* path) {
     for (const PathResult& result : results) {
-      if (result.dims == dims && result.path == path) {
+      if (result.dims == dims && result.problem == problem &&
+          result.path == path) {
         return result.nodesPerSec;
       }
     }
@@ -297,12 +349,13 @@ int main(int argc, char** argv) {
   json.key("name").value("verify_throughput");
   json.key("config").beginObject();
   // The per-dimension problem names and sides live on each result entry;
-  // the config records the shared family and the 2D anchor size.
-  json.key("problem_family").value("vertex-colouring(4)");
+  // the config records the shared anchor size and thread count.
+  json.key("problem_family").value("vertex-colouring(4) + registry");
   json.key("torus_n").value(n);
   json.key("batch").value(batchSize);
   json.key("threads").value(threads);
   json.key("min_seconds").value(minSeconds);
+  json.key("bitslice_default").value(defaultBitslice);
   json.key("dims").beginArray();
   for (int dims : dimsList) json.value(dims);
   json.endArray();
@@ -318,13 +371,15 @@ int main(int argc, char** argv) {
     json.key("passes").value(result.passes);
     json.key("seconds").value(result.seconds);
     json.key("violations").value(result.violations);
-    const double functionalRate = rateOf(result.dims, "functional");
+    const double functionalRate =
+        rateOf(result.dims, result.problem, "functional");
     if (functionalRate > 0.0) {
       json.key("speedup_vs_functional")
           .value(result.nodesPerSec / functionalRate);
     }
-    if (result.path == "table_sharded") {
-      const double tableRate = rateOf(result.dims, "table");
+    if (result.path == "table_sharded" || result.path == "bitsliced" ||
+        result.path == "bitsliced_sharded") {
+      const double tableRate = rateOf(result.dims, result.problem, "table");
       if (tableRate > 0.0) {
         json.key("speedup_vs_table").value(result.nodesPerSec / tableRate);
       }
@@ -333,11 +388,17 @@ int main(int argc, char** argv) {
   }
   json.endArray();
   json.key("checksum_ok").value(checksumOk);
+  json.key("fingerprint_ok").value(fingerprintOk);
   json.endObject();
   std::printf("%s\n", json.str().c_str());
 
   if (!checksumOk) {
     std::fprintf(stderr, "FAIL: paths disagree on the violation count\n");
+    return 1;
+  }
+  if (!fingerprintOk) {
+    std::fprintf(stderr,
+                 "FAIL: a timed path recompiled or mutated a table\n");
     return 1;
   }
   return 0;

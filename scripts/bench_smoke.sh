@@ -55,12 +55,20 @@ run_json() {
 }
 
 # JSON benches (repo schema {name, config, results[]}).
-# --smoke sweeps d = 2, 3 and 4 through the compiled-table kernels; the
-# explicit --dims runs keep the per-dimension entry points covered even if
-# the default dimension list changes.
+# --smoke sweeps d = 2, 3 and 4 through the compiled-table kernels
+# (including the bitsliced paths -- check_bench_json.py requires their
+# columns); the explicit --dims runs keep the per-dimension entry points
+# covered even if the default dimension list changes.
 run_json -t smoke bench_verify_throughput --smoke --threads 2
 run_json -t d3 bench_verify_throughput 24 0.02 --threads 2 --dims 3
-run_json -t d4 bench_verify_throughput 16 0.02 --threads 2 --dims 4
+# n = 32 keeps the 5^4 = 625-node d=4 torus comfortably above the
+# bitslice::kMinNodesForBitslice selection floor (check_bench_json.py
+# requires the bitsliced rows), with headroom against floor bumps.
+run_json -t d4 bench_verify_throughput 32 0.02 --threads 2 --dims 4
+# The LCLGRID_BITSLICE=0 escape hatch must keep the bench (and the auto-
+# selected batched paths) healthy; bash scopes the prefixed variable to
+# this one call.
+LCLGRID_BITSLICE=0 run_json -t bitslice-off bench_verify_throughput --smoke --threads 2
 run_json bench_family_sweep --smoke --threads 2
 run_json bench_sat --smoke
 

@@ -26,6 +26,32 @@ def reject_constant(token):
     raise ValueError(f"non-finite number {token!r} (JSON has no NaN/Inf)")
 
 
+def check_verify_throughput(doc, results, errors):
+    """Bench-specific gate for the kernel-tier bench: the bitsliced paths
+    must be present (a sweep that silently lost them would hide a
+    selection regression) and every bitsliced entry must carry a finite,
+    positive speedup_vs_table column. The 4x acceptance ratio itself is a
+    full-size run's job -- CI smoke sizes are too small and noisy."""
+    bitsliced = [
+        entry
+        for entry in results
+        if isinstance(entry, dict)
+        and str(entry.get("path", "")).startswith("bitsliced")
+    ]
+    if not bitsliced:
+        errors.append('verify_throughput has no "bitsliced" results')
+    for entry in bitsliced:
+        label = f"{entry.get('problem')}/{entry.get('path')}"
+        speedup = entry.get("speedup_vs_table")
+        if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+            errors.append(f"{label}: missing speedup_vs_table")
+        elif not math.isfinite(speedup) or speedup <= 0:
+            errors.append(f"{label}: speedup_vs_table not a positive finite")
+    for key in ("checksum_ok", "fingerprint_ok"):
+        if doc.get(key) is not True:
+            errors.append(f'verify_throughput "{key}" is not true')
+
+
 def check_document(doc, errors):
     if not isinstance(doc, dict):
         errors.append("top level is not an object")
@@ -49,6 +75,8 @@ def check_document(doc, errors):
         for key, value in entry.items():
             if isinstance(value, float) and not math.isfinite(value):
                 errors.append(f"results[{index}].{key} is not finite")
+    if name == "verify_throughput":
+        check_verify_throughput(doc, results, errors)
 
 
 def check_file(path):

@@ -92,6 +92,105 @@ std::size_t batchCountOf(const TorusD& torus,
   return verifier_detail::batchCountD(torus, labelsBatch);
 }
 
+// --- bit-sliced shard runners ---------------------------------------------
+// Selection mirrors the serial engine (verifier_detail::bitsliceSelected*),
+// so every thread count runs the same kernel tier; each runner returns
+// false when the problem stays on the row-pointer kernel. 2D shards (and
+// d = 2 TorusD shards, via the delegated table) run the self-contained
+// rolling row kernel; d >= 3 stages the whole labelling into a LabelPlanes
+// buffer with its own sharded transposition pass first (disjoint line
+// ranges, so the staging writes are race-free).
+
+bool bitsliceShardCount(engine::ThreadPool& pool, std::int64_t grain,
+                        const Torus2D& torus, const GridLcl& lcl,
+                        std::span<const int> labels, std::int64_t* result) {
+  if (!verifier_detail::bitsliceSelected(lcl, torus.size())) return false;
+  *result = pool.parallelReduce(
+      0, shardItems(torus), grain, std::int64_t{0},
+      [&](std::int64_t begin, std::int64_t end) {
+        return verifier_detail::bitsliceViolationRows(
+            lcl.table(), torus.n(), torus.n(), labels.data(),
+            static_cast<int>(begin), static_cast<int>(end),
+            /*stopAtFirst=*/false);
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  return true;
+}
+
+bool bitsliceShardCount(engine::ThreadPool& pool, std::int64_t grain,
+                        const TorusD& torus, const GridLclD& lcl,
+                        std::span<const int> labels, std::int64_t* result) {
+  if (!verifier_detail::bitsliceSelectedD(lcl, torus.size())) return false;
+  const std::int64_t lines = shardItems(torus);
+  LabelPlanes planes = verifier_detail::bitsliceMakePlanesD(torus, lcl.table());
+  if (planes.rows() > 0) {
+    pool.parallelFor(0, lines, grain,
+                     [&](std::int64_t begin, std::int64_t end) {
+                       verifier_detail::bitsliceStageLinesD(
+                           torus, labels, planes, begin, end);
+                     });
+  }
+  *result = pool.parallelReduce(
+      0, lines, grain, std::int64_t{0},
+      [&](std::int64_t begin, std::int64_t end) {
+        return verifier_detail::bitsliceViolationLinesD(
+            lcl.table(), torus, planes, labels.data(), begin, end,
+            /*stopAtFirst=*/false);
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  return true;
+}
+
+bool bitsliceShardVerify(engine::ThreadPool& pool, std::int64_t grain,
+                         const Torus2D& torus, const GridLcl& lcl,
+                         std::span<const int> labels, bool* feasible) {
+  if (!verifier_detail::bitsliceSelected(lcl, torus.size())) return false;
+  std::atomic<bool> violated{false};
+  pool.parallelFor(0, shardItems(torus), grain,
+                   [&](std::int64_t begin, std::int64_t end) {
+                     if (violated.load(std::memory_order_relaxed)) return;
+                     if (verifier_detail::bitsliceViolationRows(
+                             lcl.table(), torus.n(), torus.n(), labels.data(),
+                             static_cast<int>(begin), static_cast<int>(end),
+                             /*stopAtFirst=*/true) > 0) {
+                       violated.store(true, std::memory_order_relaxed);
+                     }
+                   });
+  *feasible = !violated.load();
+  return true;
+}
+
+bool bitsliceShardVerify(engine::ThreadPool& pool, std::int64_t grain,
+                         const TorusD& torus, const GridLclD& lcl,
+                         std::span<const int> labels, bool* feasible) {
+  if (!verifier_detail::bitsliceSelectedD(lcl, torus.size())) return false;
+  const std::int64_t lines = shardItems(torus);
+  // The d >= 3 staging below is one full parallel pass; only the kernel
+  // pass early-exits cooperatively. (The serial engine staggers staging
+  // one block ahead instead -- see verifier_d.cpp -- but a sharded
+  // staggered stage would serialise on block order.)
+  LabelPlanes planes = verifier_detail::bitsliceMakePlanesD(torus, lcl.table());
+  if (planes.rows() > 0) {
+    pool.parallelFor(0, lines, grain,
+                     [&](std::int64_t begin, std::int64_t end) {
+                       verifier_detail::bitsliceStageLinesD(
+                           torus, labels, planes, begin, end);
+                     });
+  }
+  std::atomic<bool> violated{false};
+  pool.parallelFor(0, lines, grain,
+                   [&](std::int64_t begin, std::int64_t end) {
+                     if (violated.load(std::memory_order_relaxed)) return;
+                     if (verifier_detail::bitsliceViolationLinesD(
+                             lcl.table(), torus, planes, labels.data(), begin,
+                             end, /*stopAtFirst=*/true) > 0) {
+                       violated.store(true, std::memory_order_relaxed);
+                     }
+                   });
+  *feasible = !violated.load();
+  return true;
+}
+
 // --- shared sharding scheme ------------------------------------------------
 
 /// EngineOptions::grain counts shard items (rows / lines) for a single
@@ -136,6 +235,10 @@ std::int64_t shardedCount(engine::ThreadPool& pool, std::int64_t grain,
   const auto sum = [](std::int64_t a, std::int64_t b) { return a + b; };
   if (lcl.hasTable() &&
       shardedAllInRange(pool, grain, torus, lcl.sigma(), labels)) {
+    std::int64_t bitsliced = 0;
+    if (bitsliceShardCount(pool, grain, torus, lcl, labels, &bitsliced)) {
+      return bitsliced;
+    }
     return pool.parallelReduce(
         0, shardItems(torus), grain, std::int64_t{0},
         [&](std::int64_t begin, std::int64_t end) {
@@ -166,6 +269,12 @@ bool shardedVerify(engine::ThreadPool& pool, std::int64_t grain,
   const bool tablePath =
       lcl.hasTable() &&
       shardedAllInRange(pool, grain, torus, lcl.sigma(), labels);
+  if (tablePath) {
+    bool feasible = true;
+    if (bitsliceShardVerify(pool, grain, torus, lcl, labels, &feasible)) {
+      return feasible;
+    }
+  }
   const std::int64_t items = tablePath
                                  ? shardItems(torus)
                                  : static_cast<std::int64_t>(labels.size());

@@ -256,6 +256,36 @@ void LclTable::finalise() {
       }
     }
   }
+
+  // Bit-sliced evaluation plan (lcl/label_planes.hpp). Preferred shape:
+  // the h/v pair projections compiled into plane-level networks -- exact
+  // precisely when the table is edge-decomposable. One word-op per term,
+  // so synthesis gives up when either pair set is too dense to beat the
+  // row-pointer kernel. Fallback shape for small non-decomposable
+  // alphabets: the nibble-indexed validity LUT.
+  bitslicePlan_.reset();
+  if (edgeDecomposable_ && s <= 8) {
+    auto plan = std::make_shared<bitslice::BitslicePlan>();
+    plan->kind = bitslice::BitslicePlan::Kind::kPairPlanes;
+    plan->planes = bitslice::planeCount(s);
+    plan->h = bitslice::compilePairNetwork(
+        s, [this](int west, int east) { return horizontalOk(west, east); });
+    plan->v = bitslice::compilePairNetwork(
+        s, [this](int south, int north) { return verticalOk(south, north); });
+    if (static_cast<int>(plan->h.terms.size()) <= bitslice::kMaxPairTerms &&
+        static_cast<int>(plan->v.terms.size()) <= bitslice::kMaxPairTerms) {
+      bitslicePlan_ = std::move(plan);
+    }
+  }
+  if (!bitslicePlan_ && s <= 4) {
+    auto plan = std::make_shared<bitslice::BitslicePlan>();
+    plan->kind = bitslice::BitslicePlan::Kind::kNibbleLut;
+    plan->nibble = bitslice::compileNibbleLut(
+        s, [this](int c, int n, int e, int so, int w) {
+          return allows(c, n, e, so, w);
+        });
+    bitslicePlan_ = std::move(plan);
+  }
 }
 
 }  // namespace lclgrid

@@ -20,8 +20,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
+
+#include "lcl/label_planes.hpp"
 
 namespace lclgrid {
 
@@ -143,6 +146,17 @@ class LclTable {
            rows_ == other.rows_;
   }
 
+  /// The bit-sliced evaluation plan, synthesised at compile time, or
+  /// nullptr when the relation fits neither plan shape (see label_planes
+  /// .hpp): pair networks over bit-planes when the table is
+  /// edge-decomposable with sigma <= 8 and small enough pair sets, a
+  /// nibble-indexed LUT when sigma <= 4. The verifier's kernel selection
+  /// reads this; derived data, not part of the relation's content (it does
+  /// not enter fingerprint()).
+  const bitslice::BitslicePlan* bitslicePlan() const {
+    return bitslicePlan_.get();
+  }
+
   /// True iff the relation factorises into horizontal and vertical pair
   /// constraints: ok(c,n,e,s,w) == H(w,c) && H(c,e) && V(s,c) && V(c,n).
   bool edgeDecomposable() const { return edgeDecomposable_; }
@@ -195,6 +209,7 @@ class LclTable {
   // Derived at compile time.
   std::vector<std::uint8_t> hPairs_;  // sigma x sigma, [west * sigma + east]
   std::vector<std::uint8_t> vPairs_;  // sigma x sigma, [south * sigma + north]
+  std::shared_ptr<const bitslice::BitslicePlan> bitslicePlan_;
   bool edgeDecomposable_ = false;
   int trivialLabel_ = -1;
   std::uint64_t fingerprint_ = 0;

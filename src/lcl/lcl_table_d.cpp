@@ -367,6 +367,26 @@ void LclTableD::finalise() {
     }
     if (byPairs != row) edgeDecomposable_ = false;
   });
+
+  // Bit-sliced evaluation plan: per-axis pair networks, exact precisely
+  // when the relation is edge-decomposable (the d-dimensional sibling of
+  // the 2D kPairPlanes plan; d = 2 delegated tables never run finalise and
+  // reach the 2D plan via as2d() instead). Synthesis gives up when any
+  // axis's pair sets are too dense to beat the line-pointer kernel.
+  bitslicePlanD_.reset();
+  if (edgeDecomposable_ && s <= 8) {
+    auto plan = std::make_shared<bitslice::BitslicePlanD>();
+    plan->planes = bitslice::planeCount(s);
+    plan->axes.reserve(static_cast<std::size_t>(d));
+    bool small = true;
+    for (int a = 0; a < d && small; ++a) {
+      plan->axes.push_back(bitslice::compilePairNetwork(
+          s, [&](int lower, int upper) { return pairOk(a, lower, upper); }));
+      small = static_cast<int>(plan->axes.back().terms.size()) <=
+              bitslice::kMaxPairTerms;
+    }
+    if (small) bitslicePlanD_ = std::move(plan);
+  }
 }
 
 }  // namespace lclgrid

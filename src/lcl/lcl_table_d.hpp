@@ -155,6 +155,16 @@ class LclTableD {
   /// approximates.
   bool sameContent(const LclTableD& other) const;
 
+  /// The bit-sliced evaluation plan (lcl/label_planes.hpp): one pair
+  /// network per axis when the relation is edge-decomposable with
+  /// sigma <= 8 and small enough pair sets, nullptr otherwise. d = 2
+  /// tables keep this null -- the delegated LclTable's plan (reached via
+  /// as2d()->bitslicePlan()) covers them, so there is exactly one 2D
+  /// bit-sliced code path. Derived data, not part of fingerprint().
+  const bitslice::BitslicePlanD* bitslicePlanD() const {
+    return bitslicePlanD_.get();
+  }
+
   /// True iff the relation factorises into per-axis pair constraints:
   /// ok(c, nbrs) == /\_a P_a(nbrs[2a+1], c) && P_a(c, nbrs[2a]).
   bool edgeDecomposable() const { return edgeDecomposable_; }
@@ -209,6 +219,7 @@ class LclTableD {
 
   // Derived at compile time.
   std::vector<std::uint8_t> pairs_;  // dims x sigma x sigma, [axis][lo][up]
+  std::shared_ptr<const bitslice::BitslicePlanD> bitslicePlanD_;
   bool edgeDecomposable_ = false;
   int trivialLabel_ = -1;
   std::uint64_t fingerprint_ = 0;

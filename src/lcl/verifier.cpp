@@ -1,7 +1,11 @@
 #include "lcl/verifier.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace lclgrid {
 
@@ -36,6 +40,292 @@ std::int64_t tableViolations(const LclTable& table, int n, const int* labels,
     }
   }
   return bad;
+}
+
+/// Fused fast path of the pair-planes kernel for colouring-shaped tables:
+/// both networks are `lo != hi`, so a pair stream is one XOR + OR per
+/// plane and the whole row collapses into a single word pass -- the east
+/// stream is read from the pre-shifted planes, the west stream is derived
+/// from the east stream with a carried bit instead of a buffer pass, and
+/// the up stream is stored for reuse as the next row's down stream.
+/// Compile-time B keeps the plane loops unrolled.
+template <bool StopAtFirst, int B>
+std::int64_t notEqualPlanesViolations(int n, int nRows, const int* labels,
+                                      int yBegin, int yEnd) {
+  const std::size_t W = bitslice::wordsPerRow(n);
+  const std::uint64_t tail = bitslice::rowTailMask(n);
+  const int topShift = (n - 1) & 63;
+  std::vector<std::uint64_t> store(
+      (static_cast<std::size_t>(B) * 3 + 2) * W);
+  std::uint64_t* prevP = store.data();
+  std::uint64_t* curP = prevP + static_cast<std::size_t>(B) * W;
+  std::uint64_t* nextP = curP + static_cast<std::size_t>(B) * W;
+  std::uint64_t* vUp = nextP + static_cast<std::size_t>(B) * W;
+  std::uint64_t* vPrev = vUp + W;
+  // East word w of plane b, in-sweep: the one-bit cyclic shift of the
+  // cur plane, with the wrap bit (x = n-1 <- x = 0) landing in the last
+  // word -- no shifted-plane buffer pass needed.
+  const auto eastWord = [&](const std::uint64_t* plane, std::size_t w) {
+    std::uint64_t word = plane[w] >> 1;
+    if (w + 1 < W) {
+      word |= plane[w + 1] << 63;
+    } else {
+      word |= (plane[0] & 1u) << topShift;
+    }
+    return word;
+  };
+  const auto rowAt = [&](int y) {
+    const int wrapped = y < 0 ? y + nRows : (y >= nRows ? y - nRows : y);
+    return labels + static_cast<std::size_t>(wrapped) * n;
+  };
+  bitslice::transposeRow(rowAt(yBegin - 1), n, B, prevP);
+  bitslice::transposeRow(rowAt(yBegin), n, B, curP);
+  for (std::size_t w = 0; w < W; ++w) {
+    std::uint64_t diff = 0;
+    for (int b = 0; b < B; ++b) {
+      diff |= prevP[static_cast<std::size_t>(b) * W + w] ^
+              curP[static_cast<std::size_t>(b) * W + w];
+    }
+    vPrev[w] = diff;
+  }
+  std::int64_t bad = 0;
+  for (int y = yBegin; y < yEnd; ++y) {
+    bitslice::transposeRow(rowAt(y + 1), n, B, nextP);
+    // The west stream needs the east stream's wrap bit (x = n-1, always in
+    // the last word) before the forward sweep reaches it.
+    std::uint64_t hLast = 0;
+    for (int b = 0; b < B; ++b) {
+      const std::uint64_t* plane = curP + static_cast<std::size_t>(b) * W;
+      hLast |= plane[W - 1] ^ eastWord(plane, W - 1);
+    }
+    std::uint64_t carry = (hLast >> topShift) & 1u;
+    for (std::size_t w = 0; w < W; ++w) {
+      std::uint64_t hE;
+      if (w + 1 == W) {
+        hE = hLast;
+      } else {
+        hE = 0;
+        for (int b = 0; b < B; ++b) {
+          const std::uint64_t* plane =
+              curP + static_cast<std::size_t>(b) * W;
+          hE |= plane[w] ^ eastWord(plane, w);
+        }
+      }
+      const std::uint64_t hW = (hE << 1) | carry;
+      carry = hE >> 63;
+      std::uint64_t vU = 0;
+      for (int b = 0; b < B; ++b) {
+        vU |= curP[static_cast<std::size_t>(b) * W + w] ^
+              nextP[static_cast<std::size_t>(b) * W + w];
+      }
+      vUp[w] = vU;
+      const std::uint64_t ok = hE & hW & vU & vPrev[w];
+      const std::uint64_t violated =
+          ~ok & (w + 1 == W ? tail : ~std::uint64_t{0});
+      if (violated != 0) {
+        if constexpr (StopAtFirst) return 1;
+        bad += std::popcount(violated);
+      }
+    }
+    std::uint64_t* spare = prevP;
+    prevP = curP;
+    curP = nextP;
+    nextP = spare;
+    std::swap(vPrev, vUp);
+  }
+  return bad;
+}
+
+/// Bit-sliced kernel, pair-planes shape, over grid rows [yBegin, yEnd) of
+/// an nRows x n row-major labelling (rows wrap cyclically, so a shard is
+/// self-contained). Rows are transposed into rolling prev/cur/next
+/// bit-plane buffers; the h/v pair networks then decide 64 nodes per word:
+/// node x of row y is feasible iff
+///   H(c[x-1], c[x]) & H(c[x], c[x+1]) & V(c[y-1][x], c) & V(c, c[y+1][x]),
+/// where the west stream is the east stream shifted one bit and the
+/// down stream is the previous row's up stream (both rolled, so every
+/// pair network evaluates once per row).
+template <bool StopAtFirst>
+std::int64_t pairPlanesViolations(const bitslice::BitslicePlan& plan, int n,
+                                  int nRows, const int* labels, int yBegin,
+                                  int yEnd) {
+  if (plan.h.notEqual && plan.v.notEqual) {
+    switch (plan.planes) {
+      case 1:
+        return notEqualPlanesViolations<StopAtFirst, 1>(n, nRows, labels,
+                                                        yBegin, yEnd);
+      case 2:
+        return notEqualPlanesViolations<StopAtFirst, 2>(n, nRows, labels,
+                                                        yBegin, yEnd);
+      case 3:
+        return notEqualPlanesViolations<StopAtFirst, 3>(n, nRows, labels,
+                                                        yBegin, yEnd);
+      default:
+        break;  // unreachable for sigma <= 8; fall through to generic
+    }
+  }
+  const int B = plan.planes;
+  const std::size_t W = bitslice::wordsPerRow(n);
+  const std::uint64_t tail = bitslice::rowTailMask(n);
+  std::vector<std::uint64_t> store(
+      (static_cast<std::size_t>(B) * 4 + 4) * W);
+  std::uint64_t* prevP = store.data();
+  std::uint64_t* curP = prevP + static_cast<std::size_t>(B) * W;
+  std::uint64_t* nextP = curP + static_cast<std::size_t>(B) * W;
+  std::uint64_t* eastP = nextP + static_cast<std::size_t>(B) * W;
+  std::uint64_t* hEast = eastP + static_cast<std::size_t>(B) * W;
+  std::uint64_t* hWest = hEast + W;
+  std::uint64_t* vUp = hWest + W;
+  std::uint64_t* vPrev = vUp + W;
+  const auto rowAt = [&](int y) {
+    const int wrapped = y < 0 ? y + nRows : (y >= nRows ? y - nRows : y);
+    return labels + static_cast<std::size_t>(wrapped) * n;
+  };
+  bitslice::transposeRow(rowAt(yBegin - 1), n, B, prevP);
+  bitslice::transposeRow(rowAt(yBegin), n, B, curP);
+  plan.v.eval(prevP, curP, W, vPrev);  // bit x = V(c[y-1][x], c[y][x])
+  std::int64_t bad = 0;
+  for (int y = yBegin; y < yEnd; ++y) {
+    bitslice::transposeRow(rowAt(y + 1), n, B, nextP);
+    for (int b = 0; b < B; ++b) {
+      bitslice::shiftUpCyclic(curP + static_cast<std::size_t>(b) * W,
+                              eastP + static_cast<std::size_t>(b) * W, n);
+    }
+    plan.h.eval(curP, eastP, W, hEast);   // bit x = H(c[x], c[x+1])
+    bitslice::shiftDownCyclic(hEast, hWest, n);  // bit x = H(c[x-1], c[x])
+    plan.v.eval(curP, nextP, W, vUp);     // bit x = V(c[y][x], c[y+1][x])
+    for (std::size_t w = 0; w < W; ++w) {
+      const std::uint64_t ok = hEast[w] & hWest[w] & vUp[w] & vPrev[w];
+      const std::uint64_t violated =
+          ~ok & (w + 1 == W ? tail : ~std::uint64_t{0});
+      if (violated != 0) {
+        if constexpr (StopAtFirst) return 1;
+        bad += std::popcount(violated);
+      }
+    }
+    std::uint64_t* spare = prevP;
+    prevP = curP;
+    curP = nextP;
+    nextP = spare;
+    std::swap(vPrev, vUp);
+  }
+  return bad;
+}
+
+// --- packed-label helpers (the sigma <= 4 non-decomposable tier) ---------
+
+std::size_t byteWords(int n) {
+  return (static_cast<std::size_t>(n) + 7) / 8;
+}
+
+std::uint64_t byteTailMask(int n) {
+  const int rem = n % 8;
+  return rem == 0 ? ~std::uint64_t{0}
+                  : (std::uint64_t{1} << (8 * rem)) - 1;
+}
+
+/// Packs one row of n labels (each < 4) into byte lanes, 8 per word;
+/// lanes >= n are zero.
+void packByteRow(const int* labels, int n, std::uint64_t* out) {
+  const std::size_t W8 = byteWords(n);
+  for (std::size_t w = 0; w < W8; ++w) {
+    const int base = static_cast<int>(w) * 8;
+    const int m = std::min(8, n - base);
+    std::uint64_t word = 0;
+    for (int i = 0; i < m; ++i) {
+      word |= static_cast<std::uint64_t>(labels[base + i]) << (8 * i);
+    }
+    out[w] = word;
+  }
+}
+
+/// dst lane x = src lane (x + 1 mod n) / (x - 1 mod n): the byte-lane
+/// siblings of the bit shifts in label_planes.hpp.
+void shiftByteUp(const std::uint64_t* src, std::uint64_t* dst, int n) {
+  const std::size_t W8 = byteWords(n);
+  for (std::size_t w = 0; w + 1 < W8; ++w) {
+    dst[w] = (src[w] >> 8) | (src[w + 1] << 56);
+  }
+  dst[W8 - 1] = src[W8 - 1] >> 8;
+  const int top = n - 1;
+  dst[top / 8] |= (src[0] & 0xFFu) << (8 * (top % 8));
+}
+
+void shiftByteDown(const std::uint64_t* src, std::uint64_t* dst, int n) {
+  const std::size_t W8 = byteWords(n);
+  for (std::size_t w = W8; w-- > 1;) {
+    dst[w] = (src[w] << 8) | (src[w - 1] >> 56);
+  }
+  dst[0] = src[0] << 8;
+  const int top = n - 1;
+  dst[0] |= (src[top / 8] >> (8 * (top % 8))) & 0xFFu;
+  dst[W8 - 1] &= byteTailMask(n);
+}
+
+/// Bit-sliced kernel, nibble-LUT shape: rows packed into byte lanes
+/// (rolling south/cur/north buffers plus shifted east/west views of the
+/// current row). The two-bit label fields c, n, e, s are fused into one
+/// key byte per node lane-parallel (three shift+ors per word of 8 nodes),
+/// so the per-node work is one byte extraction into a 256-entry table of
+/// per-west-label validity bits -- the LUT's low 8 index bits, with the
+/// west label selecting the bit.
+template <bool StopAtFirst>
+std::int64_t nibbleViolations(const bitslice::NibbleLut& lut, int n,
+                              int nRows, const int* labels, int yBegin,
+                              int yEnd) {
+  const std::array<std::uint8_t, 256>& byW = lut.byWest;
+  const std::size_t W8 = byteWords(n);
+  std::vector<std::uint64_t> store(5 * W8);
+  std::uint64_t* south = store.data();
+  std::uint64_t* cur = south + W8;
+  std::uint64_t* north = cur + W8;
+  std::uint64_t* east = north + W8;
+  std::uint64_t* west = east + W8;
+  const auto rowAt = [&](int y) {
+    const int wrapped = y < 0 ? y + nRows : (y >= nRows ? y - nRows : y);
+    return labels + static_cast<std::size_t>(wrapped) * n;
+  };
+  packByteRow(rowAt(yBegin - 1), n, south);
+  packByteRow(rowAt(yBegin), n, cur);
+  std::int64_t bad = 0;
+  for (int y = yBegin; y < yEnd; ++y) {
+    packByteRow(rowAt(y + 1), n, north);
+    shiftByteUp(cur, east, n);
+    shiftByteDown(cur, west, n);
+    for (std::size_t w = 0; w < W8; ++w) {
+      // Disjoint two-bit fields, so the lane-parallel ORs cannot carry.
+      std::uint64_t key =
+          cur[w] | (north[w] << 2) | (east[w] << 4) | (south[w] << 6);
+      std::uint64_t wv = west[w];
+      const int m = std::min(8, n - static_cast<int>(w) * 8);
+      for (int i = 0; i < m; ++i) {
+        if (!((byW[static_cast<std::size_t>(key & 0xFFu)] >> (wv & 3u)) &
+              1u)) {
+          if constexpr (StopAtFirst) return 1;
+          ++bad;
+        }
+        key >>= 8;
+        wv >>= 8;
+      }
+    }
+    std::uint64_t* spare = south;
+    south = cur;
+    cur = north;
+    north = spare;
+  }
+  return bad;
+}
+
+template <bool StopAtFirst>
+std::int64_t bitsliceViolations(const bitslice::BitslicePlan& plan, int n,
+                                int nRows, const int* labels, int yBegin,
+                                int yEnd) {
+  if (plan.kind == bitslice::BitslicePlan::Kind::kPairPlanes) {
+    return pairPlanesViolations<StopAtFirst>(plan, n, nRows, labels, yBegin,
+                                             yEnd);
+  }
+  return nibbleViolations<StopAtFirst>(plan.nibble, n, nRows, labels, yBegin,
+                                       yEnd);
 }
 
 /// Fallback for uncompiled problems or out-of-alphabet labels, over nodes
@@ -76,6 +366,11 @@ std::int64_t violationsKernel(const Torus2D& torus, const GridLcl& lcl,
   }
   if (lcl.hasTable() &&
       verifier_detail::allLabelsInRange(lcl.sigma(), labels)) {
+    if (verifier_detail::bitsliceSelected(lcl, torus.size())) {
+      return bitsliceViolations<StopAtFirst>(*lcl.table().bitslicePlan(),
+                                             torus.n(), torus.n(),
+                                             labels.data(), 0, torus.n());
+    }
     return tableViolations<StopAtFirst>(lcl.table(), torus.n(), labels.data(),
                                         0, torus.n());
   }
@@ -199,6 +494,21 @@ std::int64_t tableViolationRows(const LclTable& table, int n,
   return stopAtFirst
              ? tableViolations<true>(table, n, labels, yBegin, yEnd)
              : tableViolations<false>(table, n, labels, yBegin, yEnd);
+}
+
+bool bitsliceSelected(const GridLcl& lcl, long long nodes) {
+  return bitslice::enabled() && nodes >= bitslice::kMinNodesForBitslice &&
+         lcl.hasTable() && lcl.table().bitslicePlan() != nullptr;
+}
+
+std::int64_t bitsliceViolationRows(const LclTable& table, int n, int nRows,
+                                   const int* labels, int yBegin, int yEnd,
+                                   bool stopAtFirst) {
+  const bitslice::BitslicePlan& plan = *table.bitslicePlan();
+  return stopAtFirst ? bitsliceViolations<true>(plan, n, nRows, labels,
+                                                yBegin, yEnd)
+                     : bitsliceViolations<false>(plan, n, nRows, labels,
+                                                 yBegin, yEnd);
 }
 
 std::int64_t functionalViolationRange(const Torus2D& torus, const GridLcl& lcl,

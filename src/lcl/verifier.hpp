@@ -2,7 +2,7 @@
 // evaluated at every node. Used as the ground truth behind every algorithm
 // and every synthesis result in the library.
 //
-// Two tiers:
+// Two tiers of interface:
 //  * diagnostics (listViolations / renderLabelling) -- per-node reports with
 //    coordinates and label names, for tests and debugging;
 //  * the batched engine (verify / countViolations / verifyBatch /
@@ -10,6 +10,30 @@
 //    no per-node allocation, amortised over many labellings or many tori in
 //    one call. This is the hot path behind the randomised lower-bound
 //    experiments and the perf benches.
+//
+// The batched engine itself selects between three kernel tiers per call
+// (see docs/perf.md for the selection rules and measurements):
+//  * functional -- the predicate loop, for uncompiled problems or
+//    out-of-alphabet labels;
+//  * row-pointer -- one compiled-table row load and a bit test per node;
+//  * bit-sliced -- for small alphabets the labelling is transposed into
+//    bit-planes (lcl/label_planes.hpp) and one uint64_t operation decides
+//    64 nodes, via the plan the table synthesised at compile time.
+//    LCLGRID_BITSLICE=0 (or bitslice::setEnabled(false)) falls back to the
+//    row-pointer kernel; every tier produces identical counts.
+//
+// Semantics: verify() decides feasibility and *early-exits* -- it returns
+// false at the first violating node (first violating 64-node word on the
+// bit-sliced tier; first violating shard chunk when threaded), without
+// scanning the rest of the labelling. On the staged d >= 3 bit-sliced
+// path the serial engine transposes one outermost-axis block ahead of the
+// scan, so an early violation also skips most of the staging; the
+// threaded overload runs staging as one full parallel pass before its
+// cooperative early-exit scan. countViolations() always scans everything
+// and reports the exact violation total, identically on every kernel tier
+// and thread count. The two agree on feasibility
+// (verify == (countViolations == 0)); use verify for yes/no questions and
+// countViolations when the count itself is the datum.
 //
 // Every batched entry point also has a threaded overload taking
 // engine::EngineOptions: the flat row-pointer kernel is sharded across the
@@ -33,6 +57,7 @@
 #include "grid/torusd.hpp"
 #include "lcl/grid_lcl.hpp"
 #include "lcl/grid_lcl_d.hpp"
+#include "lcl/label_planes.hpp"
 
 namespace lclgrid {
 
@@ -173,6 +198,23 @@ std::int64_t tableViolationRows(const LclTable& table, int n,
                                 const int* labels, int yBegin, int yEnd,
                                 bool stopAtFirst);
 
+/// True iff in-range labellings of this problem at this instance size run
+/// the bit-sliced kernel: the compiled table carries a plan, the global
+/// gate is on and the labelling clears the per-call setup floor
+/// (bitslice::kMinNodesForBitslice). The sharded verifier keys its kernel
+/// choice on this so serial and threaded paths cannot diverge.
+bool bitsliceSelected(const GridLcl& lcl, long long nodes);
+
+/// Violations of the bit-sliced kernel on grid rows [yBegin, yEnd) of an
+/// nRows x n row-major labelling (rows wrap cyclically); labels must all
+/// be in range and the table must carry a plan. Rows are transposed into
+/// rolling bit-plane (or packed-nibble) buffers internally, so a shard is
+/// self-contained. stopAtFirst returns at most 1, deciding per 64-node
+/// word. Counts are bit-identical to tableViolationRows.
+std::int64_t bitsliceViolationRows(const LclTable& table, int n, int nRows,
+                                   const int* labels, int yBegin, int yEnd,
+                                   bool stopAtFirst);
+
 /// Violations of the functional fallback on nodes [vBegin, vEnd).
 std::int64_t functionalViolationRange(const Torus2D& torus, const GridLcl& lcl,
                                       std::span<const int> labels, int vBegin,
@@ -195,6 +237,34 @@ std::size_t batchCountD(const TorusD& torus, std::span<const int> labelsBatch);
 std::int64_t tableViolationLinesD(const LclTableD& table, const TorusD& torus,
                                   const int* labels, long long lineBegin,
                                   long long lineEnd, bool stopAtFirst);
+
+/// True iff in-range labellings of this d-dimensional problem at this
+/// instance size run the bit-sliced kernel: the gate is on, the instance
+/// clears the setup floor, and either the d = 2 delegated table carries a
+/// 2D plan (the rolling row kernel runs directly on the labels) or the
+/// table carries a per-axis plan (the staged line kernel below).
+bool bitsliceSelectedD(const GridLclD& lcl, long long nodes);
+
+/// Plane buffer sized for the staged d >= 3 line kernel (lineCountD rows
+/// of torus.n() labels, plan->planes planes). Default-constructed (empty)
+/// when the table delegates to 2D -- that path needs no staging.
+LabelPlanes bitsliceMakePlanesD(const TorusD& torus, const LclTableD& table);
+
+/// Transposes lines [lineBegin, lineEnd) of the labelling into `planes`
+/// -- the staging pass the engine shards separately from the kernel pass.
+void bitsliceStageLinesD(const TorusD& torus, std::span<const int> labels,
+                         LabelPlanes& planes, long long lineBegin,
+                         long long lineEnd);
+
+/// Violations of the bit-sliced kernel on lines [lineBegin, lineEnd).
+/// d = 2 tables route through bitsliceViolationRows on the raw labels
+/// (planes unused); d >= 3 reads the staged planes. Counts are
+/// bit-identical to tableViolationLinesD.
+std::int64_t bitsliceViolationLinesD(const LclTableD& table,
+                                     const TorusD& torus,
+                                     const LabelPlanes& planes,
+                                     const int* labels, long long lineBegin,
+                                     long long lineEnd, bool stopAtFirst);
 
 /// Violations of the functional fallback on nodes [vBegin, vEnd).
 std::int64_t functionalViolationRangeD(const TorusD& torus,

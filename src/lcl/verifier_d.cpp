@@ -7,6 +7,8 @@
 // 2D row kernel on the delegated LclTable (one 2D code path in the
 // library). The threaded overloads shard the same line kernel; see
 // src/engine/parallel_verifier.cpp.
+#include <algorithm>
+#include <bit>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -76,6 +78,70 @@ std::int64_t tableViolationLines(const LclTableD& table, const TorusD& torus,
   return bad;
 }
 
+/// Bit-sliced kernel over axis-0 lines [lineBegin, lineEnd) of a staged
+/// LabelPlanes buffer (one plane set per line, transposed up front -- the
+/// engine shards the staging pass separately). Per line: the axis-0 pair
+/// network runs on the line's planes against their one-bit cyclic shift
+/// (both directions via one extra stream shift), and each outer axis's
+/// network runs against the pos/neg neighbour lines' planes, ANDed into
+/// one ok-word -- 2d pair checks for 64 nodes per word sweep.
+template <bool StopAtFirst>
+std::int64_t planesLineViolations(const bitslice::BitslicePlanD& plan,
+                                  const TorusD& torus,
+                                  const LabelPlanes& planes,
+                                  long long lineBegin, long long lineEnd) {
+  const int n = torus.n();
+  const int dims = torus.dims();
+  const int B = plan.planes;
+  const std::size_t W = planes.wordsPerRow();
+  const std::uint64_t tail = bitslice::rowTailMask(n);
+  std::vector<long long> lineStride(static_cast<std::size_t>(dims), 0);
+  long long stride = 1;
+  for (int a = 1; a < dims; ++a) {
+    lineStride[static_cast<std::size_t>(a)] = stride;
+    stride *= n;
+  }
+  std::vector<std::uint64_t> store((static_cast<std::size_t>(B) + 3) * W);
+  std::uint64_t* shiftP = store.data();  // east-shifted planes of the line
+  std::uint64_t* strmA = shiftP + static_cast<std::size_t>(B) * W;
+  std::uint64_t* strmB = strmA + W;
+  std::uint64_t* okAcc = strmB + W;
+  std::int64_t bad = 0;
+  for (long long line = lineBegin; line < lineEnd; ++line) {
+    const std::uint64_t* curP = planes.row(line);
+    for (int b = 0; b < B; ++b) {
+      bitslice::shiftUpCyclic(curP + static_cast<std::size_t>(b) * W,
+                              shiftP + static_cast<std::size_t>(b) * W, n);
+    }
+    plan.axes[0].eval(curP, shiftP, W, strmA);  // bit x = P0(c[x], c[x+1])
+    bitslice::shiftDownCyclic(strmA, strmB, n);  // bit x = P0(c[x-1], c[x])
+    for (std::size_t w = 0; w < W; ++w) okAcc[w] = strmA[w] & strmB[w];
+    long long rem = line;
+    for (int a = 1; a < dims; ++a) {
+      const long long ls = lineStride[static_cast<std::size_t>(a)];
+      const int coord = static_cast<int>(rem % n);
+      rem /= n;
+      const long long pos = line + (coord + 1 == n ? ls * (1 - n) : ls);
+      const long long neg = line + (coord == 0 ? ls * (n - 1) : -ls);
+      plan.axes[static_cast<std::size_t>(a)].eval(curP, planes.row(pos), W,
+                                                  strmA);
+      for (std::size_t w = 0; w < W; ++w) okAcc[w] &= strmA[w];
+      plan.axes[static_cast<std::size_t>(a)].eval(planes.row(neg), curP, W,
+                                                  strmA);
+      for (std::size_t w = 0; w < W; ++w) okAcc[w] &= strmA[w];
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      const std::uint64_t violated =
+          ~okAcc[w] & (w + 1 == W ? tail : ~std::uint64_t{0});
+      if (violated != 0) {
+        if constexpr (StopAtFirst) return 1;
+        bad += std::popcount(violated);
+      }
+    }
+  }
+  return bad;
+}
+
 /// Fallback for uncompiled problems or out-of-alphabet labels, over nodes
 /// [vBegin, vEnd): TorusD::step per neighbour, GridLclD::allows per node.
 template <bool StopAtFirst>
@@ -122,9 +188,50 @@ std::int64_t violationsKernel(const TorusD& torus, const GridLclD& lcl,
   }
   if (lcl.hasTable() &&
       verifier_detail::allLabelsInRange(lcl.sigma(), labels)) {
-    return tableViolationLines<StopAtFirst>(
-        lcl.table(), torus, labels.data(), 0,
-        verifier_detail::lineCountD(torus));
+    const LclTableD& table = lcl.table();
+    const long long lines = verifier_detail::lineCountD(torus);
+    if (verifier_detail::bitsliceSelectedD(lcl, torus.size())) {
+      if (const LclTable* table2d = table.as2d()) {
+        // One 2D bit-sliced code path: the delegated table's plan runs the
+        // rolling row kernel straight off the labels, no staging.
+        return verifier_detail::bitsliceViolationRows(
+            *table2d, torus.n(), static_cast<int>(lines), labels.data(), 0,
+            static_cast<int>(lines), StopAtFirst);
+      }
+      LabelPlanes planes =
+          verifier_detail::bitsliceMakePlanesD(torus, table);
+      if constexpr (!StopAtFirst) {
+        planes.setRows(labels, 0, lines);
+        return planesLineViolations<false>(*table.bitslicePlanD(), torus,
+                                           planes, 0, lines);
+      } else {
+        // Early-exit contract: stage progressively, one outermost-axis
+        // block (lines / n lines) ahead of the scan, so a violation in
+        // the first block costs O(block) transposition, not O(N). Every
+        // outer-axis neighbour of a line lies within +-1 block, so the
+        // scan of block i only needs blocks i-1, i, i+1 (cyclically):
+        // the wrap block is staged up front, the rest one block ahead.
+        const long long blockLines = std::max(1LL, lines / torus.n());
+        planes.setRows(labels, lines - blockLines, lines);  // wrap block
+        long long stagedEnd = 0;
+        for (long long begin = 0; begin < lines; begin += blockLines) {
+          const long long end = std::min(begin + blockLines, lines);
+          const long long need =
+              std::min(end + blockLines, lines - blockLines);
+          if (need > stagedEnd) {
+            planes.setRows(labels, stagedEnd, need);
+            stagedEnd = need;
+          }
+          if (planesLineViolations<true>(*table.bitslicePlanD(), torus,
+                                         planes, begin, end) > 0) {
+            return 1;
+          }
+        }
+        return 0;
+      }
+    }
+    return tableViolationLines<StopAtFirst>(table, torus, labels.data(), 0,
+                                            lines);
   }
   return functionalViolations<StopAtFirst>(torus, lcl, labels, 0,
                                            torus.size());
@@ -237,6 +344,48 @@ std::int64_t tableViolationLinesD(const LclTableD& table, const TorusD& torus,
                                          lineEnd)
              : tableViolationLines<false>(table, torus, labels, lineBegin,
                                           lineEnd);
+}
+
+bool bitsliceSelectedD(const GridLclD& lcl, long long nodes) {
+  if (!bitslice::enabled() || nodes < bitslice::kMinNodesForBitslice ||
+      !lcl.hasTable()) {
+    return false;
+  }
+  const LclTableD& table = lcl.table();
+  if (const LclTable* table2d = table.as2d()) {
+    return table2d->bitslicePlan() != nullptr;
+  }
+  return table.bitslicePlanD() != nullptr;
+}
+
+LabelPlanes bitsliceMakePlanesD(const TorusD& torus, const LclTableD& table) {
+  if (table.as2d() != nullptr) return LabelPlanes();
+  return LabelPlanes(torus.n(), lineCountD(torus),
+                     table.bitslicePlanD()->planes);
+}
+
+void bitsliceStageLinesD(const TorusD& torus, std::span<const int> labels,
+                         LabelPlanes& planes, long long lineBegin,
+                         long long lineEnd) {
+  (void)torus;
+  planes.setRows(labels, lineBegin, lineEnd);
+}
+
+std::int64_t bitsliceViolationLinesD(const LclTableD& table,
+                                     const TorusD& torus,
+                                     const LabelPlanes& planes,
+                                     const int* labels, long long lineBegin,
+                                     long long lineEnd, bool stopAtFirst) {
+  if (const LclTable* table2d = table.as2d()) {
+    return bitsliceViolationRows(
+        *table2d, torus.n(), static_cast<int>(lineCountD(torus)), labels,
+        static_cast<int>(lineBegin), static_cast<int>(lineEnd), stopAtFirst);
+  }
+  const bitslice::BitslicePlanD& plan = *table.bitslicePlanD();
+  return stopAtFirst ? planesLineViolations<true>(plan, torus, planes,
+                                                  lineBegin, lineEnd)
+                     : planesLineViolations<false>(plan, torus, planes,
+                                                   lineBegin, lineEnd);
 }
 
 std::int64_t functionalViolationRangeD(const TorusD& torus,
