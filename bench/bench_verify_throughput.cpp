@@ -19,14 +19,28 @@
 // the batched paths run whatever the process default (LCLGRID_BITSLICE)
 // selects, i.e. what an unconfigured caller gets.
 //
+// The --mmap mode adds the fourth tier (docs/perf.md): each 2D sweep also
+// writes its labelling to the on-disk LCLLABv1 format (row by row -- no
+// full-grid staging buffer beyond the labels the sweep already holds) and
+// measures streamCountViolations on the memory-mapped file, serial and
+// sharded. Those rows additionally report peak_rss_kb (getrusage high-water
+// mark), the bounded-memory claim's measurable form: with --mmap-only the
+// resident peak stays at the rolling window, independent of grid size.
+//
 // Usage: bench_verify_throughput [n] [min_seconds] [--threads N]
 //                                [--dims LIST] [--smoke]
+//                                [--mmap] [--mmap-only] [--mmap-dir DIR]
 //   n            2D torus side (default 512); the d >= 3 sides are derived
 //                as floor((n*n)^(1/d)) so every sweep touches ~n^2 nodes
 //   min_seconds  measurement window per path (default 1.0)
 //   --threads N  lanes for the sharded paths (default: hardware concurrency)
 //   --dims LIST  comma-separated dimension list (default "2,3,4")
 //   --smoke      tiny sizes and windows for CI (n = 32, min_seconds = 0.02)
+//   --mmap       add the streaming (out-of-core) paths to every 2D sweep
+//   --mmap-only  only the streaming paths (for n too large to hold in-core:
+//                implies --mmap, forces --dims 2, skips the in-core sweep)
+//   --mmap-dir   directory for the temporary labelling files (default
+//                $TMPDIR or /tmp; a 10^9-node torus needs ~4 GB free)
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -36,12 +50,18 @@
 #include <string>
 #include <vector>
 
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define LCLGRID_BENCH_HAVE_RUSAGE 1
+#endif
+
 #include "engine/thread_pool.hpp"
 #include "grid/torus2d.hpp"
 #include "grid/torusd.hpp"
 #include "lcl/grid_lcl_d.hpp"
 #include "lcl/label_planes.hpp"
 #include "lcl/problems.hpp"
+#include "lcl/stream_verify.hpp"
 #include "lcl/verifier.hpp"
 #include "support/json.hpp"
 
@@ -112,9 +132,22 @@ struct PathResult {
   std::string path;
   double seconds = 0.0;
   double nodesPerSec = 0.0;
+  int lanes = 1;  // pool lanes the path used (1 for every serial path)
   long long passes = 0;
   std::int64_t violations = 0;  // checksum: must match within a sweep
+  long long peakRssKb = 0;      // recorded on the mmap paths only
 };
+
+/// Process peak resident set in KiB (a high-water mark, so meaningful for
+/// the mmap paths only when the in-core sweep is skipped); 0 when the
+/// platform has no getrusage.
+long long peakRssKb() {
+#if defined(LCLGRID_BENCH_HAVE_RUSAGE)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
+#endif
+  return 0;
+}
 
 template <typename Body>
 PathResult measure(int dims, int n, std::string path,
@@ -163,6 +196,9 @@ int main(int argc, char** argv) {
   double minSeconds = 1.0;
   int threads = engine::defaultThreads();
   std::vector<int> dimsList = {2, 3, 4};
+  bool mmapMode = false;
+  bool mmapOnly = false;
+  std::string mmapDir;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -179,6 +215,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       n = 32;
       minSeconds = 0.02;
+    } else if (std::strcmp(argv[i], "--mmap") == 0) {
+      mmapMode = true;
+    } else if (std::strcmp(argv[i], "--mmap-only") == 0) {
+      mmapMode = true;
+      mmapOnly = true;
+    } else if (std::strcmp(argv[i], "--mmap-dir") == 0 && i + 1 < argc) {
+      mmapDir = argv[++i];
     } else if (positional == 0) {
       n = std::atoi(argv[i]);
       ++positional;
@@ -187,12 +230,22 @@ int main(int argc, char** argv) {
       ++positional;
     }
   }
+  if (mmapOnly) dimsList = {2};  // the streaming sweep is the 2D sweep
+  if (mmapDir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    mmapDir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  }
   bool dimsOk = !dimsList.empty();
   for (int dims : dimsList) dimsOk = dimsOk && dims >= 1 && dims <= 8;
-  if (n < 4 || threads < 1 || !dimsOk) {
+  // Torus2D indexes nodes with int; the guard keeps n*n (and the mmap
+  // payload offsets derived from it) in range. n = 46340 is ~2.1e9 nodes.
+  const bool sizeOk =
+      static_cast<long long>(n) * n <= 2147483647LL;
+  if (n < 4 || threads < 1 || !dimsOk || !sizeOk) {
     std::fprintf(stderr,
                  "usage: %s [n] [min_seconds] [--threads N] [--dims LIST] "
-                 "[--smoke] (n >= 4, N >= 1, dims in [1, 8])\n",
+                 "[--smoke] [--mmap] [--mmap-only] [--mmap-dir DIR] "
+                 "(n >= 4, n*n <= INT_MAX, N >= 1, dims in [1, 8])\n",
                  argv[0]);
     return 2;
   }
@@ -214,68 +267,114 @@ int main(int argc, char** argv) {
       Torus2D torus(n);
       // The decomposable sigma <= 4 problems are the bit-sliced kernel's
       // headline case (>= 4x target); noHorizontalOnePair exercises the
-      // generic pair-network form on the same sweep.
+      // generic pair-network form on the same sweep. --mmap-only keeps a
+      // single problem: the sweep cost there is dominated by writing and
+      // re-reading the (potentially multi-GB) labelling file.
       std::vector<GridLcl> problems2d;
       problems2d.push_back(problems::vertexColouring(colours));
-      problems2d.push_back(problems::vertexColouring(3));
-      problems2d.push_back(problems::noHorizontalOnePair());
+      if (!mmapOnly) {
+        problems2d.push_back(problems::vertexColouring(3));
+        problems2d.push_back(problems::noHorizontalOnePair());
+      }
       for (const GridLcl& lcl : problems2d) {
         // Compiled once, here, outside every timed region.
         const std::uint64_t fingerprint = lcl.table().fingerprint();
-        std::vector<int> labels(static_cast<std::size_t>(torus.size()));
-        for (int v = 0; v < torus.size(); ++v) {
-          labels[static_cast<std::size_t>(v)] =
-              (torus.xOf(v) + torus.yOf(v)) % lcl.sigma();
-        }
         const std::int64_t nodes = torus.size();
         const std::size_t first = results.size();
-        results.push_back(
-            measure(dims, n, "functional", nodes, minSeconds, [&]() {
-              return functionalCountViolations(torus, lcl.predicate(),
-                                               lcl.sigma(), labels);
-            }));
-        bitslice::setEnabled(false);  // pin the row-pointer kernel
-        results.push_back(measure(dims, n, "table", nodes, minSeconds, [&]() {
-          return countViolations(torus, lcl, labels);
-        }));
-        results.push_back(
-            measure(dims, n, "table_sharded", nodes, minSeconds, [&]() {
-              return countViolations(torus, lcl, labels, engineOptions);
-            }));
-        bitslice::setEnabled(true);  // pin the bit-sliced kernel
-        if (verifier_detail::bitsliceSelected(lcl, torus.size())) {
+        if (!mmapOnly) {
+          // The in-core sweep holds the whole labelling (and its 8x batch
+          // copy); --mmap-only skips it so the resident peak reported on
+          // the streaming rows measures the rolling window alone.
+          std::vector<int> labels(static_cast<std::size_t>(torus.size()));
+          for (int v = 0; v < torus.size(); ++v) {
+            labels[static_cast<std::size_t>(v)] =
+                (torus.xOf(v) + torus.yOf(v)) % lcl.sigma();
+          }
           results.push_back(
-              measure(dims, n, "bitsliced", nodes, minSeconds, [&]() {
+              measure(dims, n, "functional", nodes, minSeconds, [&]() {
+                return functionalCountViolations(torus, lcl.predicate(),
+                                                 lcl.sigma(), labels);
+              }));
+          bitslice::setEnabled(false);  // pin the row-pointer kernel
+          results.push_back(
+              measure(dims, n, "table", nodes, minSeconds, [&]() {
                 return countViolations(torus, lcl, labels);
               }));
           results.push_back(
-              measure(dims, n, "bitsliced_sharded", nodes, minSeconds, [&]() {
+              measure(dims, n, "table_sharded", nodes, minSeconds, [&]() {
                 return countViolations(torus, lcl, labels, engineOptions);
               }));
-        }
-        bitslice::setEnabled(defaultBitslice);
+          results.back().lanes = threads;
+          bitslice::setEnabled(true);  // pin the bit-sliced kernel
+          if (verifier_detail::bitsliceSelected(lcl, torus.size())) {
+            results.push_back(
+                measure(dims, n, "bitsliced", nodes, minSeconds, [&]() {
+                  return countViolations(torus, lcl, labels);
+                }));
+            results.push_back(measure(
+                dims, n, "bitsliced_sharded", nodes, minSeconds, [&]() {
+                  return countViolations(torus, lcl, labels, engineOptions);
+                }));
+            results.back().lanes = threads;
+          }
+          bitslice::setEnabled(defaultBitslice);
 
-        // Batched paths: 8 labellings back-to-back through one call, on
-        // the process-default kernel selection.
-        std::vector<int> batch;
-        batch.reserve(labels.size() * static_cast<std::size_t>(batchSize));
-        for (int i = 0; i < batchSize; ++i) {
-          batch.insert(batch.end(), labels.begin(), labels.end());
+          // Batched paths: 8 labellings back-to-back through one call, on
+          // the process-default kernel selection.
+          std::vector<int> batch;
+          batch.reserve(labels.size() * static_cast<std::size_t>(batchSize));
+          for (int i = 0; i < batchSize; ++i) {
+            batch.insert(batch.end(), labels.begin(), labels.end());
+          }
+          auto sumCounts = [&](const std::vector<std::int64_t>& counts) {
+            std::int64_t total = 0;
+            for (auto count : counts) total += count;
+            return total / batchSize;
+          };
+          results.push_back(measure(
+              dims, n, "batched", nodes * batchSize, minSeconds, [&]() {
+                return sumCounts(countViolationsBatch(torus, lcl, batch));
+              }));
+          results.push_back(measure(
+              dims, n, "batched_sharded", nodes * batchSize, minSeconds,
+              [&]() {
+                return sumCounts(
+                    countViolationsBatch(torus, lcl, batch, engineOptions));
+              }));
+          results.back().lanes = threads;
         }
-        auto sumCounts = [&](const std::vector<std::int64_t>& counts) {
-          std::int64_t total = 0;
-          for (auto count : counts) total += count;
-          return total / batchSize;
-        };
-        results.push_back(
-            measure(dims, n, "batched", nodes * batchSize, minSeconds, [&]() {
-              return sumCounts(countViolationsBatch(torus, lcl, batch));
-            }));
-        results.push_back(measure(
-            dims, n, "batched_sharded", nodes * batchSize, minSeconds, [&]() {
-              return sumCounts(
-                  countViolationsBatch(torus, lcl, batch, engineOptions));
-            }));
+        if (mmapMode) {
+          // The streaming tier: the same diagonal labelling written to the
+          // on-disk format row by row (one row buffer -- never the full
+          // grid), then verified from the mapping.
+          const std::string path = mmapDir + "/lclgrid_bench_" +
+                                   std::to_string(n) + "_" +
+                                   std::to_string(first) + ".lcllab";
+          {
+            StreamLabellingWriter writer(path, lcl.sigma(), 2, n);
+            std::vector<int> row(static_cast<std::size_t>(n));
+            for (int y = 0; y < n; ++y) {
+              for (int x = 0; x < n; ++x) {
+                row[static_cast<std::size_t>(x)] = (x + y) % lcl.sigma();
+              }
+              writer.appendLabels(row);
+            }
+            writer.close();
+          }
+          StreamLabelling mapped(path);
+          results.push_back(
+              measure(dims, n, "mmap_stream", nodes, minSeconds, [&]() {
+                return streamCountViolations(mapped, lcl);
+              }));
+          results.back().peakRssKb = peakRssKb();
+          results.push_back(measure(
+              dims, n, "mmap_stream_sharded", nodes, minSeconds, [&]() {
+                return streamCountViolations(mapped, lcl, engineOptions);
+              }));
+          results.back().lanes = threads;
+          results.back().peakRssKb = peakRssKb();
+          std::remove(path.c_str());
+        }
         for (std::size_t i = first; i < results.size(); ++i) {
           results[i].problem = lcl.name();
           checksumOk =
@@ -310,6 +409,7 @@ int main(int argc, char** argv) {
           measure(dims, side, "table_sharded", nodes, minSeconds, [&]() {
             return countViolations(torus, lcl, labels, engineOptions);
           }));
+      results.back().lanes = threads;
       bitslice::setEnabled(true);
       if (verifier_detail::bitsliceSelectedD(lcl, torus.size())) {
         results.push_back(
@@ -320,6 +420,7 @@ int main(int argc, char** argv) {
             measure(dims, side, "bitsliced_sharded", nodes, minSeconds, [&]() {
               return countViolations(torus, lcl, labels, engineOptions);
             }));
+        results.back().lanes = threads;
       }
       bitslice::setEnabled(defaultBitslice);
       for (std::size_t i = first; i < results.size(); ++i) {
@@ -356,6 +457,8 @@ int main(int argc, char** argv) {
   json.key("threads").value(threads);
   json.key("min_seconds").value(minSeconds);
   json.key("bitslice_default").value(defaultBitslice);
+  json.key("mmap").value(mmapMode);
+  json.key("mmap_only").value(mmapOnly);
   json.key("dims").beginArray();
   for (int dims : dimsList) json.value(dims);
   json.endArray();
@@ -368,9 +471,15 @@ int main(int argc, char** argv) {
     json.key("problem").value(result.problem);
     json.key("path").value(result.path);
     json.key("nodes_per_sec").value(result.nodesPerSec);
+    json.key("nodes_per_sec_per_core")
+        .value(result.nodesPerSec / result.lanes);
+    json.key("lanes").value(result.lanes);
     json.key("passes").value(result.passes);
     json.key("seconds").value(result.seconds);
     json.key("violations").value(result.violations);
+    if (result.path == "mmap_stream" || result.path == "mmap_stream_sharded") {
+      json.key("peak_rss_kb").value(result.peakRssKb);
+    }
     const double functionalRate =
         rateOf(result.dims, result.problem, "functional");
     if (functionalRate > 0.0) {
@@ -378,7 +487,8 @@ int main(int argc, char** argv) {
           .value(result.nodesPerSec / functionalRate);
     }
     if (result.path == "table_sharded" || result.path == "bitsliced" ||
-        result.path == "bitsliced_sharded") {
+        result.path == "bitsliced_sharded" || result.path == "mmap_stream" ||
+        result.path == "mmap_stream_sharded") {
       const double tableRate = rateOf(result.dims, result.problem, "table");
       if (tableRate > 0.0) {
         json.key("speedup_vs_table").value(result.nodesPerSec / tableRate);

@@ -65,6 +65,10 @@ run_json -t d3 bench_verify_throughput 24 0.02 --threads 2 --dims 3
 # bitslice::kMinNodesForBitslice selection floor (check_bench_json.py
 # requires the bitsliced rows), with headroom against floor bumps.
 run_json -t d4 bench_verify_throughput 32 0.02 --threads 2 --dims 4
+# The streaming (out-of-core) tier: a tiny --mmap sweep writes the on-disk
+# labelling, verifies it from the mapping serial + sharded, and reports the
+# peak_rss_kb / nodes_per_sec_per_core columns check_bench_json.py gates.
+run_json -t mmap bench_verify_throughput --smoke --threads 2 --dims 2 --mmap
 # The LCLGRID_BITSLICE=0 escape hatch must keep the bench (and the auto-
 # selected batched paths) healthy; bash scopes the prefixed variable to
 # this one call.

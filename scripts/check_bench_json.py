@@ -26,19 +26,36 @@ def reject_constant(token):
     raise ValueError(f"non-finite number {token!r} (JSON has no NaN/Inf)")
 
 
+def positive_finite(value):
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+        and value > 0
+    )
+
+
 def check_verify_throughput(doc, results, errors):
     """Bench-specific gate for the kernel-tier bench: the bitsliced paths
     must be present (a sweep that silently lost them would hide a
     selection regression) and every bitsliced entry must carry a finite,
     positive speedup_vs_table column. The 4x acceptance ratio itself is a
-    full-size run's job -- CI smoke sizes are too small and noisy."""
+    full-size run's job -- CI smoke sizes are too small and noisy.
+
+    Every row must carry a positive finite nodes_per_sec_per_core (the
+    normalised column the perf trajectory plots); a --mmap run must
+    contain the mmap_stream rows with a positive finite peak_rss_kb (the
+    bounded-memory claim's measurable form). A --mmap-only run skips the
+    in-core sweep, so the bitsliced requirement is waived there."""
+    config = doc.get("config") if isinstance(doc.get("config"), dict) else {}
+    mmap_only = config.get("mmap_only") is True
     bitsliced = [
         entry
         for entry in results
         if isinstance(entry, dict)
         and str(entry.get("path", "")).startswith("bitsliced")
     ]
-    if not bitsliced:
+    if not bitsliced and not mmap_only:
         errors.append('verify_throughput has no "bitsliced" results')
     for entry in bitsliced:
         label = f"{entry.get('problem')}/{entry.get('path')}"
@@ -47,6 +64,28 @@ def check_verify_throughput(doc, results, errors):
             errors.append(f"{label}: missing speedup_vs_table")
         elif not math.isfinite(speedup) or speedup <= 0:
             errors.append(f"{label}: speedup_vs_table not a positive finite")
+    for entry in results:
+        if not isinstance(entry, dict):
+            continue
+        label = f"{entry.get('problem')}/{entry.get('path')}"
+        if not positive_finite(entry.get("nodes_per_sec_per_core")):
+            errors.append(f"{label}: missing/invalid nodes_per_sec_per_core")
+    if config.get("mmap") is True:
+        mmap_rows = [
+            entry
+            for entry in results
+            if isinstance(entry, dict)
+            and str(entry.get("path", "")).startswith("mmap_stream")
+        ]
+        if not mmap_rows:
+            errors.append(
+                'verify_throughput config says mmap but has no "mmap_stream" '
+                "results"
+            )
+        for entry in mmap_rows:
+            label = f"{entry.get('problem')}/{entry.get('path')}"
+            if not positive_finite(entry.get("peak_rss_kb")):
+                errors.append(f"{label}: missing/invalid peak_rss_kb")
     for key in ("checksum_ok", "fingerprint_ok"):
         if doc.get(key) is not True:
             errors.append(f'verify_throughput "{key}" is not true')

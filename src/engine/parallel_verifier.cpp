@@ -17,6 +17,7 @@
 #include <stdexcept>
 
 #include "engine/thread_pool.hpp"
+#include "lcl/stream_verify.hpp"
 #include "lcl/verifier.hpp"
 
 namespace lclgrid {
@@ -354,6 +355,182 @@ std::vector<std::int64_t> shardedCountBatch(engine::ThreadPool& pool,
 }
 
 }  // namespace
+
+// --- streaming (out-of-core) sharding --------------------------------------
+// The sharded halves of the lcl/stream_verify.hpp overloads: the slab walk
+// itself (window geometry, validation frontier, drop-behind, functional
+// restart) is stream_verify_detail::runStreamPass -- the exact code the
+// serial streaming entry points run -- and only the per-slab callbacks
+// differ: each slab shards across the pool with the chunk-ordered combine
+// of the in-core sharded verifier, so counts stay bit-identical to the
+// serial pass at every thread count.
+
+namespace {
+
+/// The compiled-kernel slice of one streaming chunk; `sliced` is the
+/// pass-wide tier choice (stream_verify_detail::streamUsesBitslice*).
+std::int64_t streamKernelSlice(const Torus2D& torus, const GridLcl& lcl,
+                               const int* labels, bool sliced,
+                               std::int64_t begin, std::int64_t end,
+                               bool stopAtFirst) {
+  if (sliced) {
+    return verifier_detail::bitsliceViolationRows(
+        lcl.table(), torus.n(), torus.n(), labels, static_cast<int>(begin),
+        static_cast<int>(end), stopAtFirst);
+  }
+  return tableSlice(torus, lcl, labels, begin, end, stopAtFirst);
+}
+std::int64_t streamKernelSlice(const TorusD& torus, const GridLclD& lcl,
+                               const int* labels, bool sliced,
+                               std::int64_t begin, std::int64_t end,
+                               bool stopAtFirst) {
+  if (sliced) {
+    // Streaming only selects the d = 2 delegated row kernel, which reads
+    // the raw labels and ignores the plane buffer.
+    static const LabelPlanes kNoPlanes;
+    return verifier_detail::bitsliceViolationLinesD(
+        lcl.table(), torus, kNoPlanes, labels, begin, end, stopAtFirst);
+  }
+  return tableSlice(torus, lcl, labels, begin, end, stopAtFirst);
+}
+
+bool streamSliced(const StreamLabelling& file, const GridLcl& lcl) {
+  return stream_verify_detail::streamUsesBitslice(file, lcl);
+}
+bool streamSliced(const StreamLabelling& file, const GridLclD& lcl) {
+  return stream_verify_detail::streamUsesBitsliceD(file, lcl);
+}
+
+template <typename Torus, typename Lcl>
+std::int64_t shardedStream(engine::ThreadPool& pool, std::int64_t grain,
+                           const StreamLabelling& file, const Lcl& lcl,
+                           const Torus& torus, const StreamWindow& window,
+                           bool stopAtFirst) {
+  const int n = file.n();
+  const long long lines = file.lines();
+  const int* labels = file.labels();
+  const std::span<const int> all(labels,
+                                 static_cast<std::size_t>(file.size()));
+  stream_verify_detail::StreamPass pass;
+  pass.file = &file;
+  pass.window = stream_verify_detail::resolveWindowRows(n, lines, window.rows);
+  pass.wrapKeep = stream_verify_detail::wrapWindowRows(file.dims(), n);
+  pass.dropBehind = window.dropBehind;
+  pass.tablePath = lcl.hasTable();
+  const bool sliced = streamSliced(file, lcl);
+  const auto sum = [](std::int64_t a, std::int64_t b) { return a + b; };
+  if (pass.tablePath) {
+    pass.rowsInRange = [&](long long begin, long long end) {
+      return shardedAllInRange(
+          pool, grain, torus, lcl.sigma(),
+          all.subspan(static_cast<std::size_t>(begin * n),
+                      static_cast<std::size_t>((end - begin) * n)));
+    };
+    pass.kernelRows = [&](long long begin, long long end,
+                          bool stop) -> std::int64_t {
+      if (stop) {
+        std::atomic<bool> violated{false};
+        pool.parallelFor(begin, end, grain,
+                         [&](std::int64_t s, std::int64_t t) {
+                           if (violated.load(std::memory_order_relaxed)) {
+                             return;
+                           }
+                           if (streamKernelSlice(torus, lcl, labels, sliced,
+                                                 s, t,
+                                                 /*stopAtFirst=*/true) > 0) {
+                             violated.store(true, std::memory_order_relaxed);
+                           }
+                         });
+        return violated.load() ? 1 : 0;
+      }
+      return pool.parallelReduce(begin, end, grain, std::int64_t{0},
+                                 [&](std::int64_t s, std::int64_t t) {
+                                   return streamKernelSlice(
+                                       torus, lcl, labels, sliced, s, t,
+                                       /*stopAtFirst=*/false);
+                                 },
+                                 sum);
+    };
+  }
+  pass.functionalRows = [&](long long begin, long long end,
+                            bool stop) -> std::int64_t {
+    const std::int64_t nodeBegin = begin * n;
+    const std::int64_t nodeEnd = end * n;
+    if (stop) {
+      std::atomic<bool> violated{false};
+      pool.parallelFor(nodeBegin, nodeEnd, nodeGrain(grain, torus),
+                       [&](std::int64_t s, std::int64_t t) {
+                         if (violated.load(std::memory_order_relaxed)) return;
+                         if (functionalSlice(torus, lcl, all, s, t,
+                                             /*stopAtFirst=*/true) > 0) {
+                           violated.store(true, std::memory_order_relaxed);
+                         }
+                       });
+      return violated.load() ? 1 : 0;
+    }
+    return pool.parallelReduce(nodeBegin, nodeEnd, nodeGrain(grain, torus),
+                               std::int64_t{0},
+                               [&](std::int64_t s, std::int64_t t) {
+                                 return functionalSlice(
+                                     torus, lcl, all, s, t,
+                                     /*stopAtFirst=*/false);
+                               },
+                               sum);
+  };
+  return stream_verify_detail::runStreamPass(pass, stopAtFirst);
+}
+
+}  // namespace
+
+std::int64_t streamCountViolations(const StreamLabelling& file,
+                                   const GridLcl& lcl,
+                                   const engine::EngineOptions& options,
+                                   const StreamWindow& window) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) {
+    return streamCountViolations(file, lcl, window);
+  }
+  stream_verify_detail::checkStream2D(file, lcl);
+  const Torus2D torus(file.n());
+  return shardedStream(handle.pool(), options.grain, file, lcl, torus, window,
+                       /*stopAtFirst=*/false);
+}
+
+bool streamVerify(const StreamLabelling& file, const GridLcl& lcl,
+                  const engine::EngineOptions& options,
+                  const StreamWindow& window) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) return streamVerify(file, lcl, window);
+  stream_verify_detail::checkStream2D(file, lcl);
+  const Torus2D torus(file.n());
+  return shardedStream(handle.pool(), options.grain, file, lcl, torus, window,
+                       /*stopAtFirst=*/true) == 0;
+}
+
+std::int64_t streamCountViolations(const StreamLabelling& file,
+                                   const GridLclD& lcl,
+                                   const engine::EngineOptions& options,
+                                   const StreamWindow& window) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) {
+    return streamCountViolations(file, lcl, window);
+  }
+  stream_verify_detail::checkStreamD(file, lcl);
+  const TorusD torus(file.dims(), file.n());
+  return shardedStream(handle.pool(), options.grain, file, lcl, torus, window,
+                       /*stopAtFirst=*/false);
+}
+
+bool streamVerify(const StreamLabelling& file, const GridLclD& lcl,
+                  const engine::EngineOptions& options,
+                  const StreamWindow& window) {
+  engine::PoolHandle handle(options);
+  if (handle.pool().lanes() == 1) return streamVerify(file, lcl, window);
+  stream_verify_detail::checkStreamD(file, lcl);
+  const TorusD torus(file.dims(), file.n());
+  return shardedStream(handle.pool(), options.grain, file, lcl, torus, window,
+                       /*stopAtFirst=*/true) == 0;
+}
 
 // --- Torus2D ---------------------------------------------------------------
 

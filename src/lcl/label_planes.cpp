@@ -11,6 +11,9 @@
 #include <immintrin.h>
 #if defined(__GNUC__) || defined(__clang__)
 #define LCLGRID_BITSLICE_AVX2 1
+#if defined(__x86_64__)
+#define LCLGRID_BITSLICE_AVX512 1
+#endif
 #endif
 #endif
 
@@ -27,6 +30,19 @@ std::atomic<int> gEnabled{-1};
 int readEnv() {
   const char* value = std::getenv("LCLGRID_BITSLICE");
   return (value != nullptr && value[0] == '0' && value[1] == '\0') ? 0 : 1;
+}
+
+// The SIMD cap, same publication scheme: -1 = not yet read from
+// LCLGRID_SIMD; 0/1/2 afterwards.
+std::atomic<int> gSimdCap{-1};
+
+int readSimdEnv() {
+  const char* value = std::getenv("LCLGRID_SIMD");
+  if (value != nullptr && value[0] != '\0' && value[1] == '\0') {
+    if (value[0] == '0') return 0;
+    if (value[0] == '1') return 1;
+  }
+  return 2;
 }
 
 #if defined(LCLGRID_BITSLICE_AVX2)
@@ -78,6 +94,20 @@ bool avx2Supported() {
 
 #endif  // LCLGRID_BITSLICE_AVX2
 
+#if defined(LCLGRID_BITSLICE_AVX512)
+
+bool avx512Supported() {
+  // The lumped subsets the verifier's AVX-512 kernels use: foundation +
+  // byte/word ops + the byte permute of the nibble LUT + vector popcount.
+  static const bool supported =
+      __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vbmi") &&
+      __builtin_cpu_supports("avx512vpopcntdq");
+  return supported;
+}
+
+#endif  // LCLGRID_BITSLICE_AVX512
+
 }  // namespace
 
 bool enabled() {
@@ -99,6 +129,40 @@ void setEnabled(bool value) {
   gEnabled.store(value ? 1 : 0, std::memory_order_relaxed);
 }
 
+bool avx2Available() {
+#if defined(LCLGRID_BITSLICE_AVX2)
+  return avx2Supported();
+#else
+  return false;
+#endif
+}
+
+bool avx512Available() {
+#if defined(LCLGRID_BITSLICE_AVX512)
+  return avx512Supported();
+#else
+  return false;
+#endif
+}
+
+SimdTier simdTier() {
+  int cap = gSimdCap.load(std::memory_order_relaxed);
+  if (cap < 0) {
+    int expected = -1;
+    const int fromEnv = readSimdEnv();
+    cap = gSimdCap.compare_exchange_strong(expected, fromEnv,
+                                           std::memory_order_relaxed)
+              ? fromEnv
+              : expected;
+  }
+  const int available = avx512Available() ? 2 : (avx2Available() ? 1 : 0);
+  return static_cast<SimdTier>(std::min(cap, available));
+}
+
+void setSimdTier(SimdTier cap) {
+  gSimdCap.store(static_cast<int>(cap), std::memory_order_relaxed);
+}
+
 int planeCount(int sigma) {
   return std::max(
       1, static_cast<int>(std::bit_width(static_cast<unsigned>(sigma - 1))));
@@ -108,7 +172,7 @@ void transposeRow(const int* labels, int n, int planes, std::uint64_t* out) {
   const std::size_t W = wordsPerRow(n);
   std::size_t wBegin = 0;
 #if defined(LCLGRID_BITSLICE_AVX2)
-  if (avx2Supported()) {
+  if (simdTier() >= SimdTier::kAvx2) {
     transposeRowAvx2(labels, n, planes, out, W);
     wBegin = static_cast<std::size_t>(n) / 64;  // full words done
     if (wBegin == W) return;

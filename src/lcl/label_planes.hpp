@@ -44,6 +44,30 @@ namespace bitslice {
 bool enabled();
 void setEnabled(bool value);
 
+/// SIMD width ladder of the bit-sliced machinery: the row transpose and
+/// the word kernels in lcl/verifier.cpp runtime-dispatch up to this tier.
+/// kScalar is the portable SSE2/uint64_t baseline every path falls back
+/// to; the wider tiers are clones of the same word loops, so every tier
+/// produces bit-identical counts.
+enum class SimdTier {
+  kScalar = 0,  // no runtime-dispatched wide kernels
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// The effective tier: min(cap, what this CPU and build support). The cap
+/// initialises once from LCLGRID_SIMD ("0" scalar, "1" AVX2, anything
+/// else uncapped); setSimdTier overrides it (tests force the fallback
+/// paths with it). Thread-safe, same publication scheme as enabled().
+SimdTier simdTier();
+void setSimdTier(SimdTier cap);
+
+/// Host capability probes (independent of the cap): true when the build
+/// can emit the tier's kernels and the CPU executes them. avx512Available
+/// requires the F/BW/VBMI/VPOPCNTDQ subsets the verifier kernels use.
+bool avx2Available();
+bool avx512Available();
+
 /// Planes needed for labels in [0, sigma): max(1, bit_width(sigma - 1)).
 int planeCount(int sigma);
 

@@ -1,0 +1,447 @@
+// Serial half of the streaming out-of-core verifier (lcl/stream_verify.hpp):
+// the on-disk format (writer + memory-mapped reader) and the slab-walking
+// pass shared with the engine's sharded overloads. The kernels themselves
+// are the verifier_detail slices of the in-core engine, run zero-copy on
+// the mapped payload, so counts are bit-identical by construction.
+#include "lcl/stream_verify.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "grid/torus2d.hpp"
+#include "grid/torusd.hpp"
+#include "lcl/verifier.hpp"
+
+namespace lclgrid {
+
+// The payload is consumed in place as int32 labels.
+static_assert(sizeof(int) == 4, "labelling files assume 32-bit int");
+
+namespace {
+
+using stream_format::kHeaderBytes;
+using stream_format::kMagic;
+
+std::FILE* asFile(void* file) { return static_cast<std::FILE*>(file); }
+
+void put32le(unsigned char* out, std::uint32_t value) {
+  out[0] = static_cast<unsigned char>(value & 0xff);
+  out[1] = static_cast<unsigned char>((value >> 8) & 0xff);
+  out[2] = static_cast<unsigned char>((value >> 16) & 0xff);
+  out[3] = static_cast<unsigned char>((value >> 24) & 0xff);
+}
+
+std::uint32_t get32le(const std::byte* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+/// n^dims with an overflow guard (the node count must also leave room for
+/// the 4x byte size of the payload).
+long long nodeCount(int n, int dims) {
+  constexpr long long kMaxNodes = std::numeric_limits<long long>::max() / 8;
+  long long nodes = 1;
+  for (int axis = 0; axis < dims; ++axis) {
+    if (nodes > kMaxNodes / n) {
+      throw std::runtime_error("labelling file: node count overflows");
+    }
+    nodes *= n;
+  }
+  return nodes;
+}
+
+void checkHeaderFields(int sigma, int dims, int n) {
+  if (sigma < 1 || dims < 1 || n < 1) {
+    throw std::runtime_error(
+        "labelling file: bad header field (sigma, dims and side must be "
+        "positive)");
+  }
+}
+
+}  // namespace
+
+// --- writer ----------------------------------------------------------------
+
+StreamLabellingWriter::StreamLabellingWriter(const std::string& path,
+                                             int sigma, int dims, int n)
+    : path_(path) {
+  if (sigma < 1 || dims < 1 || n < 1) {
+    throw std::invalid_argument(
+        "StreamLabellingWriter: sigma, dims and side must be positive");
+  }
+  expected_ = nodeCount(n, dims);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("StreamLabellingWriter: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  unsigned char header[kHeaderBytes];
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  put32le(header + 8, static_cast<std::uint32_t>(sigma));
+  put32le(header + 12, static_cast<std::uint32_t>(dims));
+  put32le(header + 16, static_cast<std::uint32_t>(n));
+  put32le(header + 20, 0);  // reserved
+  if (std::fwrite(header, 1, kHeaderBytes, file) != kHeaderBytes) {
+    std::fclose(file);
+    throw std::runtime_error("StreamLabellingWriter: header write failed '" +
+                             path + "'");
+  }
+  file_ = file;
+}
+
+StreamLabellingWriter::~StreamLabellingWriter() {
+  if (!closed_ && file_ != nullptr) std::fclose(asFile(file_));
+}
+
+void StreamLabellingWriter::appendLabels(std::span<const int> labels) {
+  if (closed_ || file_ == nullptr) {
+    throw std::logic_error("StreamLabellingWriter: writer is closed");
+  }
+  if (written_ + static_cast<long long>(labels.size()) > expected_) {
+    throw std::runtime_error(
+        "StreamLabellingWriter: more labels than side^dims '" + path_ + "'");
+  }
+  std::size_t stored;
+  if constexpr (std::endian::native == std::endian::little) {
+    stored = std::fwrite(labels.data(), sizeof(int), labels.size(),
+                         asFile(file_));
+  } else {
+    stored = 0;
+    unsigned char bytes[4];
+    for (int label : labels) {
+      put32le(bytes, static_cast<std::uint32_t>(label));
+      if (std::fwrite(bytes, 1, 4, asFile(file_)) != 4) break;
+      ++stored;
+    }
+  }
+  written_ += static_cast<long long>(stored);
+  if (stored != labels.size()) {
+    throw std::runtime_error("StreamLabellingWriter: write failed '" + path_ +
+                             "': " + std::strerror(errno));
+  }
+}
+
+void StreamLabellingWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  std::FILE* file = asFile(file_);
+  file_ = nullptr;
+  if (written_ != expected_) {
+    if (file != nullptr) std::fclose(file);
+    throw std::runtime_error(
+        "StreamLabellingWriter: wrote " + std::to_string(written_) +
+        " labels, expected " + std::to_string(expected_) + " '" + path_ + "'");
+  }
+  if (file == nullptr || std::fclose(file) != 0) {
+    throw std::runtime_error("StreamLabellingWriter: close failed '" + path_ +
+                             "'");
+  }
+}
+
+void writeLabellingFile(const std::string& path, int sigma, int dims, int n,
+                        std::span<const int> labels) {
+  StreamLabellingWriter writer(path, sigma, dims, n);
+  writer.appendLabels(labels);
+  writer.close();
+}
+
+// --- reader ----------------------------------------------------------------
+
+StreamLabelling::StreamLabelling(const std::string& path) : file_(path) {
+  if constexpr (std::endian::native != std::endian::little) {
+    throw std::runtime_error(
+        "StreamLabelling: big-endian hosts are not supported (the payload "
+        "is consumed in place as little-endian int32)");
+  }
+  if (file_.size() < kHeaderBytes) {
+    throw std::runtime_error("labelling file: truncated header '" + path +
+                             "'");
+  }
+  if (std::memcmp(file_.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("labelling file: bad magic '" + path + "'");
+  }
+  const std::byte* header = file_.data();
+  const std::uint32_t sigma = get32le(header + 8);
+  const std::uint32_t dims = get32le(header + 12);
+  const std::uint32_t n = get32le(header + 16);
+  const std::uint32_t reserved = get32le(header + 20);
+  constexpr std::uint32_t kMaxField =
+      static_cast<std::uint32_t>(std::numeric_limits<int>::max());
+  if (sigma > kMaxField || dims > kMaxField || n > kMaxField ||
+      reserved != 0) {
+    throw std::runtime_error("labelling file: bad header field '" + path +
+                             "'");
+  }
+  sigma_ = static_cast<int>(sigma);
+  dims_ = static_cast<int>(dims);
+  n_ = static_cast<int>(n);
+  checkHeaderFields(sigma_, dims_, n_);
+  size_ = nodeCount(n_, dims_);
+  const std::size_t expectedBytes =
+      kHeaderBytes + static_cast<std::size_t>(size_) * sizeof(int);
+  if (file_.size() != expectedBytes) {
+    throw std::runtime_error(
+        "labelling file: payload size mismatch (truncated or trailing "
+        "bytes) '" + path + "'");
+  }
+}
+
+const int* StreamLabelling::labels() const {
+  return reinterpret_cast<const int*>(file_.data() + kHeaderBytes);
+}
+
+void StreamLabelling::dropRows(long long rowBegin, long long rowEnd) const {
+  if (rowEnd <= rowBegin) return;
+  const std::size_t rowBytes = static_cast<std::size_t>(n_) * sizeof(int);
+  file_.dropRange(kHeaderBytes + static_cast<std::size_t>(rowBegin) * rowBytes,
+                  static_cast<std::size_t>(rowEnd - rowBegin) * rowBytes);
+}
+
+// --- slab machinery --------------------------------------------------------
+
+namespace stream_verify_detail {
+
+long long resolveWindowRows(int n, long long lines, long long requested) {
+  if (requested > 0) return std::min(requested, lines);
+  constexpr long long kTargetBytes = 8LL << 20;
+  const long long rowBytes = static_cast<long long>(n) * sizeof(int);
+  return std::clamp(kTargetBytes / rowBytes, 1LL, lines);
+}
+
+long long wrapWindowRows(int dims, int n) {
+  long long rows = 1;
+  for (int axis = 2; axis < dims; ++axis) rows *= n;
+  return rows;
+}
+
+bool streamUsesBitslice(const StreamLabelling& file, const GridLcl& lcl) {
+  return lcl.hasTable() && verifier_detail::bitsliceSelected(lcl, file.size());
+}
+
+bool streamUsesBitsliceD(const StreamLabelling& file, const GridLclD& lcl) {
+  return lcl.hasTable() && lcl.dims() == 2 &&
+         verifier_detail::bitsliceSelectedD(lcl, file.size());
+}
+
+void checkStream2D(const StreamLabelling& file, const GridLcl& lcl) {
+  if (file.dims() != 2) {
+    throw std::invalid_argument(
+        "stream verify: file dims " + std::to_string(file.dims()) +
+        " does not match a 2D problem");
+  }
+  if (file.sigma() != lcl.sigma()) {
+    throw std::invalid_argument(
+        "stream verify: file sigma " + std::to_string(file.sigma()) +
+        " does not match problem sigma " + std::to_string(lcl.sigma()));
+  }
+  if (file.size() >
+      static_cast<long long>(std::numeric_limits<int>::max())) {
+    throw std::invalid_argument(
+        "stream verify: node count exceeds Torus2D indexing; use the "
+        "d-dimensional entry points");
+  }
+}
+
+void checkStreamD(const StreamLabelling& file, const GridLclD& lcl) {
+  if (file.dims() != lcl.dims()) {
+    throw std::invalid_argument(
+        "stream verify: file dims " + std::to_string(file.dims()) +
+        " does not match problem dims " + std::to_string(lcl.dims()));
+  }
+  if (file.sigma() != lcl.sigma()) {
+    throw std::invalid_argument(
+        "stream verify: file sigma " + std::to_string(file.sigma()) +
+        " does not match problem sigma " + std::to_string(lcl.sigma()));
+  }
+}
+
+std::int64_t runStreamPass(const StreamPass& pass, bool stopAtFirst) {
+  const StreamLabelling& file = *pass.file;
+  const long long lines = file.lines();
+  bool table = pass.tablePath;
+  std::int64_t total = 0;
+  if (table) {
+    // The wrap stash is read by the first slab's cyclic neighbours before
+    // the validation cursor reaches it, so it is validated up front.
+    const long long tailBegin = std::max(0LL, lines - pass.wrapKeep);
+    if (!pass.rowsInRange(tailBegin, lines)) table = false;
+  }
+  if (table) {
+    // Rows [0, frontier) -- plus the wrap stash above -- are known
+    // in-range; the frontier stays one wrap window ahead of the kernel so
+    // no table row is ever indexed by an unvalidated label.
+    long long frontier = 0;
+    long long dropCursor = pass.wrapKeep;  // rows [0, wrapKeep) stay pinned
+    for (long long begin = 0; begin < lines; begin += pass.window) {
+      const long long end = std::min(lines, begin + pass.window);
+      const long long need = std::min(lines, end + pass.wrapKeep);
+      if (frontier < need) {
+        if (!pass.rowsInRange(frontier, need)) {
+          table = false;
+          break;
+        }
+        frontier = need;
+      }
+      total += pass.kernelRows(begin, end, stopAtFirst);
+      if (stopAtFirst && total > 0) return total;
+      if (pass.dropBehind) {
+        const long long dropEnd = end - pass.wrapKeep;
+        if (dropEnd > dropCursor) {
+          file.dropRows(dropCursor, dropEnd);
+          dropCursor = dropEnd;
+        }
+      }
+    }
+    if (table) return total;
+  }
+  // Functional fallback: an uncompiled problem, or an out-of-range label
+  // surfaced mid-stream -- the whole pass restarts on the predicate loop,
+  // mirroring the in-core engine's whole-labelling tier choice (dropped
+  // pages are simply paged back in).
+  total = 0;
+  long long dropCursor = pass.wrapKeep;
+  for (long long begin = 0; begin < lines; begin += pass.window) {
+    const long long end = std::min(lines, begin + pass.window);
+    total += pass.functionalRows(begin, end, stopAtFirst);
+    if (stopAtFirst && total > 0) return total;
+    if (pass.dropBehind) {
+      const long long dropEnd = end - pass.wrapKeep;
+      if (dropEnd > dropCursor) {
+        file.dropRows(dropCursor, dropEnd);
+        dropCursor = dropEnd;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace stream_verify_detail
+
+// --- serial entry points ---------------------------------------------------
+
+namespace {
+
+using stream_verify_detail::checkStream2D;
+using stream_verify_detail::checkStreamD;
+using stream_verify_detail::resolveWindowRows;
+using stream_verify_detail::runStreamPass;
+using stream_verify_detail::StreamPass;
+using stream_verify_detail::wrapWindowRows;
+
+std::int64_t serialStream2D(const StreamLabelling& file, const GridLcl& lcl,
+                            const StreamWindow& window, bool stopAtFirst) {
+  checkStream2D(file, lcl);
+  const int n = file.n();
+  const long long lines = file.lines();
+  const int* labels = file.labels();
+  const std::span<const int> all(labels, static_cast<std::size_t>(file.size()));
+  const Torus2D torus(n);
+  StreamPass pass;
+  pass.file = &file;
+  pass.window = resolveWindowRows(n, lines, window.rows);
+  pass.wrapKeep = wrapWindowRows(file.dims(), n);
+  pass.dropBehind = window.dropBehind;
+  pass.tablePath = lcl.hasTable();
+  const bool sliced = stream_verify_detail::streamUsesBitslice(file, lcl);
+  if (pass.tablePath) {
+    pass.rowsInRange = [&lcl, all, n](long long begin, long long end) {
+      return verifier_detail::allLabelsInRange(
+          lcl.sigma(),
+          all.subspan(static_cast<std::size_t>(begin * n),
+                      static_cast<std::size_t>((end - begin) * n)));
+    };
+    pass.kernelRows = [&lcl, labels, n, lines, sliced](
+                          long long begin, long long end, bool stop) {
+      if (sliced) {
+        return verifier_detail::bitsliceViolationRows(
+            lcl.table(), n, static_cast<int>(lines), labels,
+            static_cast<int>(begin), static_cast<int>(end), stop);
+      }
+      return verifier_detail::tableViolationRows(lcl.table(), n, labels,
+                                                 static_cast<int>(begin),
+                                                 static_cast<int>(end), stop);
+    };
+  }
+  pass.functionalRows = [&torus, &lcl, all, n](long long begin, long long end,
+                                               bool stop) {
+    return verifier_detail::functionalViolationRange(
+        torus, lcl, all, static_cast<int>(begin * n),
+        static_cast<int>(end * n), stop);
+  };
+  return runStreamPass(pass, stopAtFirst);
+}
+
+std::int64_t serialStreamD(const StreamLabelling& file, const GridLclD& lcl,
+                           const StreamWindow& window, bool stopAtFirst) {
+  checkStreamD(file, lcl);
+  const int n = file.n();
+  const long long lines = file.lines();
+  const int* labels = file.labels();
+  const std::span<const int> all(labels, static_cast<std::size_t>(file.size()));
+  const TorusD torus(file.dims(), n);
+  StreamPass pass;
+  pass.file = &file;
+  pass.window = resolveWindowRows(n, lines, window.rows);
+  pass.wrapKeep = wrapWindowRows(file.dims(), n);
+  pass.dropBehind = window.dropBehind;
+  pass.tablePath = lcl.hasTable();
+  const bool sliced = stream_verify_detail::streamUsesBitsliceD(file, lcl);
+  // Unused by the d = 2 delegated row kernel -- the only bit-sliced tier
+  // the streaming pass selects.
+  const LabelPlanes noPlanes;
+  if (pass.tablePath) {
+    pass.rowsInRange = [&lcl, all, n](long long begin, long long end) {
+      return verifier_detail::allLabelsInRange(
+          lcl.sigma(),
+          all.subspan(static_cast<std::size_t>(begin * n),
+                      static_cast<std::size_t>((end - begin) * n)));
+    };
+    pass.kernelRows = [&lcl, &torus, &noPlanes, labels, sliced](
+                          long long begin, long long end, bool stop) {
+      if (sliced) {
+        return verifier_detail::bitsliceViolationLinesD(
+            lcl.table(), torus, noPlanes, labels, begin, end, stop);
+      }
+      return verifier_detail::tableViolationLinesD(lcl.table(), torus, labels,
+                                                   begin, end, stop);
+    };
+  }
+  pass.functionalRows = [&torus, &lcl, all, n](long long begin, long long end,
+                                               bool stop) {
+    return verifier_detail::functionalViolationRangeD(
+        torus, lcl, all, begin * n, end * n, stop);
+  };
+  return runStreamPass(pass, stopAtFirst);
+}
+
+}  // namespace
+
+std::int64_t streamCountViolations(const StreamLabelling& file,
+                                   const GridLcl& lcl,
+                                   const StreamWindow& window) {
+  return serialStream2D(file, lcl, window, /*stopAtFirst=*/false);
+}
+
+bool streamVerify(const StreamLabelling& file, const GridLcl& lcl,
+                  const StreamWindow& window) {
+  return serialStream2D(file, lcl, window, /*stopAtFirst=*/true) == 0;
+}
+
+std::int64_t streamCountViolations(const StreamLabelling& file,
+                                   const GridLclD& lcl,
+                                   const StreamWindow& window) {
+  return serialStreamD(file, lcl, window, /*stopAtFirst=*/false);
+}
+
+bool streamVerify(const StreamLabelling& file, const GridLclD& lcl,
+                  const StreamWindow& window) {
+  return serialStreamD(file, lcl, window, /*stopAtFirst=*/true) == 0;
+}
+
+}  // namespace lclgrid

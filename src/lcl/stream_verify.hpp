@@ -1,0 +1,218 @@
+// The fourth verifier tier: out-of-core streaming verification of labellings
+// read from disk (docs/perf.md). A compact on-disk format holds one torus
+// labelling -- a fixed header (magic, sigma, dims, side) followed by the
+// row-major int32 label payload, byte-identical to the in-core layout -- so
+// a memory-mapped file *is* a label buffer and the existing row/line kernels
+// run on it zero-copy. The streaming entry points walk the mapping in slabs
+// of axis-0 rows with a rolling window:
+//
+//  * the kernel reads rows [slab - 1, slab + 1] (2D) or the neighbour-line
+//    window of the outer axes (d >= 3);
+//  * a validation frontier runs one wrap window ahead of the kernel, so an
+//    out-of-range label is discovered before it can index a table row
+//    (falling back to the functional tier, exactly like the in-core engine);
+//  * pages behind the window are dropped (madvise) as the cursor advances,
+//    with the wrap stash -- the first wrap window of rows, needed again by
+//    the final rows' cyclic neighbours -- pinned resident;
+//
+// so a torus with >= 10^9 nodes verifies in one pass with O(rows) resident
+// memory and no full-grid allocation. Counts are bit-identical to the
+// in-core engine on every tier and thread count: the slabs run the exact
+// verifier_detail slices the serial and sharded in-core paths run.
+//
+// Serial entry points live in stream_verify.cpp; the overloads taking
+// engine::EngineOptions shard each slab through the work-stealing pool
+// (chunk-ordered combine) and live in src/engine/parallel_verifier.cpp --
+// link lclgrid_engine (or the umbrella target) to call them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "engine/engine_options.hpp"
+#include "lcl/grid_lcl.hpp"
+#include "lcl/grid_lcl_d.hpp"
+#include "support/mmap_file.hpp"
+
+namespace lclgrid {
+
+namespace stream_format {
+
+/// "LCLLABv1": 8 magic bytes, then three little-endian uint32 fields
+/// (sigma, dims, side) and a reserved zero word, then size() int32
+/// little-endian labels, row-major with axis 0 fastest -- the in-core
+/// layout of Torus2D (dims = 2) and TorusD labellings.
+inline constexpr unsigned char kMagic[8] = {'L', 'C', 'L', 'L',
+                                            'A', 'B', 'v', '1'};
+inline constexpr std::size_t kHeaderBytes = 24;
+
+}  // namespace stream_format
+
+/// Incremental writer for the on-disk labelling format: feed labels in any
+/// chunking (typically one row at a time -- the point is writing a file
+/// larger than RAM without a full-grid buffer). close() validates that
+/// exactly side^dims labels were written and flushes; the destructor closes
+/// without the completeness check (so an abandoned writer cannot throw).
+class StreamLabellingWriter {
+ public:
+  StreamLabellingWriter(const std::string& path, int sigma, int dims, int n);
+  ~StreamLabellingWriter();
+  StreamLabellingWriter(const StreamLabellingWriter&) = delete;
+  StreamLabellingWriter& operator=(const StreamLabellingWriter&) = delete;
+
+  void appendLabels(std::span<const int> labels);
+  void close();
+  long long written() const { return written_; }
+
+ private:
+  std::string path_;
+  void* file_ = nullptr;  // std::FILE*, kept out of the header
+  long long expected_ = 0;
+  long long written_ = 0;
+  bool closed_ = false;
+};
+
+/// One-call writer for in-memory labellings (tests, small benches).
+void writeLabellingFile(const std::string& path, int sigma, int dims, int n,
+                        std::span<const int> labels);
+
+/// A labelling memory-mapped from the on-disk format. Construction
+/// validates the header and the payload size (std::runtime_error on bad
+/// magic / malformed fields / truncated payload); labels() is the mapped
+/// int32 payload, directly consumable by the in-core kernels.
+class StreamLabelling {
+ public:
+  explicit StreamLabelling(const std::string& path);
+
+  int sigma() const { return sigma_; }
+  int dims() const { return dims_; }
+  int n() const { return n_; }
+  /// Total nodes: n()^dims().
+  long long size() const { return size_; }
+  /// Axis-0 rows (2D grid rows / TorusD lines): size() / n().
+  long long lines() const { return size_ / n_; }
+  const int* labels() const;
+
+  /// Drops the resident pages of payload rows [rowBegin, rowEnd) --
+  /// advisory (MmapFile::dropRange); the streaming pass calls this behind
+  /// its cursor.
+  void dropRows(long long rowBegin, long long rowEnd) const;
+
+ private:
+  support::MmapFile file_;
+  int sigma_ = 0;
+  int dims_ = 0;
+  int n_ = 0;
+  long long size_ = 0;
+};
+
+/// Slab geometry of a streaming pass. rows == 0 picks a slab of ~8 MiB of
+/// payload (at least one row); dropBehind toggles the madvise reclamation
+/// (off: the page cache decides, resident set may grow to the file size).
+struct StreamWindow {
+  long long rows = 0;
+  bool dropBehind = true;
+};
+
+// --- serial entry points (stream_verify.cpp) ------------------------------
+// The GridLcl overloads require dims() == 2 files; the GridLclD overloads
+// require the file and problem dimensions to match. Both throw
+// std::invalid_argument on a dims or sigma mismatch. Semantics equal the
+// in-core engine: compiled table (bit-sliced where selected) when every
+// label is in range, functional fallback otherwise; verify early-exits at
+// the first violating slab, countViolations scans everything.
+
+std::int64_t streamCountViolations(const StreamLabelling& file,
+                                   const GridLcl& lcl,
+                                   const StreamWindow& window = {});
+bool streamVerify(const StreamLabelling& file, const GridLcl& lcl,
+                  const StreamWindow& window = {});
+
+std::int64_t streamCountViolations(const StreamLabelling& file,
+                                   const GridLclD& lcl,
+                                   const StreamWindow& window = {});
+bool streamVerify(const StreamLabelling& file, const GridLclD& lcl,
+                  const StreamWindow& window = {});
+
+// --- threaded overloads (src/engine/parallel_verifier.cpp) ----------------
+// Each slab is sharded across the pool with the same chunk-ordered combine
+// as the in-core sharded verifier, so counts are bit-identical to the
+// serial streaming pass (and to the in-core engine) at every thread count.
+
+std::int64_t streamCountViolations(const StreamLabelling& file,
+                                   const GridLcl& lcl,
+                                   const engine::EngineOptions& options,
+                                   const StreamWindow& window = {});
+bool streamVerify(const StreamLabelling& file, const GridLcl& lcl,
+                  const engine::EngineOptions& options,
+                  const StreamWindow& window = {});
+
+std::int64_t streamCountViolations(const StreamLabelling& file,
+                                   const GridLclD& lcl,
+                                   const engine::EngineOptions& options,
+                                   const StreamWindow& window = {});
+bool streamVerify(const StreamLabelling& file, const GridLclD& lcl,
+                  const engine::EngineOptions& options,
+                  const StreamWindow& window = {});
+
+/// The slab-walking machinery, shared by the serial entry points and the
+/// engine's sharded overloads so the two cannot diverge. Not stable API.
+namespace stream_verify_detail {
+
+/// Rows per slab: the explicit request, else ~8 MiB of payload, clamped to
+/// [1, lines].
+long long resolveWindowRows(int n, long long lines, long long requested);
+
+/// The wrap window: rows pinned resident at the front of the payload (the
+/// final rows' cyclic neighbours), and the lookahead the validation
+/// frontier keeps ahead of the kernel. 1 row for dims <= 2; n^(dims-2)
+/// rows (one outermost-axis block) for d >= 3, where the farthest
+/// neighbour line of the table kernel lives.
+long long wrapWindowRows(int dims, int n);
+
+/// One streaming pass, parameterised over how a slab executes (the serial
+/// driver runs the verifier_detail slices inline; the sharded driver runs
+/// them through the pool). tablePath == false skips validation and runs
+/// functionalRows only; an out-of-range row on the table path restarts the
+/// whole pass on functionalRows, mirroring the in-core fallback.
+struct StreamPass {
+  const StreamLabelling* file = nullptr;
+  long long window = 1;
+  long long wrapKeep = 1;
+  bool dropBehind = true;
+  bool tablePath = false;
+  /// True iff every label of rows [rowBegin, rowEnd) is in [0, sigma).
+  std::function<bool(long long rowBegin, long long rowEnd)> rowsInRange;
+  /// Table/bit-sliced violations of rows [rowBegin, rowEnd).
+  std::function<std::int64_t(long long rowBegin, long long rowEnd,
+                             bool stopAtFirst)>
+      kernelRows;
+  /// Functional violations of rows [rowBegin, rowEnd).
+  std::function<std::int64_t(long long rowBegin, long long rowEnd,
+                             bool stopAtFirst)>
+      functionalRows;
+};
+
+std::int64_t runStreamPass(const StreamPass& pass, bool stopAtFirst);
+
+/// Kernel tier of a streaming table path, shared by the serial and sharded
+/// drivers so thread counts cannot diverge. 2D mirrors the in-core
+/// selection (verifier_detail::bitsliceSelected); d >= 3 stays on the
+/// row-pointer kernel -- the staged d >= 3 bit-sliced path needs the whole
+/// labelling transposed into plane buffers, which is exactly the full-grid
+/// allocation streaming exists to avoid. (A d = 2 GridLclD delegates to
+/// the 2D rolling kernel, which streams fine.)
+bool streamUsesBitslice(const StreamLabelling& file, const GridLcl& lcl);
+bool streamUsesBitsliceD(const StreamLabelling& file, const GridLclD& lcl);
+
+/// Entry-point validation shared by the serial and threaded overloads:
+/// dims/sigma mismatches throw std::invalid_argument; 2D additionally
+/// requires the node count to fit Torus2D's int indexing.
+void checkStream2D(const StreamLabelling& file, const GridLcl& lcl);
+void checkStreamD(const StreamLabelling& file, const GridLclD& lcl);
+
+}  // namespace stream_verify_detail
+
+}  // namespace lclgrid

@@ -1,9 +1,38 @@
 #include "sat/dimacs.hpp"
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace lclgrid::sat {
+
+namespace {
+
+/// Parses a whole token as a decimal int. DIMACS gives no licence for
+/// trailing garbage, so "12x" is an error naming the offending token, not
+/// a silent 12 -- and overflowing values report as out of range instead of
+/// surfacing a bare std::out_of_range from stoi.
+int parseIntToken(const std::string& token, const char* what) {
+  std::size_t consumed = 0;
+  int value = 0;
+  try {
+    value = std::stoi(token, &consumed);
+  } catch (const std::invalid_argument&) {
+    throw std::runtime_error(std::string("parseDimacs: expected ") + what +
+                             ", got \"" + token + "\"");
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error(std::string("parseDimacs: ") + what +
+                             " out of int range: \"" + token + "\"");
+  }
+  if (consumed != token.size()) {
+    throw std::runtime_error(std::string("parseDimacs: trailing characters in ") +
+                             what + " \"" + token + "\"");
+  }
+  return value;
+}
+
+}  // namespace
 
 Cnf parseDimacs(std::istream& in) {
   Cnf cnf;
@@ -17,27 +46,55 @@ Cnf parseDimacs(std::istream& in) {
       continue;
     }
     if (token == "p") {
+      if (headerSeen) {
+        throw std::runtime_error("parseDimacs: duplicate \"p cnf\" header");
+      }
       std::string format;
-      int declaredClauses = 0;
-      if (!(in >> format >> cnf.numVars >> declaredClauses) || format != "cnf") {
-        throw std::runtime_error("parseDimacs: malformed header");
+      std::string varsToken;
+      std::string clausesToken;
+      if (!(in >> format >> varsToken >> clausesToken)) {
+        throw std::runtime_error(
+            "parseDimacs: truncated header (expected \"p cnf <vars> "
+            "<clauses>\")");
+      }
+      if (format != "cnf") {
+        throw std::runtime_error("parseDimacs: header format \"" + format +
+                                 "\" is not \"cnf\"");
+      }
+      cnf.numVars = parseIntToken(varsToken, "header variable count");
+      const int declaredClauses =
+          parseIntToken(clausesToken, "header clause count");
+      if (cnf.numVars < 0 || declaredClauses < 0) {
+        throw std::runtime_error("parseDimacs: negative count in header");
       }
       headerSeen = true;
       continue;
     }
-    if (!headerSeen) throw std::runtime_error("parseDimacs: literal before header");
-    int lit = std::stoi(token);
+    if (!headerSeen) {
+      throw std::runtime_error(
+          "parseDimacs: literal before \"p cnf\" header (or header missing)");
+    }
+    const int lit = parseIntToken(token, "literal");
     if (lit == 0) {
       cnf.clauses.push_back(current);
       current.clear();
     } else {
-      if (std::abs(lit) > cnf.numVars) {
-        throw std::runtime_error("parseDimacs: literal out of range");
+      if (lit == std::numeric_limits<int>::min() ||
+          std::abs(lit) > cnf.numVars) {
+        throw std::runtime_error("parseDimacs: literal " + token +
+                                 " out of range for " +
+                                 std::to_string(cnf.numVars) + " variables");
       }
       current.push_back(lit);
     }
   }
-  if (!current.empty()) throw std::runtime_error("parseDimacs: unterminated clause");
+  if (!headerSeen) {
+    throw std::runtime_error("parseDimacs: missing \"p cnf\" header");
+  }
+  if (!current.empty()) {
+    throw std::runtime_error(
+        "parseDimacs: unterminated clause (missing trailing 0)");
+  }
   return cnf;
 }
 

@@ -392,3 +392,140 @@ TEST(BitsliceVerifier, BatchEntriesAgreeWithSerialKernel) {
   engine::EngineOptions options{.threads = 4};
   EXPECT_EQ(countViolationsBatch(torus, lcl, batch, options), expected);
 }
+
+namespace {
+
+/// Restores the SIMD tier cap on scope exit. simdTier() reports the
+/// effective tier (min of cap and availability), which re-applied as a cap
+/// reproduces the original dispatch exactly.
+class TierGuard {
+ public:
+  TierGuard() : saved_(bitslice::simdTier()) {}
+  ~TierGuard() { bitslice::setSimdTier(saved_); }
+
+ private:
+  bitslice::SimdTier saved_;
+};
+
+}  // namespace
+
+TEST(SimdTier, CapNeverExceedsAvailabilityAndOrdersCorrectly) {
+  TierGuard guard;
+  bitslice::setSimdTier(bitslice::SimdTier::kScalar);
+  EXPECT_EQ(bitslice::simdTier(), bitslice::SimdTier::kScalar);
+  bitslice::setSimdTier(bitslice::SimdTier::kAvx2);
+  EXPECT_LE(bitslice::simdTier(), bitslice::SimdTier::kAvx2);
+  if (bitslice::avx2Available()) {
+    EXPECT_EQ(bitslice::simdTier(), bitslice::SimdTier::kAvx2);
+  }
+  bitslice::setSimdTier(bitslice::SimdTier::kAvx512);
+  if (bitslice::avx512Available()) {
+    EXPECT_TRUE(bitslice::avx2Available());  // the subsets imply AVX2
+    EXPECT_EQ(bitslice::simdTier(), bitslice::SimdTier::kAvx512);
+  } else if (bitslice::avx2Available()) {
+    EXPECT_EQ(bitslice::simdTier(), bitslice::SimdTier::kAvx2);
+  } else {
+    EXPECT_EQ(bitslice::simdTier(), bitslice::SimdTier::kScalar);
+  }
+}
+
+TEST(SimdTier, NotEqualKernelCountsMatchAcrossTiers) {
+  // Rows long enough that the AVX-512 worker takes full 8-word strides
+  // (W = ceil(781 / 64) = 13 >= 12) with a ragged tail word; the forced
+  // scalar pass is the reference the wide clones must reproduce exactly.
+  GateGuard gate;
+  TierGuard guard;
+  bitslice::setEnabled(true);
+  Torus2D torus(781);
+  const GridLcl lcl = problems::vertexColouring(4);
+  ASSERT_TRUE(lcl.table().bitslicePlan()->h.notEqual);
+  for (std::uint32_t seed : {11u, 12u}) {
+    std::vector<int> labels = randomLabels(torus.size(), lcl.sigma(), seed);
+    bitslice::setSimdTier(bitslice::SimdTier::kScalar);
+    const std::int64_t reference = countViolations(torus, lcl, labels);
+    const bool feasible = verify(torus, lcl, labels);
+    for (auto tier : {bitslice::SimdTier::kAvx2, bitslice::SimdTier::kAvx512}) {
+      bitslice::setSimdTier(tier);
+      ASSERT_EQ(countViolations(torus, lcl, labels), reference)
+          << "tier=" << static_cast<int>(tier) << " seed=" << seed;
+      ASSERT_EQ(verify(torus, lcl, labels), feasible)
+          << "tier=" << static_cast<int>(tier) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(SimdTier, NotEqualFeasibleAndSingleViolationAgreeAcrossTiers) {
+  GateGuard gate;
+  TierGuard guard;
+  bitslice::setEnabled(true);
+  Torus2D torus(768);  // 4 | 768: diagonal colouring wraps; W = 12 exactly
+  const GridLcl lcl = problems::vertexColouring(4);
+  std::vector<int> labels(static_cast<std::size_t>(torus.size()));
+  for (int v = 0; v < torus.size(); ++v) {
+    labels[static_cast<std::size_t>(v)] = (torus.xOf(v) + torus.yOf(v)) % 4;
+  }
+  for (auto tier : {bitslice::SimdTier::kScalar, bitslice::SimdTier::kAvx2,
+                    bitslice::SimdTier::kAvx512}) {
+    bitslice::setSimdTier(tier);
+    EXPECT_EQ(countViolations(torus, lcl, labels), 0)
+        << "tier=" << static_cast<int>(tier);
+    EXPECT_TRUE(verify(torus, lcl, labels)) << static_cast<int>(tier);
+  }
+  labels[1] = labels[0];  // one clash: two violated nodes (0<->1 edge sides)
+  bitslice::setSimdTier(bitslice::SimdTier::kScalar);
+  const std::int64_t reference = countViolations(torus, lcl, labels);
+  EXPECT_GT(reference, 0);
+  for (auto tier : {bitslice::SimdTier::kAvx2, bitslice::SimdTier::kAvx512}) {
+    bitslice::setSimdTier(tier);
+    EXPECT_EQ(countViolations(torus, lcl, labels), reference)
+        << "tier=" << static_cast<int>(tier);
+    EXPECT_FALSE(verify(torus, lcl, labels)) << static_cast<int>(tier);
+  }
+}
+
+TEST(SimdTier, NibbleKernelCountsMatchAcrossTiers) {
+  // weakColouring(3, 1) compiles the nibble LUT (non-decomposable,
+  // sigma <= 4). 131 nodes per row = 16 full byte-words + 3 tail lanes for
+  // the AVX2 gather, one full 64-lane stride + tail for AVX-512.
+  GateGuard gate;
+  TierGuard guard;
+  bitslice::setEnabled(true);
+  const GridLcl lcl = problems::weakColouring(3, 1);
+  ASSERT_EQ(lcl.table().bitslicePlan()->kind,
+            bitslice::BitslicePlan::Kind::kNibbleLut);
+  for (int n : {67, 131}) {
+    Torus2D torus(n);
+    for (std::uint32_t seed : {21u, 22u, 23u}) {
+      std::vector<int> labels = randomLabels(torus.size(), lcl.sigma(),
+                                             seed + static_cast<unsigned>(n));
+      bitslice::setSimdTier(bitslice::SimdTier::kScalar);
+      const std::int64_t reference = countViolations(torus, lcl, labels);
+      const bool feasible = verify(torus, lcl, labels);
+      for (auto tier :
+           {bitslice::SimdTier::kAvx2, bitslice::SimdTier::kAvx512}) {
+        bitslice::setSimdTier(tier);
+        ASSERT_EQ(countViolations(torus, lcl, labels), reference)
+            << "tier=" << static_cast<int>(tier) << " n=" << n
+            << " seed=" << seed;
+        ASSERT_EQ(verify(torus, lcl, labels), feasible)
+            << "tier=" << static_cast<int>(tier) << " n=" << n
+            << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(SimdTier, GenericPairPlanesUnaffectedByTierCap) {
+  // Problems off the notEqual fast path stay on the minterm evaluator at
+  // every tier -- the cap must not change their counts either.
+  GateGuard gate;
+  TierGuard guard;
+  bitslice::setEnabled(true);
+  Torus2D torus(257);
+  const GridLcl lcl = problems::maximalIndependentSet();
+  const std::vector<int> labels = randomLabels(torus.size(), lcl.sigma(), 7u);
+  bitslice::setSimdTier(bitslice::SimdTier::kScalar);
+  const std::int64_t reference = countViolations(torus, lcl, labels);
+  bitslice::setSimdTier(bitslice::SimdTier::kAvx512);
+  EXPECT_EQ(countViolations(torus, lcl, labels), reference);
+}

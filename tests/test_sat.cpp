@@ -727,6 +727,67 @@ TEST(Dimacs, RejectsMalformedInput) {
   EXPECT_THROW(parseDimacsString("p cnf 2 1\n1 2\n"), std::runtime_error);
 }
 
+namespace {
+
+/// The parser's errors must name the failure, not surface a bare stoi
+/// exception -- every message carries the "parseDimacs:" prefix plus a
+/// distinguishing fragment.
+void expectParseError(const std::string& text, const std::string& fragment) {
+  try {
+    parseDimacsString(text);
+    FAIL() << "no error for: " << text;
+  } catch (const std::runtime_error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("parseDimacs:"), std::string::npos) << what;
+    EXPECT_NE(what.find(fragment), std::string::npos)
+        << "message \"" << what << "\" lacks \"" << fragment << "\"";
+  }
+}
+
+}  // namespace
+
+TEST(Dimacs, HeaderErrorsAreSpecific) {
+  expectParseError("", "missing \"p cnf\" header");
+  expectParseError("c only comments\n", "missing \"p cnf\" header");
+  expectParseError("p\n", "truncated header");
+  expectParseError("p cnf 3\n", "truncated header");
+  expectParseError("p dnf 3 1\n1 0\n", "not \"cnf\"");
+  expectParseError("p cnf three 1\n", "header variable count");
+  expectParseError("p cnf 3 many\n", "header clause count");
+  expectParseError("p cnf -3 1\n", "negative count");
+  expectParseError("p cnf 3 -1\n", "negative count");
+  expectParseError("p cnf 3 1\np cnf 3 1\n1 0\n", "duplicate");
+  expectParseError("1 0\np cnf 3 1\n", "before \"p cnf\" header");
+}
+
+TEST(Dimacs, LiteralErrorsAreSpecific) {
+  expectParseError("p cnf 3 1\n4 0\n", "out of range");
+  expectParseError("p cnf 3 1\n-4 0\n", "out of range");
+  expectParseError("p cnf 3 1\n99999999999999999999 0\n", "out of int range");
+  expectParseError("p cnf 3 1\n1x 0\n", "trailing characters");
+  expectParseError("p cnf 3 1\nfoo 0\n", "expected literal");
+  expectParseError("p cnf 3 1\n1 2\n", "unterminated clause");
+  expectParseError("p cnf 0 1\n1 0\n", "out of range");
+}
+
+TEST(Dimacs, AcceptsTolerantButWellFormedInput) {
+  // Comments anywhere, a clause count that disagrees with the body, and an
+  // empty clause are all tolerated -- errors are reserved for input the
+  // parser cannot interpret unambiguously.
+  const Cnf cnf = parseDimacsString(
+      "c leading comment\n"
+      "p cnf 2 1\n"
+      "c mid-stream comment\n"
+      "1 -2 0\n"
+      "0\n"
+      "2 0\n");
+  EXPECT_EQ(cnf.numVars, 2);
+  ASSERT_EQ(cnf.clauses.size(), 3u);
+  EXPECT_EQ(cnf.clauses[0], (std::vector<int>{1, -2}));
+  EXPECT_TRUE(cnf.clauses[1].empty());
+  EXPECT_EQ(cnf.clauses[2], (std::vector<int>{2}));
+}
+
 TEST(SatSolver, StatisticsAdvance) {
   Solver solver;
   buildPigeonhole(solver, 5);

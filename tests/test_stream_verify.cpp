@@ -1,0 +1,427 @@
+// The streaming (out-of-core) verifier tier: on-disk format round-trips,
+// bit-identical agreement with the in-core engine across window geometries,
+// kernel tiers and thread counts, the out-of-range functional fallback, and
+// the reader's error paths. The format is load-bearing for the zero-copy
+// claim -- the mapped payload must be byte-identical to the in-core label
+// buffer -- so the round-trip tests compare entire label vectors, not
+// counts.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine_options.hpp"
+#include "grid/torus2d.hpp"
+#include "grid/torusd.hpp"
+#include "lcl/grid_lcl_d.hpp"
+#include "lcl/label_planes.hpp"
+#include "lcl/problems.hpp"
+#include "lcl/stream_verify.hpp"
+#include "lcl/verifier.hpp"
+
+using namespace lclgrid;
+
+namespace {
+
+/// A uniquely named file under the test temp dir, unlinked on scope exit.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem) {
+    static int counter = 0;
+    path_ = std::filesystem::path(::testing::TempDir()) /
+            (stem + "-" + std::to_string(++counter) + ".lcllab");
+  }
+  ~TempFile() {
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Restores the bit-slice gate on scope exit.
+class GateGuard {
+ public:
+  GateGuard() : saved_(bitslice::enabled()) {}
+  ~GateGuard() { bitslice::setEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+std::vector<GridLcl> problemRegistry() {
+  std::vector<GridLcl> registry;
+  for (int k = 2; k <= 5; ++k) registry.push_back(problems::vertexColouring(k));
+  registry.push_back(problems::maximalIndependentSet());
+  registry.push_back(problems::independentSet());
+  registry.push_back(problems::maximalMatching());
+  registry.push_back(problems::edgeColouring(3));
+  registry.push_back(problems::orientation({1, 3}));
+  registry.push_back(problems::noHorizontalOnePair());
+  registry.push_back(problems::weakColouring(3, 1));
+  return registry;
+}
+
+std::vector<int> randomLabels(long long count, int range, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(0, range - 1);
+  std::vector<int> labels(static_cast<std::size_t>(count));
+  for (int& label : labels) label = dist(rng);
+  return labels;
+}
+
+/// Writes a file whose header fields are given verbatim (no validation),
+/// for the reader error-path tests.
+void writeRawFile(const std::string& path, const unsigned char magic[8],
+                  std::uint32_t sigma, std::uint32_t dims, std::uint32_t n,
+                  std::uint32_t reserved, const std::vector<int>& labels) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  out.write(reinterpret_cast<const char*>(magic), 8);
+  const auto put32 = [&](std::uint32_t value) {
+    unsigned char bytes[4] = {static_cast<unsigned char>(value & 0xFF),
+                              static_cast<unsigned char>((value >> 8) & 0xFF),
+                              static_cast<unsigned char>((value >> 16) & 0xFF),
+                              static_cast<unsigned char>((value >> 24) & 0xFF)};
+    out.write(reinterpret_cast<const char*>(bytes), 4);
+  };
+  put32(sigma);
+  put32(dims);
+  put32(n);
+  put32(reserved);
+  for (int label : labels) put32(static_cast<std::uint32_t>(label));
+  ASSERT_TRUE(out.good());
+}
+
+}  // namespace
+
+TEST(StreamFormat, WriterReaderRoundTrip2D) {
+  for (int n : {3, 16, 65}) {
+    const std::vector<int> labels =
+        randomLabels(static_cast<long long>(n) * n, 4,
+                     static_cast<std::uint32_t>(n));
+    TempFile file("roundtrip2d");
+    writeLabellingFile(file.str(), 4, 2, n, labels);
+    StreamLabelling mapped(file.str());
+    EXPECT_EQ(mapped.sigma(), 4);
+    EXPECT_EQ(mapped.dims(), 2);
+    EXPECT_EQ(mapped.n(), n);
+    EXPECT_EQ(mapped.size(), static_cast<long long>(n) * n);
+    EXPECT_EQ(mapped.lines(), n);
+    const std::vector<int> back(mapped.labels(),
+                                mapped.labels() + mapped.size());
+    EXPECT_EQ(back, labels) << "n=" << n;
+  }
+}
+
+TEST(StreamFormat, WriterReaderRoundTripD) {
+  for (int dims : {1, 3, 4}) {
+    const int n = dims >= 4 ? 3 : 5;
+    long long size = 1;
+    for (int a = 0; a < dims; ++a) size *= n;
+    const std::vector<int> labels =
+        randomLabels(size, 3, static_cast<std::uint32_t>(dims * 100 + n));
+    TempFile file("roundtripd");
+    writeLabellingFile(file.str(), 3, dims, n, labels);
+    StreamLabelling mapped(file.str());
+    EXPECT_EQ(mapped.dims(), dims);
+    EXPECT_EQ(mapped.size(), size);
+    const std::vector<int> back(mapped.labels(),
+                                mapped.labels() + mapped.size());
+    EXPECT_EQ(back, labels) << "dims=" << dims;
+  }
+}
+
+TEST(StreamFormat, IncrementalWriterMatchesOneShot) {
+  const int n = 33;
+  const std::vector<int> labels =
+      randomLabels(static_cast<long long>(n) * n, 5, 909u);
+  TempFile oneShot("oneshot");
+  writeLabellingFile(oneShot.str(), 5, 2, n, labels);
+  TempFile rowByRow("rowbyrow");
+  {
+    StreamLabellingWriter writer(rowByRow.str(), 5, 2, n);
+    for (int y = 0; y < n; ++y) {
+      writer.appendLabels(std::span<const int>(labels).subspan(
+          static_cast<std::size_t>(y) * n, static_cast<std::size_t>(n)));
+    }
+    EXPECT_EQ(writer.written(), static_cast<long long>(n) * n);
+    writer.close();
+  }
+  std::ifstream a(oneShot.str(), std::ios::binary);
+  std::ifstream b(rowByRow.str(), std::ios::binary);
+  const std::string bytesA((std::istreambuf_iterator<char>(a)),
+                           std::istreambuf_iterator<char>());
+  const std::string bytesB((std::istreambuf_iterator<char>(b)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytesA, bytesB);
+}
+
+TEST(StreamFormat, WriterCloseRejectsShortPayload) {
+  TempFile file("short");
+  StreamLabellingWriter writer(file.str(), 3, 2, 4);
+  const std::vector<int> oneRow = {0, 1, 2, 0};
+  writer.appendLabels(oneRow);
+  EXPECT_THROW(writer.close(), std::runtime_error);
+}
+
+TEST(StreamFormat, ReaderRejectsBadMagic) {
+  const unsigned char wrong[8] = {'L', 'C', 'L', 'L', 'A', 'B', 'v', '9'};
+  TempFile file("badmagic");
+  writeRawFile(file.str(), wrong, 3, 2, 2, 0, {0, 1, 2, 0});
+  EXPECT_THROW(StreamLabelling{file.str()}, std::runtime_error);
+}
+
+TEST(StreamFormat, ReaderRejectsTruncatedHeader) {
+  TempFile file("shorthdr");
+  std::ofstream out(file.str(), std::ios::binary);
+  out.write("LCLLABv1\x03\x00", 10);
+  out.close();
+  EXPECT_THROW(StreamLabelling{file.str()}, std::runtime_error);
+}
+
+TEST(StreamFormat, ReaderRejectsTruncatedPayload) {
+  const int n = 8;
+  const std::vector<int> labels =
+      randomLabels(static_cast<long long>(n) * n, 3, 5u);
+  TempFile file("shortpay");
+  writeLabellingFile(file.str(), 3, 2, n, labels);
+  std::filesystem::resize_file(
+      file.str(), stream_format::kHeaderBytes +
+                      4 * (static_cast<std::uintmax_t>(n) * n - 1));
+  EXPECT_THROW(StreamLabelling{file.str()}, std::runtime_error);
+}
+
+TEST(StreamFormat, ReaderRejectsTrailingBytes) {
+  const int n = 4;
+  const std::vector<int> labels(static_cast<std::size_t>(n) * n, 0);
+  TempFile file("trailing");
+  writeLabellingFile(file.str(), 3, 2, n, labels);
+  std::ofstream out(file.str(), std::ios::binary | std::ios::app);
+  out.write("x", 1);
+  out.close();
+  EXPECT_THROW(StreamLabelling{file.str()}, std::runtime_error);
+}
+
+TEST(StreamFormat, ReaderRejectsBadHeaderFields) {
+  const unsigned char magic[8] = {'L', 'C', 'L', 'L', 'A', 'B', 'v', '1'};
+  {
+    TempFile file("zerosigma");
+    writeRawFile(file.str(), magic, 0, 2, 2, 0, {0, 0, 0, 0});
+    EXPECT_THROW(StreamLabelling{file.str()}, std::runtime_error);
+  }
+  {
+    TempFile file("zerodims");
+    writeRawFile(file.str(), magic, 3, 0, 2, 0, {0});
+    EXPECT_THROW(StreamLabelling{file.str()}, std::runtime_error);
+  }
+  {
+    TempFile file("reserved");
+    writeRawFile(file.str(), magic, 3, 2, 2, 7, {0, 0, 0, 0});
+    EXPECT_THROW(StreamLabelling{file.str()}, std::runtime_error);
+  }
+  {
+    TempFile file("missing");
+    EXPECT_THROW(StreamLabelling{file.str()}, std::runtime_error);
+  }
+}
+
+TEST(StreamVerify, MismatchedProblemThrows) {
+  const int n = 4;
+  const std::vector<int> labels(static_cast<std::size_t>(n) * n, 0);
+  TempFile file("mismatch");
+  writeLabellingFile(file.str(), 3, 2, n, labels);
+  StreamLabelling mapped(file.str());
+  // sigma mismatch (2D): vertexColouring(4) has sigma 4, the file says 3.
+  EXPECT_THROW(streamCountViolations(mapped, problems::vertexColouring(4)),
+               std::invalid_argument);
+  // dims mismatch (D): the file is 2-dimensional.
+  EXPECT_THROW(
+      streamCountViolations(mapped, problems_d::vertexColouring(3, 3)),
+      std::invalid_argument);
+  // sigma mismatch (D).
+  EXPECT_THROW(
+      streamCountViolations(mapped, problems_d::vertexColouring(2, 4)),
+      std::invalid_argument);
+  // 1-dimensional file through the 2D entry point.
+  TempFile file1d("mismatch1d");
+  writeLabellingFile(file1d.str(), 3, 1, n, std::vector<int>(n, 0));
+  StreamLabelling mapped1d(file1d.str());
+  EXPECT_THROW(streamCountViolations(mapped1d, problems::vertexColouring(3)),
+               std::invalid_argument);
+}
+
+TEST(StreamVerify, MatchesInCoreOverRegistry2D) {
+  GateGuard guard;
+  // Sides straddling the word boundary plus a wrap-heavy small one; window
+  // geometries down to one row per slab stress the rolling wrap stash.
+  for (int n : {5, 64, 65}) {
+    Torus2D torus(n);
+    for (const GridLcl& lcl : problemRegistry()) {
+      const std::vector<int> labels = randomLabels(
+          torus.size(), lcl.sigma(), 41u + static_cast<std::uint32_t>(n));
+      const std::int64_t reference = countViolations(torus, lcl, labels);
+      const bool feasible = verify(torus, lcl, labels);
+      TempFile file("registry2d");
+      writeLabellingFile(file.str(), lcl.sigma(), 2, n, labels);
+      StreamLabelling mapped(file.str());
+      for (long long rows : {1LL, 2LL, 3LL, 0LL}) {
+        const StreamWindow window{.rows = rows};
+        ASSERT_EQ(streamCountViolations(mapped, lcl, window), reference)
+            << lcl.name() << " n=" << n << " rows=" << rows;
+        ASSERT_EQ(streamVerify(mapped, lcl, window), feasible)
+            << lcl.name() << " n=" << n << " rows=" << rows;
+      }
+    }
+  }
+}
+
+TEST(StreamVerify, MatchesInCoreWithBitsliceOnAndOff) {
+  GateGuard guard;
+  const int n = 65;
+  Torus2D torus(n);
+  const GridLcl lcl = problems::vertexColouring(4);
+  const std::vector<int> labels = randomLabels(torus.size(), lcl.sigma(), 77u);
+  TempFile file("tiers");
+  writeLabellingFile(file.str(), lcl.sigma(), 2, n, labels);
+  StreamLabelling mapped(file.str());
+  bitslice::setEnabled(false);
+  const std::int64_t viaTable = streamCountViolations(mapped, lcl);
+  EXPECT_FALSE(stream_verify_detail::streamUsesBitslice(mapped, lcl));
+  const std::int64_t reference = countViolations(torus, lcl, labels);
+  bitslice::setEnabled(true);
+  EXPECT_TRUE(stream_verify_detail::streamUsesBitslice(mapped, lcl));
+  EXPECT_EQ(viaTable, reference);
+  EXPECT_EQ(streamCountViolations(mapped, lcl), reference);
+}
+
+TEST(StreamVerify, ThreadedCountsAreBitIdentical2D) {
+  GateGuard guard;
+  const int n = 65;
+  Torus2D torus(n);
+  for (const GridLcl& lcl : problemRegistry()) {
+    const std::vector<int> labels =
+        randomLabels(torus.size(), lcl.sigma(), 271u);
+    const std::int64_t reference = countViolations(torus, lcl, labels);
+    const bool feasible = verify(torus, lcl, labels);
+    TempFile file("threads2d");
+    writeLabellingFile(file.str(), lcl.sigma(), 2, n, labels);
+    StreamLabelling mapped(file.str());
+    for (int threads : {1, 2, 8}) {
+      engine::EngineOptions options{.threads = threads};
+      ASSERT_EQ(streamCountViolations(mapped, lcl, options), reference)
+          << lcl.name() << " threads=" << threads;
+      ASSERT_EQ(streamVerify(mapped, lcl, options), feasible)
+          << lcl.name() << " threads=" << threads;
+    }
+  }
+}
+
+TEST(StreamVerifyD, MatchesInCoreOnTorusD) {
+  GateGuard guard;
+  for (int dims : {1, 2, 3}) {
+    std::vector<GridLclD> registry;
+    registry.push_back(problems_d::vertexColouring(dims, 4));
+    registry.push_back(problems_d::xorParity(dims));
+    registry.push_back(problems_d::monotoneAxis(dims, 0, 3));
+    for (int side : {4, 9}) {
+      TorusD torus(dims, side);
+      for (const GridLclD& lcl : registry) {
+        const std::vector<int> labels = randomLabels(
+            torus.size(), lcl.sigma(),
+            static_cast<std::uint32_t>(dims * 1000 + side));
+        const std::int64_t reference = countViolations(torus, lcl, labels);
+        const bool feasible = verify(torus, lcl, labels);
+        TempFile file("registryd");
+        writeLabellingFile(file.str(), lcl.sigma(), dims, side, labels);
+        StreamLabelling mapped(file.str());
+        for (long long rows : {1LL, 3LL, 0LL}) {
+          const StreamWindow window{.rows = rows};
+          ASSERT_EQ(streamCountViolations(mapped, lcl, window), reference)
+              << lcl.name() << " dims=" << dims << " side=" << side
+              << " rows=" << rows;
+          ASSERT_EQ(streamVerify(mapped, lcl, window), feasible)
+              << lcl.name() << " dims=" << dims << " side=" << side
+              << " rows=" << rows;
+        }
+        for (int threads : {2, 8}) {
+          engine::EngineOptions options{.threads = threads};
+          ASSERT_EQ(streamCountViolations(mapped, lcl, options), reference)
+              << lcl.name() << " dims=" << dims << " side=" << side
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamVerify, OutOfRangeLabelFallsBackToFunctionalTier) {
+  GateGuard guard;
+  bitslice::setEnabled(true);
+  const int n = 33;
+  Torus2D torus(n);
+  const GridLcl lcl = problems::vertexColouring(3);
+  std::vector<int> labels = randomLabels(torus.size(), lcl.sigma(), 11u);
+  // A label at sigma poisons the table path; the streaming pass must
+  // restart on the functional tier and agree with the in-core engine --
+  // including when the bad label sits in the wrap stash (row 0) or the
+  // final slab.
+  for (const int victim :
+       {0, n / 2, torus.size() / 2, torus.size() - 1}) {
+    std::vector<int> poisoned = labels;
+    poisoned[static_cast<std::size_t>(victim)] = lcl.sigma();
+    const std::int64_t reference = countViolations(torus, lcl, poisoned);
+    const bool feasible = verify(torus, lcl, poisoned);
+    TempFile file("fallback");
+    writeLabellingFile(file.str(), lcl.sigma(), 2, n, poisoned);
+    StreamLabelling mapped(file.str());
+    for (long long rows : {1LL, 4LL, 0LL}) {
+      const StreamWindow window{.rows = rows};
+      ASSERT_EQ(streamCountViolations(mapped, lcl, window), reference)
+          << "victim=" << victim << " rows=" << rows;
+      ASSERT_EQ(streamVerify(mapped, lcl, window), feasible)
+          << "victim=" << victim << " rows=" << rows;
+    }
+    engine::EngineOptions options{.threads = 4};
+    ASSERT_EQ(streamCountViolations(mapped, lcl, options), reference)
+        << "victim=" << victim << " threaded";
+  }
+}
+
+TEST(StreamVerify, DropBehindOffMatchesDropBehindOn) {
+  const int n = 65;
+  Torus2D torus(n);
+  const GridLcl lcl = problems::maximalIndependentSet();
+  const std::vector<int> labels = randomLabels(torus.size(), lcl.sigma(), 3u);
+  TempFile file("dropoff");
+  writeLabellingFile(file.str(), lcl.sigma(), 2, n, labels);
+  StreamLabelling mapped(file.str());
+  const StreamWindow keep{.rows = 2, .dropBehind = false};
+  const StreamWindow drop{.rows = 2, .dropBehind = true};
+  EXPECT_EQ(streamCountViolations(mapped, lcl, keep),
+            streamCountViolations(mapped, lcl, drop));
+}
+
+TEST(StreamVerifyDetail, WindowGeometry) {
+  using stream_verify_detail::resolveWindowRows;
+  using stream_verify_detail::wrapWindowRows;
+  // Explicit requests clamp to [1, lines]; the default targets ~8 MiB.
+  EXPECT_EQ(resolveWindowRows(10, 100, 7), 7);
+  EXPECT_EQ(resolveWindowRows(10, 100, 1000), 100);
+  EXPECT_EQ(resolveWindowRows(10, 100, 0), 100);  // tiny rows: whole file
+  const long long bigSide = 1 << 20;  // 4 MiB per row -> 2 rows per slab
+  EXPECT_EQ(resolveWindowRows(static_cast<int>(bigSide), 1000, 0), 2);
+  EXPECT_EQ(wrapWindowRows(1, 9), 1);
+  EXPECT_EQ(wrapWindowRows(2, 9), 1);
+  EXPECT_EQ(wrapWindowRows(3, 9), 9);
+  EXPECT_EQ(wrapWindowRows(4, 9), 81);
+}
