@@ -7,36 +7,50 @@
 // {name, config, results[]} schema.
 //
 // Usage: bench_family_sweep [--threads N] [--smoke]
+//                            [--trace-out F] [--metrics-out F]
 //   --threads N  lanes for the concurrent sweep (default: hw concurrency)
 //   --smoke      tiny family / budgets, for CI bit-rot checks
+//   --trace-out F    enable span tracing, write Chrome trace JSON to F
+//   --metrics-out F  write the telemetry metrics snapshot to F
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "engine/family_sweep.hpp"
 #include "engine/thread_pool.hpp"
 #include "lcl/problems.hpp"
 #include "support/json.hpp"
+#include "support/telemetry.hpp"
 
 using namespace lclgrid;
 
 int main(int argc, char** argv) {
   int threads = engine::defaultThreads();
   bool smoke = false;
+  std::string traceOut;
+  std::string metricsOut;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      traceOut = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metricsOut = argv[++i];
     }
   }
   if (threads < 1) {
-    std::fprintf(stderr, "usage: %s [--threads N] [--smoke] (N >= 1)\n",
+    std::fprintf(stderr,
+                 "usage: %s [--threads N] [--smoke] [--trace-out F] "
+                 "[--metrics-out F] (N >= 1)\n",
                  argv[0]);
     return 2;
   }
+  if (!traceOut.empty()) telemetry::setTraceEnabled(true);
 
   // The family: every X-orientation (32 subsets), the vertex-colouring
   // ladder, and a deliberate duplicate relation (weak-2-colouring-4 is
@@ -87,6 +101,15 @@ int main(int argc, char** argv) {
   json.back() = ',';
   json += extra.str().substr(1);
   std::printf("%s\n", json.c_str());
+
+  if (!traceOut.empty() && !telemetry::writeTraceFile(traceOut)) {
+    std::fprintf(stderr, "warning: could not write trace to %s\n",
+                 traceOut.c_str());
+  }
+  if (!metricsOut.empty() && !telemetry::writeMetricsFile(metricsOut)) {
+    std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                 metricsOut.c_str());
+  }
 
   // Shape check: the cache must have collapsed the duplicate relation
   // (vertex-2-colouring appears again as weak-2-colouring-4).

@@ -20,7 +20,7 @@
 //    On infeasible instances every branch re-proves the same core; the
 //    live solver proves it once.
 //
-// Usage: bench_sat [--smoke]
+// Usage: bench_sat [--smoke] [--trace-out F] [--metrics-out F]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -33,6 +33,8 @@
 #include "sat/solver.hpp"
 #include "support/json.hpp"
 #include "support/numeric.hpp"
+#include "support/telemetry.hpp"
+#include "support/timing.hpp"
 #include "synthesis/synthesizer.hpp"
 #include "tiles/tile.hpp"
 
@@ -43,13 +45,23 @@ namespace {
 struct Arm {
   double seconds = 0.0;
   long long conflicts = 0;
+  // Filled from sat::Solver::snapshotStats() where the arm owns the solver
+  // (the seeded_branches scenario); 0 where the solver is internal to the
+  // synthesis pipeline.
+  long long decisions = 0;
+  long long propagations = 0;
+  long long restarts = 0;
   std::string verdict;
 };
 
-double secondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+using support::secondsSince;
+
+/// Fold a solver's public stats snapshot into an arm (additive, so the
+/// fresh regime can accumulate across its throwaway solvers).
+void foldStats(Arm& arm, const sat::SolverStats& stats) {
+  arm.decisions += stats.decisions;
+  arm.propagations += stats.propagations;
+  arm.restarts += stats.restarts;
 }
 
 std::string ladderVerdict(const synthesis::SynthesisResult& result) {
@@ -187,6 +199,7 @@ Arm runBranchesFresh(const Torus2D& torus, const GridLcl& lcl, int seeds) {
           {label[static_cast<std::size_t>(plan.forcedNode)].is(candidate)});
       auto outcome = solver.solve();
       arm.conflicts += solver.conflicts();
+      foldStats(arm, solver.snapshotStats());
       if (outcome == sat::Result::Sat) {
         feasible = true;
         break;
@@ -221,6 +234,7 @@ Arm runBranchesIncremental(const Torus2D& torus, const GridLcl& lcl,
     }
   }
   arm.conflicts = solver.conflicts();
+  foldStats(arm, solver.snapshotStats());
   arm.verdict = feasible ? "sat" : "unsat";
   arm.seconds = secondsSince(start);
   return arm;
@@ -244,6 +258,14 @@ void emitResult(support::JsonWriter& json, const char* scenario,
   json.key("incremental_seconds").value(incremental.seconds);
   json.key("incremental_conflicts").value(incremental.conflicts);
   json.key("incremental_verdict").value(incremental.verdict);
+  if (fresh.decisions + incremental.decisions > 0) {
+    json.key("fresh_decisions").value(fresh.decisions);
+    json.key("fresh_propagations").value(fresh.propagations);
+    json.key("fresh_restarts").value(fresh.restarts);
+    json.key("incremental_decisions").value(incremental.decisions);
+    json.key("incremental_propagations").value(incremental.propagations);
+    json.key("incremental_restarts").value(incremental.restarts);
+  }
   json.key("conflict_ratio")
       .value(ratio(static_cast<double>(fresh.conflicts),
                    static_cast<double>(incremental.conflicts)));
@@ -259,9 +281,18 @@ void emitResult(support::JsonWriter& json, const char* scenario,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string traceOut;
+  std::string metricsOut;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      traceOut = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metricsOut = argv[++i];
+    }
   }
+  if (!traceOut.empty()) telemetry::setTraceEnabled(true);
 
   const std::int64_t initialBudget = smoke ? 16 : 64;
   support::JsonWriter json;
@@ -348,5 +379,14 @@ int main(int argc, char** argv) {
   json.endArray();
   json.endObject();
   std::printf("%s\n", json.str().c_str());
+
+  if (!traceOut.empty() && !telemetry::writeTraceFile(traceOut)) {
+    std::fprintf(stderr, "warning: could not write trace to %s\n",
+                 traceOut.c_str());
+  }
+  if (!metricsOut.empty() && !telemetry::writeMetricsFile(metricsOut)) {
+    std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                 metricsOut.c_str());
+  }
   return 0;
 }

@@ -41,6 +41,11 @@
 //                implies --mmap, forces --dims 2, skips the in-core sweep)
 //   --mmap-dir   directory for the temporary labelling files (default
 //                $TMPDIR or /tmp; a 10^9-node torus needs ~4 GB free)
+//   --trace-out F    enable span tracing and write a Chrome trace-event
+//                    JSON (Perfetto-loadable) to F at exit
+//   --metrics-out F  write the telemetry counters/gauges/histograms as a
+//                    {name, config, results[]} metrics snapshot to F
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -49,11 +54,6 @@
 #include <span>
 #include <string>
 #include <vector>
-
-#if __has_include(<sys/resource.h>)
-#include <sys/resource.h>
-#define LCLGRID_BENCH_HAVE_RUSAGE 1
-#endif
 
 #include "engine/thread_pool.hpp"
 #include "grid/torus2d.hpp"
@@ -64,6 +64,8 @@
 #include "lcl/stream_verify.hpp"
 #include "lcl/verifier.hpp"
 #include "support/json.hpp"
+#include "support/telemetry.hpp"
+#include "support/timing.hpp"
 
 using namespace lclgrid;
 
@@ -119,11 +121,7 @@ std::int64_t functionalCountViolationsD(const TorusD& torus,
   return bad;
 }
 
-double secondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
+using support::secondsSince;
 
 struct PathResult {
   int dims = 2;
@@ -141,13 +139,7 @@ struct PathResult {
 /// Process peak resident set in KiB (a high-water mark, so meaningful for
 /// the mmap paths only when the in-core sweep is skipped); 0 when the
 /// platform has no getrusage.
-long long peakRssKb() {
-#if defined(LCLGRID_BENCH_HAVE_RUSAGE)
-  struct rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
-#endif
-  return 0;
-}
+long long peakRssKb() { return std::max(0LL, support::peakRssKb()); }
 
 template <typename Body>
 PathResult measure(int dims, int n, std::string path,
@@ -199,10 +191,16 @@ int main(int argc, char** argv) {
   bool mmapMode = false;
   bool mmapOnly = false;
   std::string mmapDir;
+  std::string traceOut;
+  std::string metricsOut;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      traceOut = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metricsOut = argv[++i];
     } else if (std::strcmp(argv[i], "--dims") == 0 && i + 1 < argc) {
       dimsList.clear();
       for (const char* cursor = argv[++i]; *cursor != '\0';) {
@@ -245,10 +243,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [n] [min_seconds] [--threads N] [--dims LIST] "
                  "[--smoke] [--mmap] [--mmap-only] [--mmap-dir DIR] "
+                 "[--trace-out F] [--metrics-out F] "
                  "(n >= 4, n*n <= INT_MAX, N >= 1, dims in [1, 8])\n",
                  argv[0]);
     return 2;
   }
+  if (!traceOut.empty()) telemetry::setTraceEnabled(true);
 
   engine::ThreadPool pool(threads);
   engine::EngineOptions engineOptions{.threads = threads, .pool = &pool};
@@ -501,6 +501,15 @@ int main(int argc, char** argv) {
   json.key("fingerprint_ok").value(fingerprintOk);
   json.endObject();
   std::printf("%s\n", json.str().c_str());
+
+  if (!traceOut.empty() && !telemetry::writeTraceFile(traceOut)) {
+    std::fprintf(stderr, "warning: could not write trace to %s\n",
+                 traceOut.c_str());
+  }
+  if (!metricsOut.empty() && !telemetry::writeMetricsFile(metricsOut)) {
+    std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                 metricsOut.c_str());
+  }
 
   if (!checksumOk) {
     std::fprintf(stderr, "FAIL: paths disagree on the violation count\n");

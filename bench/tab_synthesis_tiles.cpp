@@ -16,6 +16,7 @@
 #include "support/table.hpp"
 #include "synthesis/synthesizer.hpp"
 #include "tiles/enumerator.hpp"
+#include "support/timing.hpp"
 
 using namespace lclgrid;
 
@@ -42,11 +43,9 @@ int main(int argc, char** argv) {
   }
   for (const Case& c : tileCases) {
     tiles::EnumerationStats stats;
-    auto t0 = std::chrono::steady_clock::now();
+    const lclgrid::support::Stopwatch clock;
     auto set = tiles::enumerateTiles(c.k, c.h, c.w, &stats);
-    double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    double seconds = clock.seconds();
     tileTable.addRow({fmtInt(c.k),
                       fmtInt(c.h) + "x" + fmtInt(c.w), c.paper,
                       fmtInt(set.size()), fmtInt(stats.candidatesTried),

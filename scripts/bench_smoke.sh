@@ -6,11 +6,18 @@
 #
 # When BENCH_JSON_DIR is set, the stdout of the `run_json` entries (the
 # binaries emitting the repo {name, config, results[]} schema) is captured
-# to $BENCH_JSON_DIR/<name>[-tag].json; CI validates the captured files
-# with scripts/check_bench_json.py and uploads them as workflow artifacts.
+# to $BENCH_JSON_DIR/<name>[-tag].json, and each entry additionally writes
+# its telemetry metrics snapshot (--metrics-out) to
+# $BENCH_JSON_DIR/<name>[-tag].metrics.json -- the snapshot follows the
+# same repo schema, so scripts/check_bench_json.py validates both. When
+# BENCH_TRACE_DIR is set, each entry also writes a Chrome trace
+# (--trace-out) to $BENCH_TRACE_DIR/<name>[-tag].trace.json, validated by
+# scripts/check_trace_json.py. With -DLCLGRID_TELEMETRY=OFF the binaries
+# warn and write no telemetry files, which both checkers tolerate (they
+# only scan files that exist).
 #
-# Usage: [BENCH_JSON_DIR=dir] scripts/bench_smoke.sh [build-dir]
-#        (build-dir default: build)
+# Usage: [BENCH_JSON_DIR=dir] [BENCH_TRACE_DIR=dir] scripts/bench_smoke.sh
+#        [build-dir]   (build-dir default: build)
 set -euo pipefail
 
 build="${1:-build}"
@@ -46,8 +53,13 @@ run_json() {
     return 0
   fi
   echo "== $name $*"
+  if [ -n "${BENCH_TRACE_DIR:-}" ]; then
+    mkdir -p "$BENCH_TRACE_DIR"
+    set -- "$@" --trace-out "$BENCH_TRACE_DIR/$name$tag.trace.json"
+  fi
   if [ -n "${BENCH_JSON_DIR:-}" ]; then
     mkdir -p "$BENCH_JSON_DIR"
+    set -- "$@" --metrics-out "$BENCH_JSON_DIR/$name$tag.metrics.json"
     "$build/$name" "$@" > "$BENCH_JSON_DIR/$name$tag.json"
   else
     "$build/$name" "$@" > /dev/null

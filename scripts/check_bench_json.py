@@ -91,6 +91,43 @@ def check_verify_throughput(doc, results, errors):
             errors.append(f'verify_throughput "{key}" is not true')
 
 
+def check_metrics_snapshot(doc, results, errors):
+    """Gate for the telemetry exporter (support/telemetry.hpp): every
+    results[] entry is {kind: counter|gauge|histogram, name, ...} with a
+    non-empty dot-separated name; counters carry a non-negative integer
+    value (they are monotonic by contract), gauges an integer value, and
+    histograms integer count/sum/min/max with count >= 0."""
+
+    def integer(value):
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    for index, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            continue
+        label = f"results[{index}]"
+        kind = entry.get("kind")
+        name = entry.get("name")
+        if kind not in ("counter", "gauge", "histogram"):
+            errors.append(f"{label}: kind {kind!r} not counter/gauge/histogram")
+            continue
+        if not isinstance(name, str) or not name:
+            errors.append(f"{label}: missing/empty name")
+            continue
+        label = f"{label} ({name})"
+        if kind in ("counter", "gauge"):
+            if not integer(entry.get("value")):
+                errors.append(f"{label}: {kind} value must be an integer")
+            elif kind == "counter" and entry["value"] < 0:
+                errors.append(f"{label}: counter value is negative")
+        else:
+            for key in ("count", "sum", "min", "max"):
+                if not integer(entry.get(key)):
+                    errors.append(f"{label}: histogram {key} must be an integer")
+            count = entry.get("count")
+            if integer(count) and count < 0:
+                errors.append(f"{label}: histogram count is negative")
+
+
 def check_document(doc, errors):
     if not isinstance(doc, dict):
         errors.append("top level is not an object")
@@ -116,6 +153,8 @@ def check_document(doc, errors):
                 errors.append(f"results[{index}].{key} is not finite")
     if name == "verify_throughput":
         check_verify_throughput(doc, results, errors)
+    elif name == "metrics_snapshot":
+        check_metrics_snapshot(doc, results, errors)
 
 
 def check_file(path):

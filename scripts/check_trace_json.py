@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON written by the telemetry layer.
+
+The telemetry exporter (support/telemetry.hpp, --trace-out / LCLGRID_TRACE)
+writes the trace-event format that chrome://tracing and Perfetto load: a
+top-level object with a traceEvents array of "X" (complete) duration events
+plus one "M" thread_name metadata event per thread. CI runs this over the
+traces captured by scripts/bench_smoke.sh (BENCH_TRACE_DIR) so a malformed
+exporter fails the push that broke it.
+
+Checks per file:
+  * the document parses and traceEvents is a non-empty array
+  * every event has a string ph; "X" events carry a non-empty name,
+    finite ts/dur >= 0, and integer pid/tid
+  * any "B"/"E" begin/end events pair up per (pid, tid)
+  * per thread, "X" events are laminar: sorted by start, each event either
+    nests inside the enclosing open event or starts after it ends (the
+    exporter emits one event per RAII scope, so overlap without nesting
+    means corrupted timestamps)
+
+Usage: check_trace_json.py [--expect NAME_PREFIX]... <file-or-directory>...
+Directories are scanned (non-recursively) for *.trace.json (falling back
+to *.json if no file matches). Each --expect requires at least one "X"
+event whose name starts with the prefix, in each file. Exits non-zero
+with one line per violation.
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def finite_nonneg(value):
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+        and value >= 0
+    )
+
+
+def integer(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def check_events(events, expects, errors):
+    complete = []
+    begin_depth = {}
+    for index, event in enumerate(events):
+        label = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{label}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            errors.append(f"{label}: missing ph")
+            continue
+        if phase in ("B", "E"):
+            key = (event.get("pid"), event.get("tid"))
+            depth = begin_depth.get(key, 0) + (1 if phase == "B" else -1)
+            if depth < 0:
+                errors.append(f'{label}: "E" without a matching "B"')
+                depth = 0
+            begin_depth[key] = depth
+        if phase != "X":
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{label}: X event with missing/empty name")
+            continue
+        ok = True
+        for key in ("ts", "dur"):
+            if not finite_nonneg(event.get(key)):
+                errors.append(f"{label} ({name}): {key} not finite and >= 0")
+                ok = False
+        for key in ("pid", "tid"):
+            if not integer(event.get(key)):
+                errors.append(f"{label} ({name}): {key} not an integer")
+                ok = False
+        if ok:
+            complete.append(event)
+
+    for key, depth in sorted(begin_depth.items(), key=str):
+        if depth != 0:
+            errors.append(f'unbalanced "B"/"E" events on (pid, tid)={key}')
+
+    # Laminar nesting per thread: walking events sorted by (start, -dur),
+    # each event must either nest inside the innermost open interval or
+    # begin at/after its end.
+    by_thread = {}
+    for event in complete:
+        by_thread.setdefault((event["pid"], event["tid"]), []).append(event)
+    for key, thread_events in sorted(by_thread.items()):
+        thread_events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for event in thread_events:
+            start, end = event["ts"], event["ts"] + event["dur"]
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                errors.append(
+                    f'(pid, tid)={key}: "{event["name"]}" [{start}, {end}] '
+                    f'overlaps "{stack[-1][2]}" without nesting'
+                )
+                continue
+            stack.append((start, end, event["name"]))
+
+    for prefix in expects:
+        if not any(e["name"].startswith(prefix) for e in complete):
+            errors.append(f'no X event with name prefix "{prefix}"')
+
+
+def check_file(path, expects):
+    errors = []
+    try:
+        with path.open() as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [str(error)]
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ['"traceEvents" must be an array']
+    if not events:
+        return ['"traceEvents" must not be empty']
+    check_events(events, expects, errors)
+    return errors
+
+
+def collect(arguments):
+    files = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            traces = sorted(path.glob("*.trace.json"))
+            files.extend(traces if traces else sorted(path.glob("*.json")))
+        else:
+            files.append(path)
+    return files
+
+
+def main(arguments):
+    expects = []
+    paths = []
+    index = 0
+    while index < len(arguments):
+        if arguments[index] == "--expect" and index + 1 < len(arguments):
+            expects.append(arguments[index + 1])
+            index += 2
+        else:
+            paths.append(arguments[index])
+            index += 1
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = collect(paths)
+    if not files:
+        print("check_trace_json: no trace files found", file=sys.stderr)
+        return 1
+    failed = False
+    for path in files:
+        errors = check_file(path, expects)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"FAIL {path}: {error}")
+        else:
+            print(f"ok   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,26 +1,26 @@
 #include "engine/family_sweep.hpp"
 
-#include <chrono>
 #include <unordered_map>
 #include <utility>
 
 #include "support/json.hpp"
+#include "support/telemetry.hpp"
+#include "support/timing.hpp"
 
 namespace lclgrid::engine {
 
-namespace {
-
-double secondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
+using support::Stopwatch;
 
 SweepReport sweepFamily(std::span<const GridLcl> family,
                         const SweepOptions& options) {
-  const auto sweepStart = std::chrono::steady_clock::now();
+  static const telemetry::Counter problemCounter =
+      telemetry::counter("sweep.problems");
+  static const telemetry::Counter oracleRunCounter =
+      telemetry::counter("sweep.oracle_runs");
+  static const telemetry::Counter cacheHitCounter =
+      telemetry::counter("sweep.cache_hits");
+  const Stopwatch sweepClock;
+  telemetry::ScopedSpan sweepSpan("sweep/family");
   SweepReport report;
   report.entries.resize(family.size());
 
@@ -45,6 +45,7 @@ SweepReport sweepFamily(std::span<const GridLcl> family,
           family[i].table().sameContent(family[it->second].table())) {
         runOf[i] = it->second;
         entry.cacheHit = true;
+        ++report.entries[it->second].fingerprintHits;
         continue;
       }
     } else if (family[i].hasTable()) {
@@ -55,6 +56,9 @@ SweepReport sweepFamily(std::span<const GridLcl> family,
   }
   report.oracleRuns = static_cast<int>(jobs.size());
   report.cacheHits = static_cast<int>(family.size() - jobs.size());
+  problemCounter.add(static_cast<std::int64_t>(family.size()));
+  oracleRunCounter.add(report.oracleRuns);
+  cacheHitCounter.add(report.cacheHits);
 
   // One oracle run per unique problem, one job per pool task. grain 1: a
   // single slow classification (a deep synthesis loop) must not serialise
@@ -66,11 +70,13 @@ SweepReport sweepFamily(std::span<const GridLcl> family,
       [&](std::int64_t begin, std::int64_t end) {
         for (std::int64_t j = begin; j < end; ++j) {
           const std::size_t i = jobs[static_cast<std::size_t>(j)];
-          const auto start = std::chrono::steady_clock::now();
+          const Stopwatch clock;
+          telemetry::ScopedSpan classifySpan("sweep/classify/" +
+                                             report.entries[i].problem);
           report.entries[i].report =
               std::make_shared<const synthesis::OracleReport>(
                   synthesis::classifyOnGrid(family[i], options.oracle));
-          report.entries[i].seconds = secondsSince(start);
+          report.entries[i].seconds = clock.seconds();
         }
       });
 
@@ -80,7 +86,7 @@ SweepReport sweepFamily(std::span<const GridLcl> family,
       report.entries[i].report = report.entries[runOf[i]].report;
     }
   }
-  report.seconds = secondsSince(sweepStart);
+  report.seconds = sweepClock.seconds();
   return report;
 }
 
@@ -107,6 +113,7 @@ std::string sweepReportJson(const SweepReport& report,
     json.key("fingerprint")
         .value(support::JsonWriter::hex(entry.fingerprint));
     json.key("cache_hit").value(entry.cacheHit);
+    json.key("fingerprint_hits").value(entry.fingerprintHits);
     json.key("seconds").value(entry.seconds);
     if (entry.report) {
       json.key("complexity")

@@ -50,6 +50,9 @@ struct SweepEntry {
   /// True iff this entry reused the report of an earlier equal-fingerprint
   /// family member instead of running the oracle.
   bool cacheHit = false;
+  /// For an entry that ran the oracle: how many later family members reused
+  /// its report (0 for cache-hit entries and never-reused runners).
+  int fingerprintHits = 0;
   double seconds = 0.0;  // oracle wall time; 0 for cache hits
   std::shared_ptr<const synthesis::OracleReport> report;
 };

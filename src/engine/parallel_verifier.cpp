@@ -19,6 +19,7 @@
 #include "engine/thread_pool.hpp"
 #include "lcl/stream_verify.hpp"
 #include "lcl/verifier.hpp"
+#include "lcl/verify_probes.hpp"
 
 namespace lclgrid {
 
@@ -106,6 +107,10 @@ bool bitsliceShardCount(engine::ThreadPool& pool, std::int64_t grain,
                         const Torus2D& torus, const GridLcl& lcl,
                         std::span<const int> labels, std::int64_t* result) {
   if (!verifier_detail::bitsliceSelected(lcl, torus.size())) return false;
+  verify_probes::recordCall(verify_probes::Tier::kBitsliced,
+                            static_cast<std::int64_t>(labels.size()));
+  telemetry::ScopedSpan span(
+      verify_probes::spanName(verify_probes::Tier::kBitsliced));
   *result = pool.parallelReduce(
       0, shardItems(torus), grain, std::int64_t{0},
       [&](std::int64_t begin, std::int64_t end) {
@@ -122,6 +127,10 @@ bool bitsliceShardCount(engine::ThreadPool& pool, std::int64_t grain,
                         const TorusD& torus, const GridLclD& lcl,
                         std::span<const int> labels, std::int64_t* result) {
   if (!verifier_detail::bitsliceSelectedD(lcl, torus.size())) return false;
+  verify_probes::recordCall(verify_probes::Tier::kBitsliced,
+                            static_cast<std::int64_t>(labels.size()));
+  telemetry::ScopedSpan span(
+      verify_probes::spanName(verify_probes::Tier::kBitsliced));
   const std::int64_t lines = shardItems(torus);
   LabelPlanes planes = verifier_detail::bitsliceMakePlanesD(torus, lcl.table());
   if (planes.rows() > 0) {
@@ -146,6 +155,10 @@ bool bitsliceShardVerify(engine::ThreadPool& pool, std::int64_t grain,
                          const Torus2D& torus, const GridLcl& lcl,
                          std::span<const int> labels, bool* feasible) {
   if (!verifier_detail::bitsliceSelected(lcl, torus.size())) return false;
+  verify_probes::recordCall(verify_probes::Tier::kBitsliced,
+                            static_cast<std::int64_t>(labels.size()));
+  telemetry::ScopedSpan span(
+      verify_probes::spanName(verify_probes::Tier::kBitsliced));
   std::atomic<bool> violated{false};
   pool.parallelFor(0, shardItems(torus), grain,
                    [&](std::int64_t begin, std::int64_t end) {
@@ -165,6 +178,10 @@ bool bitsliceShardVerify(engine::ThreadPool& pool, std::int64_t grain,
                          const TorusD& torus, const GridLclD& lcl,
                          std::span<const int> labels, bool* feasible) {
   if (!verifier_detail::bitsliceSelectedD(lcl, torus.size())) return false;
+  verify_probes::recordCall(verify_probes::Tier::kBitsliced,
+                            static_cast<std::int64_t>(labels.size()));
+  telemetry::ScopedSpan span(
+      verify_probes::spanName(verify_probes::Tier::kBitsliced));
   const std::int64_t lines = shardItems(torus);
   // The d >= 3 staging below is one full parallel pass; only the kernel
   // pass early-exits cooperatively. (The serial engine staggers staging
@@ -240,6 +257,10 @@ std::int64_t shardedCount(engine::ThreadPool& pool, std::int64_t grain,
     if (bitsliceShardCount(pool, grain, torus, lcl, labels, &bitsliced)) {
       return bitsliced;
     }
+    verify_probes::recordCall(verify_probes::Tier::kTable,
+                              static_cast<std::int64_t>(labels.size()));
+    telemetry::ScopedSpan span(
+        verify_probes::spanName(verify_probes::Tier::kTable));
     return pool.parallelReduce(
         0, shardItems(torus), grain, std::int64_t{0},
         [&](std::int64_t begin, std::int64_t end) {
@@ -248,6 +269,10 @@ std::int64_t shardedCount(engine::ThreadPool& pool, std::int64_t grain,
         },
         sum);
   }
+  verify_probes::recordCall(verify_probes::Tier::kFunctional,
+                            static_cast<std::int64_t>(labels.size()));
+  telemetry::ScopedSpan span(
+      verify_probes::spanName(verify_probes::Tier::kFunctional));
   return pool.parallelReduce(
       0, static_cast<std::int64_t>(labels.size()), nodeGrain(grain, torus),
       std::int64_t{0},
@@ -276,6 +301,10 @@ bool shardedVerify(engine::ThreadPool& pool, std::int64_t grain,
       return feasible;
     }
   }
+  const verify_probes::Tier tier = tablePath ? verify_probes::Tier::kTable
+                                             : verify_probes::Tier::kFunctional;
+  verify_probes::recordCall(tier, static_cast<std::int64_t>(labels.size()));
+  telemetry::ScopedSpan span(verify_probes::spanName(tier));
   const std::int64_t items = tablePath
                                  ? shardItems(torus)
                                  : static_cast<std::int64_t>(labels.size());

@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "support/telemetry.hpp"
+
 namespace lclgrid::engine {
 
 int defaultThreads() {
@@ -41,14 +43,22 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::push(std::function<void()> task, bool notify) {
+  static const telemetry::Counter tasksSubmitted =
+      telemetry::counter("pool.tasks_submitted");
+  static const telemetry::Gauge queueDepthMax =
+      telemetry::gauge("pool.queue_depth_max");
   // Lock-free cursor: the dealing loop of parallelFor calls push once per
   // chunk, so it must not serialise on the idle mutex the workers wait on.
   const std::size_t lane =
       nextLane_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(workers_[lane]->mutex);
     workers_[lane]->tasks.push_back(std::move(task));
+    depth = workers_[lane]->tasks.size();
   }
+  tasksSubmitted.increment();
+  queueDepthMax.max(static_cast<std::int64_t>(depth));
   if (notify) wake(/*all=*/false);
 }
 
@@ -98,7 +108,10 @@ bool ThreadPool::tryTake(std::size_t self, std::function<void()>& task) {
     }
   }
   // ...then steal the oldest task from someone else (FIFO spreads the
-  // biggest remaining chunks of a batch).
+  // biggest remaining chunks of a batch). The steal counter includes the
+  // caller's helping-loop takes (self == workers_.size()): every FIFO take
+  // from another lane's deque counts.
+  static const telemetry::Counter steals = telemetry::counter("pool.steals");
   for (std::size_t offset = 1; offset <= workers_.size(); ++offset) {
     const std::size_t victim = (self + offset) % workers_.size();
     if (victim == self) continue;
@@ -107,6 +120,7 @@ bool ThreadPool::tryTake(std::size_t self, std::function<void()>& task) {
     if (!other.tasks.empty()) {
       task = std::move(other.tasks.front());
       other.tasks.pop_front();
+      steals.increment();
       return true;
     }
   }
@@ -163,6 +177,7 @@ void ThreadPool::parallelFor(
   if (workers_.empty() || items <= grain) {
     // Serial fast path: no task machinery at all.
     for (std::int64_t b = begin; b < end; b += grain) {
+      telemetry::ScopedSpan span("pool/chunk");
       body(b, std::min(b + grain, end));
     }
     return;
@@ -174,6 +189,9 @@ void ThreadPool::parallelFor(
   auto runChunk = [&body, batch, this](std::int64_t chunkBegin,
                                        std::int64_t chunkEnd) {
     try {
+      // One span per shard chunk: with tracing on, the per-thread rows of
+      // the Chrome trace show how the batch's chunks spread and steal.
+      telemetry::ScopedSpan span("pool/chunk");
       body(chunkBegin, chunkEnd);
     } catch (...) {
       std::lock_guard<std::mutex> lock(batch->mutex);

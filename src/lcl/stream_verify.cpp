@@ -15,6 +15,8 @@
 #include "grid/torus2d.hpp"
 #include "grid/torusd.hpp"
 #include "lcl/verifier.hpp"
+#include "lcl/verify_probes.hpp"
+#include "support/timing.hpp"
 
 namespace lclgrid {
 
@@ -265,6 +267,23 @@ std::int64_t runStreamPass(const StreamPass& pass, bool stopAtFirst) {
   const StreamLabelling& file = *pass.file;
   const long long lines = file.lines();
   bool table = pass.tablePath;
+  // Streaming-tier attribution and the bounded-memory gauges: one call per
+  // pass, slabs and dropped rows as they stream by, and the process RSS
+  // high-water after the pass (the docs/perf.md bounded-window claim in
+  // gauge form).
+  verify_probes::recordCall(verify_probes::Tier::kStream, file.size());
+  telemetry::ScopedSpan passSpan(
+      verify_probes::spanName(verify_probes::Tier::kStream));
+  static const telemetry::Counter slabCounter =
+      telemetry::counter("stream.slabs");
+  static const telemetry::Counter droppedRows =
+      telemetry::counter("stream.rows_dropped");
+  static const telemetry::Gauge rssGauge =
+      telemetry::gauge("stream.peak_rss_kb");
+  struct RssAtExit {
+    const telemetry::Gauge& gauge;
+    ~RssAtExit() { gauge.max(support::peakRssKb()); }
+  } rssAtExit{rssGauge};
   std::int64_t total = 0;
   if (table) {
     // The wrap stash is read by the first slab's cyclic neighbours before
@@ -288,12 +307,17 @@ std::int64_t runStreamPass(const StreamPass& pass, bool stopAtFirst) {
         }
         frontier = need;
       }
-      total += pass.kernelRows(begin, end, stopAtFirst);
+      {
+        slabCounter.increment();
+        telemetry::ScopedSpan slabSpan("stream/slab");
+        total += pass.kernelRows(begin, end, stopAtFirst);
+      }
       if (stopAtFirst && total > 0) return total;
       if (pass.dropBehind) {
         const long long dropEnd = end - pass.wrapKeep;
         if (dropEnd > dropCursor) {
           file.dropRows(dropCursor, dropEnd);
+          droppedRows.add(dropEnd - dropCursor);
           dropCursor = dropEnd;
         }
       }
@@ -308,12 +332,17 @@ std::int64_t runStreamPass(const StreamPass& pass, bool stopAtFirst) {
   long long dropCursor = pass.wrapKeep;
   for (long long begin = 0; begin < lines; begin += pass.window) {
     const long long end = std::min(lines, begin + pass.window);
-    total += pass.functionalRows(begin, end, stopAtFirst);
+    {
+      slabCounter.increment();
+      telemetry::ScopedSpan slabSpan("stream/slab");
+      total += pass.functionalRows(begin, end, stopAtFirst);
+    }
     if (stopAtFirst && total > 0) return total;
     if (pass.dropBehind) {
       const long long dropEnd = end - pass.wrapKeep;
       if (dropEnd > dropCursor) {
         file.dropRows(dropCursor, dropEnd);
+        droppedRows.add(dropEnd - dropCursor);
         dropCursor = dropEnd;
       }
     }

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "lcl/verify_probes.hpp"
+
 // Runtime-dispatched wide clones of the bit-sliced word loops, following
 // the transpose's dispatch mechanism in label_planes.cpp: baseline builds
 // compile the AVX2/AVX-512 workers with target attributes and select them
@@ -817,16 +819,23 @@ std::int64_t violationsKernel(const Torus2D& torus, const GridLcl& lcl,
   if (static_cast<int>(labels.size()) != torus.size()) {
     throw std::invalid_argument("verifier: labelling size mismatch");
   }
+  using verify_probes::Tier;
   if (lcl.hasTable() &&
       verifier_detail::allLabelsInRange(lcl.sigma(), labels)) {
     if (verifier_detail::bitsliceSelected(lcl, torus.size())) {
+      verify_probes::recordCall(Tier::kBitsliced, torus.size());
+      telemetry::ScopedSpan span(verify_probes::spanName(Tier::kBitsliced));
       return bitsliceViolations<StopAtFirst>(*lcl.table().bitslicePlan(),
                                              torus.n(), torus.n(),
                                              labels.data(), 0, torus.n());
     }
+    verify_probes::recordCall(Tier::kTable, torus.size());
+    telemetry::ScopedSpan span(verify_probes::spanName(Tier::kTable));
     return tableViolations<StopAtFirst>(lcl.table(), torus.n(), labels.data(),
                                         0, torus.n());
   }
+  verify_probes::recordCall(Tier::kFunctional, torus.size());
+  telemetry::ScopedSpan span(verify_probes::spanName(Tier::kFunctional));
   return functionalViolations<StopAtFirst>(torus, lcl, labels, 0,
                                            torus.size());
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "lcl/verifier.hpp"
+#include "lcl/verify_probes.hpp"
 
 namespace lclgrid {
 
@@ -186,11 +187,14 @@ std::int64_t violationsKernel(const TorusD& torus, const GridLclD& lcl,
   if (static_cast<long long>(labels.size()) != torus.size()) {
     throw std::invalid_argument("verifier: labelling size mismatch");
   }
+  using verify_probes::Tier;
   if (lcl.hasTable() &&
       verifier_detail::allLabelsInRange(lcl.sigma(), labels)) {
     const LclTableD& table = lcl.table();
     const long long lines = verifier_detail::lineCountD(torus);
     if (verifier_detail::bitsliceSelectedD(lcl, torus.size())) {
+      verify_probes::recordCall(Tier::kBitsliced, torus.size());
+      telemetry::ScopedSpan span(verify_probes::spanName(Tier::kBitsliced));
       if (const LclTable* table2d = table.as2d()) {
         // One 2D bit-sliced code path: the delegated table's plan runs the
         // rolling row kernel straight off the labels, no staging.
@@ -230,9 +234,13 @@ std::int64_t violationsKernel(const TorusD& torus, const GridLclD& lcl,
         return 0;
       }
     }
+    verify_probes::recordCall(Tier::kTable, torus.size());
+    telemetry::ScopedSpan span(verify_probes::spanName(Tier::kTable));
     return tableViolationLines<StopAtFirst>(table, torus, labels.data(), 0,
                                             lines);
   }
+  verify_probes::recordCall(Tier::kFunctional, torus.size());
+  telemetry::ScopedSpan span(verify_probes::spanName(Tier::kFunctional));
   return functionalViolations<StopAtFirst>(torus, lcl, labels, 0,
                                            torus.size());
 }

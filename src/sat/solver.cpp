@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/telemetry.hpp"
+
 namespace lclgrid::sat {
 
 namespace {
@@ -94,8 +96,10 @@ int Solver::addClauseInternal(std::vector<Lit> lits, bool learnt) {
     clause.lbd = computeLbd(clause.lits);
     clause.activity = clauseActivityIncrement_;
     learntIndices_.push_back(idx);
-    ++stats_.learnt;
+    ++stats_.learntClauses;
   }
+  ++stats_.liveClauses;
+  stats_.liveLiterals += static_cast<std::int64_t>(clause.lits.size());
   clauses_.push_back(std::move(clause));
   attachClause(idx);
   return idx;
@@ -340,6 +344,9 @@ void Solver::reduceLearntDb() {
     int idx = candidates[i];
     if (isReason[idx] || clauses_[idx].lbd <= 2) continue;
     clauses_[idx].deleted = true;
+    ++stats_.learntDeleted;
+    --stats_.liveClauses;
+    stats_.liveLiterals -= static_cast<std::int64_t>(clauses_[idx].lits.size());
     clauses_[idx].lits.clear();
     clauses_[idx].lits.shrink_to_fit();
   }
@@ -369,6 +376,9 @@ void Solver::compactDatabase() {
     }
     if (!satisfied) continue;
     clause.deleted = true;
+    if (clause.learnt) ++stats_.learntDeleted;
+    --stats_.liveClauses;
+    stats_.liveLiterals -= static_cast<std::int64_t>(clause.lits.size());
     clause.lits.clear();
     clause.lits.shrink_to_fit();
     purgedAny = true;
@@ -389,21 +399,6 @@ void Solver::compactDatabase() {
       learntIndices_.end());
 }
 
-std::size_t Solver::liveClauses() const {
-  std::size_t live = 0;
-  for (const Clause& clause : clauses_) {
-    if (!clause.deleted) ++live;
-  }
-  return live;
-}
-
-std::size_t Solver::liveLiterals() const {
-  std::size_t literals = 0;
-  for (const Clause& clause : clauses_) {
-    if (!clause.deleted) literals += clause.lits.size();
-  }
-  return literals;
-}
 
 std::int64_t Solver::luby(std::int64_t i) {
   // MiniSat's formulation: find the finite subsequence containing index i
@@ -428,6 +423,43 @@ Result Solver::solve(std::int64_t conflictBudget) {
 
 Result Solver::solve(const std::vector<int>& assumptions,
                      std::int64_t conflictBudget) {
+  // Per-call telemetry export, on every return path: the deltas of the
+  // cumulative counters feed the process counters, the live clause-database
+  // size the gauges. O(1) per solve (the live fields are maintained
+  // incrementally), and compiled away with LCLGRID_TELEMETRY=OFF.
+  struct TelemetryExport {
+    Solver& self;
+    SolverStats before;
+    explicit TelemetryExport(Solver& solver)
+        : self(solver), before(solver.stats_) {}
+    ~TelemetryExport() {
+      namespace tm = lclgrid::telemetry;
+      static const tm::Counter solves = tm::counter("sat.solves");
+      static const tm::Counter conflicts = tm::counter("sat.conflicts");
+      static const tm::Counter decisions = tm::counter("sat.decisions");
+      static const tm::Counter propagations = tm::counter("sat.propagations");
+      static const tm::Counter restarts = tm::counter("sat.restarts");
+      static const tm::Counter learnt = tm::counter("sat.learnt_clauses");
+      static const tm::Counter deleted = tm::counter("sat.learnt_deleted");
+      static const tm::Gauge liveClauses = tm::gauge("sat.live_clauses");
+      static const tm::Gauge liveLiterals = tm::gauge("sat.live_literals");
+      static const tm::Histogram perSolve =
+          tm::histogram("sat.conflicts_per_solve");
+      const SolverStats& now = self.stats_;
+      solves.increment();
+      conflicts.add(now.conflicts - before.conflicts);
+      decisions.add(now.decisions - before.decisions);
+      propagations.add(now.propagations - before.propagations);
+      restarts.add(now.restarts - before.restarts);
+      learnt.add(now.learntClauses - before.learntClauses);
+      deleted.add(now.learntDeleted - before.learntDeleted);
+      liveClauses.set(now.liveClauses);
+      liveLiterals.set(now.liveLiterals);
+      perSolve.record(now.conflicts - before.conflicts);
+    }
+  } telemetryExport(*this);
+  telemetry::ScopedSpan span("sat/solve");
+
   conflictCore_.clear();
   if (unsatisfiable_) return Result::Unsat;
   if (propagate() != kUndef) {

@@ -54,6 +54,28 @@ namespace lclgrid::sat {
 
 enum class Result { Sat, Unsat, Unknown };
 
+/// One coherent snapshot of a Solver's lifetime statistics
+/// (Solver::snapshotStats()). The cumulative fields only ever grow across
+/// solve() calls -- including calls that return Unknown (the incremental
+/// contract retains everything learnt); the live fields track the clause
+/// database as reduceLearntDb() / compactDatabase() shrink it, so
+/// liveClauses <= (original clauses + learntClauses - learntDeleted).
+/// Consumed by bench_sat and exported to support/telemetry.hpp counters
+/// ("sat.conflicts", ...) and gauges ("sat.live_clauses", ...) after every
+/// solve() call.
+struct SolverStats {
+  std::int64_t conflicts = 0;     ///< conflicts hit (cumulative)
+  std::int64_t decisions = 0;     ///< branching decisions made (cumulative)
+  std::int64_t propagations = 0;  ///< unit propagations (cumulative)
+  std::int64_t restarts = 0;      ///< Luby restarts performed (cumulative)
+  std::int64_t learntClauses = 0; ///< learnt clauses ever added (cumulative)
+  /// Learnt clauses deleted again, by activity/LBD reduction
+  /// (reduceLearntDb) or level-0 satisfaction purging (compactDatabase).
+  std::int64_t learntDeleted = 0;
+  std::int64_t liveClauses = 0;   ///< current live clauses (original + learnt)
+  std::int64_t liveLiterals = 0;  ///< literals the live database pins
+};
+
 class Solver {
  public:
   Solver();
@@ -104,21 +126,29 @@ class Solver {
 
   /// Clauses not yet purged or reduced away (original + learnt): the live
   /// clause database the propagation loop still walks.
-  std::size_t liveClauses() const;
+  std::size_t liveClauses() const {
+    return static_cast<std::size_t>(stats_.liveClauses);
+  }
   /// Total literal count over the live clauses -- the memory the database
   /// actually pins; compactDatabase() shrinks this.
-  std::size_t liveLiterals() const;
+  std::size_t liveLiterals() const {
+    return static_cast<std::size_t>(stats_.liveLiterals);
+  }
 
   /// Value of a variable in the model snapshot taken when solve() last
   /// returned Sat. Variables created after that solve have no model value.
   bool modelValue(int dimacsVar) const;
 
   // --- statistics ---
+  /// The full statistics snapshot (see SolverStats); the scalar accessors
+  /// below remain as shorthands for the common fields.
+  SolverStats snapshotStats() const { return stats_; }
   std::int64_t conflicts() const { return stats_.conflicts; }
   std::int64_t decisions() const { return stats_.decisions; }
   std::int64_t propagations() const { return stats_.propagations; }
   std::int64_t restarts() const { return stats_.restarts; }
-  std::int64_t learntClauses() const { return stats_.learnt; }
+  std::int64_t learntClauses() const { return stats_.learntClauses; }
+  std::int64_t learntDeleted() const { return stats_.learntDeleted; }
 
  private:
   // Internal literal encoding: lit = 2*var + (negated ? 1 : 0), var 0-based.
@@ -143,14 +173,6 @@ class Solver {
   struct Watcher {
     int clause;
     Lit blocker;
-  };
-
-  struct Stats {
-    std::int64_t conflicts = 0;
-    std::int64_t decisions = 0;
-    std::int64_t propagations = 0;
-    std::int64_t restarts = 0;
-    std::int64_t learnt = 0;
   };
 
   static int toDimacs(Lit l) { return signOf(l) ? -(varOf(l) + 1) : varOf(l) + 1; }
@@ -206,7 +228,10 @@ class Solver {
   std::vector<std::uint8_t> model_;  // snapshot of assigns_ at the last Sat
   std::vector<int> conflictCore_;    // DIMACS lits; see conflictCore()
   bool unsatisfiable_ = false;
-  Stats stats_;
+  // Cumulative fields advance in-place on the hot paths; the live fields
+  // are maintained incrementally by addClauseInternal / reduceLearntDb /
+  // compactDatabase so snapshotStats() and liveClauses() are O(1).
+  SolverStats stats_;
 };
 
 }  // namespace lclgrid::sat

@@ -1,0 +1,24 @@
+#include "support/timing.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define LCLGRID_HAVE_RUSAGE 1
+#endif
+
+namespace lclgrid::support {
+
+long long peakRssKb() {
+#if defined(LCLGRID_HAVE_RUSAGE)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return usage.ru_maxrss / 1024;  // Darwin reports bytes, not KiB
+#else
+    return usage.ru_maxrss;
+#endif
+  }
+#endif
+  return -1;
+}
+
+}  // namespace lclgrid::support

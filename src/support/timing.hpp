@@ -1,0 +1,32 @@
+// Shared wall-clock / resident-set helpers for the bench binaries and the
+// engine drivers -- previously hand-rolled per binary (ISSUE 7 satellite).
+#pragma once
+
+#include <chrono>
+
+namespace lclgrid::support {
+
+/// Seconds elapsed since a steady_clock time point.
+inline double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Restartable wall-clock stopwatch over steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const { return secondsSince(start_); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process peak resident set in KiB (getrusage ru_maxrss high-water mark).
+/// Returns -1 where the platform has no getrusage. The bounded-memory
+/// witness of the streaming verification tier (docs/perf.md).
+long long peakRssKb();
+
+}  // namespace lclgrid::support

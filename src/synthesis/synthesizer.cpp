@@ -3,9 +3,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "sat/cnf.hpp"
+#include "support/telemetry.hpp"
+#include "support/timing.hpp"
 #include "tiles/enumerator.hpp"
 
 namespace lclgrid::synthesis {
@@ -164,9 +167,7 @@ SynthesisAttempt attemptOn(const GridLcl& lcl, int k, tiles::TileShape shape,
   attempt.shape = shape;
   auto startTime = std::chrono::steady_clock::now();
   auto finish = [&]() {
-    attempt.seconds = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - startTime)
-                          .count();
+    attempt.seconds = support::secondsSince(startTime);
     return attempt;
   };
 
@@ -213,13 +214,22 @@ SynthesisAttempt attemptOn(const GridLcl& lcl, int k, tiles::TileShape shape,
 template <typename Attempt>
 SynthesisResult runLadder(const GridLcl& lcl, const SynthesisOptions& options,
                           Attempt&& attemptShape) {
+  static const telemetry::Counter attemptCounter =
+      telemetry::counter("synth.attempts");
+  static const telemetry::Counter successCounter =
+      telemetry::counter("synth.successes");
   SynthesisResult result;
   for (int k = 1; k <= options.maxK; ++k) {
+    // One span per ladder rung: the Chrome trace shows the k-climb of each
+    // synthesis as a run of sibling spans under the classify span.
+    telemetry::ScopedSpan rungSpan("synth/k=" + std::to_string(k));
     for (const tiles::TileShape& shape :
          candidateShapes(lcl, k, options.tryWiderShapes)) {
+      attemptCounter.increment();
       SynthesisAttempt attempt =
           attemptShape(k, shape, options.satConflictBudget);
       bool success = attempt.success;
+      if (success) successCounter.increment();
       if (success) {
         result.rule = std::move(attempt.rule);
         attempt.rule.reset();
@@ -267,9 +277,7 @@ SynthesisAttempt IncrementalSynthesizer::attemptShape(
     attempt.shape = shape;
     attempt.tileCount = active_.tileSet.size();
     attempt.failureReason = "window too large to encode";
-    attempt.seconds = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - startTime)
-                          .count();
+    attempt.seconds = support::secondsSince(startTime);
     return attempt;
   }
 
@@ -301,9 +309,7 @@ SynthesisAttempt IncrementalSynthesizer::solveActive(
   attempt.tileCount = active_.tileSet.size();
   attempt.clauseCount = active_.clauseCount;
   auto finish = [&]() {
-    attempt.seconds = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - startTime)
-                          .count();
+    attempt.seconds = support::secondsSince(startTime);
     return attempt;
   };
 
