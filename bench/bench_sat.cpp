@@ -51,6 +51,11 @@ struct Arm {
   long long decisions = 0;
   long long propagations = 0;
   long long restarts = 0;
+  // Arena clause-store columns (docs/sat.md), read off the live solver of
+  // the incremental arms; gated by scripts/check_bench_json.py.
+  long long arenaBytes = 0;
+  long long gcRuns = 0;
+  long long liveLiterals = 0;
   std::string verdict;
 };
 
@@ -62,6 +67,14 @@ void foldStats(Arm& arm, const sat::SolverStats& stats) {
   arm.decisions += stats.decisions;
   arm.propagations += stats.propagations;
   arm.restarts += stats.restarts;
+}
+
+/// Capture the arena snapshot of a live solver (the incremental arms own
+/// exactly one solver, so these are set, not accumulated).
+void captureArena(Arm& arm, const sat::SolverStats& stats) {
+  arm.arenaBytes = stats.arenaBytes;
+  arm.gcRuns = stats.gcRuns;
+  arm.liveLiterals = stats.liveLiterals;
 }
 
 std::string ladderVerdict(const synthesis::SynthesisResult& result) {
@@ -77,8 +90,18 @@ Arm runLadder(const GridLcl& lcl, int maxK, bool incremental) {
   options.maxK = maxK;
   options.incremental = incremental;
   auto start = std::chrono::steady_clock::now();
-  auto result = synthesis::synthesize(lcl, options);
   Arm arm;
+  synthesis::SynthesisResult result;
+  if (incremental) {
+    // Drive IncrementalSynthesizer directly (synthesize() delegates to it
+    // in this regime) so the live solver's arena columns are readable once
+    // the ladder finishes.
+    synthesis::IncrementalSynthesizer live(lcl);
+    result = live.run(options);
+    captureArena(arm, live.solver().snapshotStats());
+  } else {
+    result = synthesis::synthesize(lcl, options);
+  }
   arm.seconds = secondsSince(start);
   for (const auto& attempt : result.attempts) {
     arm.conflicts += attempt.satConflicts;
@@ -121,6 +144,7 @@ Arm runStagedIncremental(const GridLcl& lcl, int k, tiles::TileShape shape,
     arm.conflicts += attempt.satConflicts;
   }
   arm.verdict = attempt.success ? "sat" : attempt.failureReason;
+  captureArena(arm, live.solver().snapshotStats());
   arm.seconds = secondsSince(start);
   return arm;
 }
@@ -235,6 +259,7 @@ Arm runBranchesIncremental(const Torus2D& torus, const GridLcl& lcl,
   }
   arm.conflicts = solver.conflicts();
   foldStats(arm, solver.snapshotStats());
+  captureArena(arm, solver.snapshotStats());
   arm.verdict = feasible ? "sat" : "unsat";
   arm.seconds = secondsSince(start);
   return arm;
@@ -270,6 +295,14 @@ void emitResult(support::JsonWriter& json, const char* scenario,
       .value(ratio(static_cast<double>(fresh.conflicts),
                    static_cast<double>(incremental.conflicts)));
   json.key("speedup").value(ratio(fresh.seconds, incremental.seconds));
+  // Arena clause-store columns, read off the incremental arm's live solver
+  // at the end of its run (fresh arms discard their solvers, so the live
+  // arena is the one the clause-store work targets). peak_rss_kb is
+  // process-wide and monotone across rows. Gated by check_bench_json.py.
+  json.key("arena_bytes").value(incremental.arenaBytes);
+  json.key("gc_runs").value(incremental.gcRuns);
+  json.key("live_literals").value(incremental.liveLiterals);
+  json.key("peak_rss_kb").value(support::peakRssKb());
   json.endObject();
   std::fprintf(stderr,
                "%-16s %-28s fresh %8lld cf %7.3fs | incr %8lld cf %7.3fs\n",

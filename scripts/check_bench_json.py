@@ -91,6 +91,28 @@ def check_verify_throughput(doc, results, errors):
             errors.append(f'verify_throughput "{key}" is not true')
 
 
+def check_bench_sat(doc, results, errors):
+    """Gate for the SAT engine bench: every row carries the arena
+    clause-store columns (arena_bytes / gc_runs / live_literals from the
+    incremental arm's live solver, peak_rss_kb from getrusage) as finite,
+    non-negative numbers. These are the columns the arena-GC perf
+    trajectory plots (docs/sat.md); a row that loses them means the bench
+    stopped reading the live solver's stats snapshot."""
+    for entry in results:
+        if not isinstance(entry, dict):
+            continue
+        label = f"{entry.get('scenario')}/{entry.get('case')}"
+        for key in ("arena_bytes", "gc_runs", "live_literals", "peak_rss_kb"):
+            value = entry.get(key)
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or not math.isfinite(value)
+                or value < 0
+            ):
+                errors.append(f"{label}: missing/invalid {key}")
+
+
 def check_metrics_snapshot(doc, results, errors):
     """Gate for the telemetry exporter (support/telemetry.hpp): every
     results[] entry is {kind: counter|gauge|histogram, name, ...} with a
@@ -153,6 +175,8 @@ def check_document(doc, errors):
                 errors.append(f"results[{index}].{key} is not finite")
     if name == "verify_throughput":
         check_verify_throughput(doc, results, errors)
+    elif name == "bench_sat":
+        check_bench_sat(doc, results, errors)
     elif name == "metrics_snapshot":
         check_metrics_snapshot(doc, results, errors)
 

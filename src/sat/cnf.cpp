@@ -59,7 +59,9 @@ void ClauseGroup::retire(Solver& solver) {
   // group, including learnt clauses that mention the guard: purge them now
   // rather than carrying dead clauses until learnt-DB reduction. Long-lived
   // ladder solvers retire one group per rung, so this keeps the database
-  // proportional to the *active* encoding.
+  // proportional to the *active* encoding -- and once the dead fraction
+  // crosses the GC threshold, the compaction inside also collects the
+  // arena, so the memory comes back too (docs/sat.md).
   solver.compactDatabase();
 }
 

@@ -56,7 +56,11 @@ DomainVar makeDomainVar(Solver& solver, int domain);
 /// group's clauses (and the learnt clauses guarded by it) are purged
 /// immediately instead of lingering until learnt-DB reduction -- the
 /// clause database of a long-lived ladder solver stays proportional to
-/// the active rung.
+/// the active rung. Purging marks clauses dead in the solver's arena
+/// clause store (docs/sat.md); once enough of the arena is dead, the
+/// same call triggers the mark-and-compact GC that actually returns the
+/// memory, so retiring rung after rung also keeps the arena itself from
+/// growing without bound.
 class ClauseGroup {
  public:
   ClauseGroup() = default;

@@ -1,6 +1,8 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -12,6 +14,10 @@ namespace {
 constexpr double kVarDecay = 0.95;
 constexpr double kClauseDecay = 0.999;
 constexpr double kRescaleLimit = 1e100;
+// Clause activities live in a float header word, so their rescale limit is
+// far below the double-based variable limit (MiniSat uses the same split).
+constexpr float kClauseRescaleLimit = 1e20f;
+constexpr double kClauseRescaleFactor = 1e-20;
 constexpr std::int64_t kRestartBase = 128;
 }  // namespace
 
@@ -22,7 +28,7 @@ int Solver::newVar() {
   assigns_.push_back(kUnassigned);
   savedPhase_.push_back(1);  // default phase: false (often good for EO encodings)
   level_.push_back(0);
-  reason_.push_back(kUndef);
+  reason_.push_back(kNullRef);
   activity_.push_back(0.0);
   heapPosition_.push_back(-1);
   seen_.push_back(0);
@@ -51,6 +57,14 @@ std::uint8_t Solver::litValue(Lit l) const {
   return static_cast<std::uint8_t>(a ^ (signOf(l) ? 1 : 0));
 }
 
+float Solver::clauseActivity(ClauseRef c) const {
+  return std::bit_cast<float>(arena_[c + 2]);
+}
+
+void Solver::setClauseActivity(ClauseRef c, float activity) {
+  arena_[c + 2] = std::bit_cast<std::uint32_t>(activity);
+}
+
 bool Solver::addClause(const std::vector<int>& dimacsLits) {
   if (unsatisfiable_) return false;
   std::vector<Lit> lits;
@@ -76,42 +90,49 @@ bool Solver::addClause(const std::vector<int>& dimacsLits) {
     return false;
   }
   if (cleaned.size() == 1) {
-    enqueue(cleaned[0], kUndef);
-    if (propagate() != kUndef) {
+    enqueue(cleaned[0], kNullRef);
+    if (propagate() != kNullRef) {
       unsatisfiable_ = true;
       return false;
     }
     return true;
   }
-  addClauseInternal(std::move(cleaned), /*learnt=*/false);
+  addClauseInternal(cleaned, /*learnt=*/false);
   return true;
 }
 
-int Solver::addClauseInternal(std::vector<Lit> lits, bool learnt) {
-  int idx = static_cast<int>(clauses_.size());
-  Clause clause;
-  clause.lits = std::move(lits);
-  clause.learnt = learnt;
+Solver::ClauseRef Solver::addClauseInternal(const std::vector<Lit>& lits,
+                                            bool learnt) {
+  const std::size_t words = kHeaderWords + lits.size();
+  if (arena_.size() + words >= static_cast<std::size_t>(kNullRef)) {
+    throw std::length_error("Solver: clause arena exceeds 32-bit refs");
+  }
+  ClauseRef ref = static_cast<ClauseRef>(arena_.size());
+  arena_.resize(arena_.size() + words);
+  arena_[ref] = static_cast<std::uint32_t>(lits.size());
+  arena_[ref + 1] = learnt ? kLearntFlag : 0;
+  setClauseActivity(ref, 0.0f);
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    setLitAt(ref, static_cast<std::uint32_t>(i), lits[i]);
+  }
   if (learnt) {
-    clause.lbd = computeLbd(clause.lits);
-    clause.activity = clauseActivityIncrement_;
-    learntIndices_.push_back(idx);
+    setClauseLbd(ref, computeLbd(lits));
+    setClauseActivity(ref, static_cast<float>(clauseActivityIncrement_));
+    learntIndices_.push_back(ref);
     ++stats_.learntClauses;
   }
   ++stats_.liveClauses;
-  stats_.liveLiterals += static_cast<std::int64_t>(clause.lits.size());
-  clauses_.push_back(std::move(clause));
-  attachClause(idx);
-  return idx;
+  stats_.liveLiterals += static_cast<std::int64_t>(lits.size());
+  attachClause(ref);
+  return ref;
 }
 
-void Solver::attachClause(int idx) {
-  const Clause& clause = clauses_[idx];
-  watches_[negate(clause.lits[0])].push_back({idx, clause.lits[1]});
-  watches_[negate(clause.lits[1])].push_back({idx, clause.lits[0]});
+void Solver::attachClause(ClauseRef ref) {
+  watches_[negate(litAt(ref, 0))].push_back({ref, litAt(ref, 1)});
+  watches_[negate(litAt(ref, 1))].push_back({ref, litAt(ref, 0)});
 }
 
-void Solver::enqueue(Lit l, int reasonClause) {
+void Solver::enqueue(Lit l, ClauseRef reasonClause) {
   int var = varOf(l);
   assigns_[var] = signOf(l) ? kFalse : kTrue;
   savedPhase_[var] = signOf(l) ? 1 : 0;
@@ -120,7 +141,12 @@ void Solver::enqueue(Lit l, int reasonClause) {
   trail_.push_back(l);
 }
 
-int Solver::propagate() {
+Solver::ClauseRef Solver::propagate() {
+  // Watch lists never hold deleted clauses: reduceLearntDb() and
+  // compactDatabase() scrub eagerly (scrubDeletedWatchers), so the blocker
+  // fast path below cannot retain a watcher for a reclaimed clause for as
+  // long as its blocker stays true. The deleted check on the slow path is
+  // kept as a cheap guard on that invariant.
   while (propagationHead_ < static_cast<int>(trail_.size())) {
     Lit propagated = trail_[propagationHead_++];
     ++stats_.propagations;
@@ -132,29 +158,35 @@ int Solver::propagate() {
         watchList[keep++] = w;
         continue;
       }
-      Clause& clause = clauses_[w.clause];
-      if (clause.deleted) continue;  // drop watcher for deleted clause
+      const ClauseRef ref = w.clause;
+      if (clauseDeleted(ref)) continue;  // drop watcher for deleted clause
       // Ensure the falsified literal is at position 1.
       Lit falseLit = negate(propagated);
-      if (clause.lits[0] == falseLit) std::swap(clause.lits[0], clause.lits[1]);
-      Lit first = clause.lits[0];
+      if (litAt(ref, 0) == falseLit) {
+        setLitAt(ref, 0, litAt(ref, 1));
+        setLitAt(ref, 1, falseLit);
+      }
+      Lit first = litAt(ref, 0);
       if (first != w.blocker && litValue(first) == kTrue) {
-        watchList[keep++] = {w.clause, first};
+        watchList[keep++] = {ref, first};
         continue;
       }
       // Look for a new literal to watch.
       bool foundWatch = false;
-      for (std::size_t j = 2; j < clause.lits.size(); ++j) {
-        if (litValue(clause.lits[j]) != kFalse) {
-          std::swap(clause.lits[1], clause.lits[j]);
-          watches_[negate(clause.lits[1])].push_back({w.clause, first});
+      const std::uint32_t size = clauseSize(ref);
+      for (std::uint32_t j = 2; j < size; ++j) {
+        if (litValue(litAt(ref, j)) != kFalse) {
+          Lit moved = litAt(ref, j);
+          setLitAt(ref, j, litAt(ref, 1));
+          setLitAt(ref, 1, moved);
+          watches_[negate(moved)].push_back({ref, first});
           foundWatch = true;
           break;
         }
       }
       if (foundWatch) continue;
       // Clause is unit or conflicting.
-      watchList[keep++] = {w.clause, first};
+      watchList[keep++] = {ref, first};
       if (litValue(first) == kFalse) {
         // Conflict: keep remaining watchers, signal conflict.
         for (std::size_t j = i + 1; j < watchList.size(); ++j) {
@@ -162,13 +194,13 @@ int Solver::propagate() {
         }
         watchList.resize(keep);
         propagationHead_ = static_cast<int>(trail_.size());
-        return w.clause;
+        return ref;
       }
-      enqueue(first, w.clause);
+      enqueue(first, ref);
     }
     watchList.resize(keep);
   }
-  return kUndef;
+  return kNullRef;
 }
 
 int Solver::computeLbd(const std::vector<Lit>& lits) {
@@ -181,22 +213,22 @@ int Solver::computeLbd(const std::vector<Lit>& lits) {
                           levels.begin());
 }
 
-void Solver::analyze(int conflictClause, std::vector<Lit>& learnt,
+void Solver::analyze(ClauseRef conflictClause, std::vector<Lit>& learnt,
                      int& backtrackLevel) {
   learnt.clear();
   learnt.push_back(0);  // placeholder for the asserting literal
   int counter = 0;
   Lit asserting = kUndef;
   int trailIndex = static_cast<int>(trail_.size()) - 1;
-  int clauseIdx = conflictClause;
+  ClauseRef clauseRef = conflictClause;
 
   // First-UIP resolution walk backwards over the trail.
   do {
-    Clause& clause = clauses_[clauseIdx];
-    if (clause.learnt) bumpClause(clauseIdx);
-    std::size_t start = (asserting == kUndef) ? 0 : 1;
-    for (std::size_t i = start; i < clause.lits.size(); ++i) {
-      Lit q = clause.lits[i];
+    if (clauseLearnt(clauseRef)) bumpClause(clauseRef);
+    std::uint32_t start = (asserting == kUndef) ? 0 : 1;
+    const std::uint32_t size = clauseSize(clauseRef);
+    for (std::uint32_t i = start; i < size; ++i) {
+      Lit q = litAt(clauseRef, i);
       int var = varOf(q);
       if (seen_[var] || level_[var] == 0) continue;
       seen_[var] = 1;
@@ -212,7 +244,7 @@ void Solver::analyze(int conflictClause, std::vector<Lit>& learnt,
     asserting = trail_[trailIndex];
     --trailIndex;
     seen_[varOf(asserting)] = 0;
-    clauseIdx = reason_[varOf(asserting)];
+    clauseRef = reason_[varOf(asserting)];
     --counter;
   } while (counter > 0);
   learnt[0] = negate(asserting);
@@ -227,7 +259,7 @@ void Solver::analyze(int conflictClause, std::vector<Lit>& learnt,
   minimised.push_back(learnt[0]);
   for (std::size_t i = 1; i < learnt.size(); ++i) {
     int var = varOf(learnt[i]);
-    if (reason_[var] == kUndef || !litRedundant(learnt[i], abstractLevels)) {
+    if (reason_[var] == kNullRef || !litRedundant(learnt[i], abstractLevels)) {
       minimised.push_back(learnt[i]);
     }
   }
@@ -257,12 +289,13 @@ bool Solver::litRedundant(Lit l, std::uint32_t abstractLevels) {
   while (!analyzeStack_.empty()) {
     Lit current = analyzeStack_.back();
     analyzeStack_.pop_back();
-    const Clause& clause = clauses_[reason_[varOf(current)]];
-    for (std::size_t i = 1; i < clause.lits.size(); ++i) {
-      Lit p = clause.lits[i];
+    const ClauseRef ref = reason_[varOf(current)];
+    const std::uint32_t size = clauseSize(ref);
+    for (std::uint32_t i = 1; i < size; ++i) {
+      Lit p = litAt(ref, i);
       int var = varOf(p);
       if (seen_[var] || level_[var] == 0) continue;
-      if (reason_[var] == kUndef ||
+      if (reason_[var] == kNullRef ||
           ((1u << (level_[var] & 31)) & abstractLevels) == 0) {
         for (int cleared : toClear) seen_[cleared] = 0;
         return false;
@@ -282,7 +315,7 @@ void Solver::backtrackTo(int targetLevel) {
   for (int i = static_cast<int>(trail_.size()) - 1; i >= boundary; --i) {
     int var = varOf(trail_[i]);
     assigns_[var] = kUnassigned;
-    reason_[var] = kUndef;
+    reason_[var] = kNullRef;
     if (heapPosition_[var] < 0) heapInsert(var);
   }
   trail_.resize(boundary);
@@ -309,52 +342,100 @@ void Solver::bumpVar(int var) {
   if (heapPosition_[var] >= 0) heapUpdate(var);
 }
 
-void Solver::bumpClause(int idx) {
-  Clause& clause = clauses_[idx];
-  clause.activity += clauseActivityIncrement_;
-  if (clause.activity > kRescaleLimit) {
-    for (int learntIdx : learntIndices_) clauses_[learntIdx].activity *= 1e-100;
-    clauseActivityIncrement_ *= 1e-100;
+void Solver::bumpClause(ClauseRef ref) {
+  float bumped =
+      clauseActivity(ref) + static_cast<float>(clauseActivityIncrement_);
+  setClauseActivity(ref, bumped);
+  if (bumped > kClauseRescaleLimit) rescaleClauseActivities();
+}
+
+void Solver::rescaleClauseActivities() {
+  for (ClauseRef learntRef : learntIndices_) {
+    setClauseActivity(learntRef,
+                      clauseActivity(learntRef) *
+                          static_cast<float>(kClauseRescaleFactor));
   }
+  clauseActivityIncrement_ *= kClauseRescaleFactor;
 }
 
 void Solver::decayActivities() {
   varActivityIncrement_ /= kVarDecay;
   clauseActivityIncrement_ /= kClauseDecay;
+  // The increment itself must stay representable in the float activity
+  // header word even when no clause has been bumped for a long stretch.
+  if (clauseActivityIncrement_ > static_cast<double>(kClauseRescaleLimit)) {
+    rescaleClauseActivities();
+  }
+}
+
+void Solver::markClauseDeleted(ClauseRef ref) {
+  arena_[ref + 1] |= kDeletedFlag;
+  wastedWords_ += kHeaderWords + clauseSize(ref);
+  --stats_.liveClauses;
+  stats_.liveLiterals -= static_cast<std::int64_t>(clauseSize(ref));
+}
+
+void Solver::scrubDeletedWatchers() {
+  for (std::vector<Watcher>& watchList : watches_) {
+    std::size_t keep = 0;
+    for (const Watcher& w : watchList) {
+      if (!clauseDeleted(w.clause)) watchList[keep++] = w;
+    }
+    watchList.resize(keep);
+  }
+}
+
+std::size_t Solver::watcherCount() const {
+  std::size_t total = 0;
+  for (const std::vector<Watcher>& watchList : watches_) {
+    total += watchList.size();
+  }
+  return total;
 }
 
 void Solver::reduceLearntDb() {
   // Keep the better half (low LBD, high activity); never delete reasons.
-  std::vector<int> candidates;
-  for (int idx : learntIndices_) {
-    if (!clauses_[idx].deleted) candidates.push_back(idx);
+  // Reason clauses are marked with a header flag (cleared again below)
+  // instead of a per-call clauses-sized bool buffer.
+  std::vector<ClauseRef> candidates;
+  for (ClauseRef ref : learntIndices_) {
+    if (!clauseDeleted(ref)) candidates.push_back(ref);
   }
-  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
-    const Clause& ca = clauses_[a];
-    const Clause& cb = clauses_[b];
-    if (ca.lbd != cb.lbd) return ca.lbd < cb.lbd;
-    return ca.activity > cb.activity;
-  });
-  std::vector<bool> isReason(clauses_.size(), false);
+  std::sort(candidates.begin(), candidates.end(),
+            [this](ClauseRef a, ClauseRef b) {
+              if (clauseLbd(a) != clauseLbd(b)) {
+                return clauseLbd(a) < clauseLbd(b);
+              }
+              return clauseActivity(a) > clauseActivity(b);
+            });
   for (Lit l : trail_) {
-    int r = reason_[varOf(l)];
-    if (r != kUndef) isReason[r] = true;
+    ClauseRef r = reason_[varOf(l)];
+    if (r != kNullRef) arena_[r + 1] |= kReasonFlag;
   }
+  bool deletedAny = false;
   for (std::size_t i = candidates.size() / 2; i < candidates.size(); ++i) {
-    int idx = candidates[i];
-    if (isReason[idx] || clauses_[idx].lbd <= 2) continue;
-    clauses_[idx].deleted = true;
+    ClauseRef ref = candidates[i];
+    if ((arena_[ref + 1] & kReasonFlag) || clauseLbd(ref) <= 2) continue;
+    markClauseDeleted(ref);
     ++stats_.learntDeleted;
-    --stats_.liveClauses;
-    stats_.liveLiterals -= static_cast<std::int64_t>(clauses_[idx].lits.size());
-    clauses_[idx].lits.clear();
-    clauses_[idx].lits.shrink_to_fit();
+    deletedAny = true;
+  }
+  for (Lit l : trail_) {
+    ClauseRef r = reason_[varOf(l)];
+    if (r != kNullRef) arena_[r + 1] &= ~kReasonFlag;
   }
   learntIndices_.assign(candidates.begin(), candidates.end());
   learntIndices_.erase(
       std::remove_if(learntIndices_.begin(), learntIndices_.end(),
-                     [&](int idx) { return clauses_[idx].deleted; }),
+                     [this](ClauseRef ref) { return clauseDeleted(ref); }),
       learntIndices_.end());
+  if (deletedAny) {
+    // Eager watcher hygiene: without this sweep, a watcher whose blocker
+    // stays true would keep referencing the reclaimed clause until the
+    // blocker is unassigned AND its list happens to be traversed.
+    scrubDeletedWatchers();
+    maybeGarbageCollect();
+  }
 }
 
 void Solver::compactDatabase() {
@@ -362,43 +443,94 @@ void Solver::compactDatabase() {
   // Level-0 facts are permanent; their reason clauses are never walked
   // again (conflict analysis skips level-0 literals), so clear the links
   // before purging -- a satisfied reason clause must not outlive as a
-  // dangling index.
-  for (Lit l : trail_) reason_[varOf(l)] = kUndef;
+  // dangling ref.
+  for (Lit l : trail_) reason_[varOf(l)] = kNullRef;
   bool purgedAny = false;
-  for (Clause& clause : clauses_) {
-    if (clause.deleted) continue;
+  for (ClauseRef ref = 0; ref < static_cast<ClauseRef>(arena_.size());
+       ref += kHeaderWords + clauseSize(ref)) {
+    if (clauseDeleted(ref)) continue;
     bool satisfied = false;
-    for (Lit l : clause.lits) {
+    const std::uint32_t size = clauseSize(ref);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      Lit l = litAt(ref, i);
       if (level_[varOf(l)] == 0 && litValue(l) == kTrue) {
         satisfied = true;
         break;
       }
     }
     if (!satisfied) continue;
-    clause.deleted = true;
-    if (clause.learnt) ++stats_.learntDeleted;
-    --stats_.liveClauses;
-    stats_.liveLiterals -= static_cast<std::int64_t>(clause.lits.size());
-    clause.lits.clear();
-    clause.lits.shrink_to_fit();
+    markClauseDeleted(ref);
+    if (clauseLearnt(ref)) ++stats_.learntDeleted;
     purgedAny = true;
   }
   if (!purgedAny) return;
   // Eagerly drop watchers of purged clauses (propagate() would only shed
   // them lazily on traversal) so the watch lists shrink with the database.
+  scrubDeletedWatchers();
+  learntIndices_.erase(
+      std::remove_if(learntIndices_.begin(), learntIndices_.end(),
+                     [this](ClauseRef ref) { return clauseDeleted(ref); }),
+      learntIndices_.end());
+  maybeGarbageCollect();
+}
+
+void Solver::maybeGarbageCollect() {
+  if (wastedWords_ == 0) return;
+  if (static_cast<double>(wastedWords_) <
+      gcDeadFraction_ * static_cast<double>(arena_.size())) {
+    return;
+  }
+  garbageCollect();
+}
+
+void Solver::garbageCollect() {
+  // Mark-and-compact into a fresh buffer: walk the old arena in address
+  // order, copy each live clause forward, and leave a forwarding ref in the
+  // old header (kRelocatedFlag + word 2). Then every live reference --
+  // watch lists, reasons, learnt indices -- is rewritten through the
+  // forwarding refs. References move, clauses never change, so every
+  // caller-facing contract (cores, models, Unknown resume, stats) is
+  // untouched; the fuzz suite drives this with a tiny threshold.
+  std::vector<std::uint32_t> to;
+  to.reserve(arena_.size() - wastedWords_);
+  for (std::size_t ref = 0; ref < arena_.size();) {
+    const std::size_t words = kHeaderWords + arena_[ref];
+    if (!(arena_[ref + 1] & kDeletedFlag)) {
+      const ClauseRef newRef = static_cast<ClauseRef>(to.size());
+      to.insert(to.end(), arena_.begin() + static_cast<std::ptrdiff_t>(ref),
+                arena_.begin() + static_cast<std::ptrdiff_t>(ref + words));
+      arena_[ref + 1] |= kRelocatedFlag;
+      arena_[ref + 2] = newRef;
+    }
+    ref += words;
+  }
   for (std::vector<Watcher>& watchList : watches_) {
     std::size_t keep = 0;
-    for (const Watcher& w : watchList) {
-      if (!clauses_[w.clause].deleted) watchList[keep++] = w;
+    for (Watcher w : watchList) {
+      if (arena_[w.clause + 1] & kRelocatedFlag) {
+        w.clause = arena_[w.clause + 2];
+        watchList[keep++] = w;
+      }
+      // else: deleted clause; the eager scrub already dropped these, but
+      // dropping here too keeps GC safe from any future lazy caller.
     }
     watchList.resize(keep);
   }
-  learntIndices_.erase(
-      std::remove_if(learntIndices_.begin(), learntIndices_.end(),
-                     [&](int idx) { return clauses_[idx].deleted; }),
-      learntIndices_.end());
+  for (ClauseRef& r : reason_) {
+    if (r == kNullRef) continue;
+    // Live reasons are never deleted (reduceLearntDb marks them, and
+    // compactDatabase detaches level-0 reasons before purging).
+    assert(arena_[r + 1] & kRelocatedFlag);
+    r = arena_[r + 2];
+  }
+  for (ClauseRef& r : learntIndices_) {
+    assert(arena_[r + 1] & kRelocatedFlag);
+    r = arena_[r + 2];
+  }
+  arena_.swap(to);
+  wastedWords_ = 0;
+  ++stats_.gcRuns;
 }
-
 
 std::int64_t Solver::luby(std::int64_t i) {
   // MiniSat's formulation: find the finite subsequence containing index i
@@ -441,8 +573,10 @@ Result Solver::solve(const std::vector<int>& assumptions,
       static const tm::Counter restarts = tm::counter("sat.restarts");
       static const tm::Counter learnt = tm::counter("sat.learnt_clauses");
       static const tm::Counter deleted = tm::counter("sat.learnt_deleted");
+      static const tm::Counter gcRuns = tm::counter("sat.gc_runs");
       static const tm::Gauge liveClauses = tm::gauge("sat.live_clauses");
       static const tm::Gauge liveLiterals = tm::gauge("sat.live_literals");
+      static const tm::Gauge arenaBytes = tm::gauge("sat.arena_bytes");
       static const tm::Histogram perSolve =
           tm::histogram("sat.conflicts_per_solve");
       const SolverStats& now = self.stats_;
@@ -453,8 +587,10 @@ Result Solver::solve(const std::vector<int>& assumptions,
       restarts.add(now.restarts - before.restarts);
       learnt.add(now.learntClauses - before.learntClauses);
       deleted.add(now.learntDeleted - before.learntDeleted);
+      gcRuns.add(now.gcRuns - before.gcRuns);
       liveClauses.set(now.liveClauses);
       liveLiterals.set(now.liveLiterals);
+      arenaBytes.set(static_cast<std::int64_t>(self.arenaBytes()));
       perSolve.record(now.conflicts - before.conflicts);
     }
   } telemetryExport(*this);
@@ -462,7 +598,7 @@ Result Solver::solve(const std::vector<int>& assumptions,
 
   conflictCore_.clear();
   if (unsatisfiable_) return Result::Unsat;
-  if (propagate() != kUndef) {
+  if (propagate() != kNullRef) {
     unsatisfiable_ = true;
     return Result::Unsat;
   }
@@ -475,12 +611,12 @@ Result Solver::solve(const std::vector<int>& assumptions,
   std::int64_t conflictsUntilRestart = kRestartBase * luby(restartNumber);
   std::int64_t conflictsAtStart = stats_.conflicts;
   std::int64_t learntLimit =
-      std::max<std::int64_t>(2000, static_cast<std::int64_t>(clauses_.size()) / 3);
+      std::max<std::int64_t>(2000, stats_.liveClauses / 3);
 
   std::vector<Lit> learnt;
   while (true) {
-    int conflictClause = propagate();
-    if (conflictClause != kUndef) {
+    ClauseRef conflictClause = propagate();
+    if (conflictClause != kNullRef) {
       ++stats_.conflicts;
       if (currentLevel() == 0) {
         unsatisfiable_ = true;
@@ -490,10 +626,10 @@ Result Solver::solve(const std::vector<int>& assumptions,
       analyze(conflictClause, learnt, backtrackLevel);
       backtrackTo(backtrackLevel);
       if (learnt.size() == 1) {
-        enqueue(learnt[0], kUndef);
+        enqueue(learnt[0], kNullRef);
       } else {
-        int idx = addClauseInternal(learnt, /*learnt=*/true);
-        enqueue(clauses_[idx].lits[0], idx);
+        ClauseRef ref = addClauseInternal(learnt, /*learnt=*/true);
+        enqueue(litAt(ref, 0), ref);
       }
       decayActivities();
 
@@ -543,7 +679,7 @@ Result Solver::solve(const std::vector<int>& assumptions,
         ++stats_.decisions;
       }
       trailLimits_.push_back(static_cast<int>(trail_.size()));
-      enqueue(next, kUndef);
+      enqueue(next, kNullRef);
     }
   }
 }
@@ -556,14 +692,15 @@ void Solver::analyzeFinal(Lit failedAssumption) {
   for (int i = static_cast<int>(trail_.size()) - 1; i >= trailLimits_[0]; --i) {
     int var = varOf(trail_[i]);
     if (!seen_[var]) continue;
-    if (reason_[var] == kUndef) {
+    if (reason_[var] == kNullRef) {
       // A decision below the first real decision level is an assumption:
       // the trail literal is the assumption as passed by the caller.
       conflictCore_.push_back(toDimacs(trail_[i]));
     } else {
-      const Clause& clause = clauses_[reason_[var]];
-      for (std::size_t j = 1; j < clause.lits.size(); ++j) {
-        int other = varOf(clause.lits[j]);
+      const ClauseRef ref = reason_[var];
+      const std::uint32_t size = clauseSize(ref);
+      for (std::uint32_t j = 1; j < size; ++j) {
+        int other = varOf(litAt(ref, j));
         if (level_[other] > 0) seen_[other] = 1;
       }
     }

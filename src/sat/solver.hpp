@@ -8,6 +8,15 @@
 // recursive clause minimisation, VSIDS branching with a binary heap, phase
 // saving, Luby restarts, and activity/LBD-based learnt-clause reduction.
 //
+// Clause storage is an arena (docs/sat.md): every clause lives inline in one
+// contiguous uint32_t buffer -- three header words (size; learnt/deleted
+// flags + LBD; activity) followed by the literals -- addressed by 32-bit
+// ClauseRef offsets. BCP therefore walks one flat allocation instead of
+// chasing per-clause heap pointers. Deletion only flags a clause; a
+// mark-and-compact garbage collection reclaims the dead space (and remaps
+// every live reference: watch lists, reasons, learnt indices) once the dead
+// fraction of the arena crosses a threshold.
+//
 // External literal convention follows DIMACS: variables are 1-based, a
 // negative integer denotes negation. addClause({}) makes the formula
 // unsatisfiable.
@@ -35,6 +44,10 @@
 //    statistics advanced; any later call is valid, and re-solving with a
 //    larger (or no) budget resumes from the learnt state rather than from
 //    scratch. Unknown never corrupts or forgets anything.
+// Arena garbage collection preserves all of the above: it moves bytes and
+// rewrites references, never the clause set, so it is invisible to every
+// caller-facing contract (assumption cores, Unknown resume, ClauseGroup
+// retire/commit).
 // Activation-literal clause groups (push/pop-style scoped clauses) are
 // layered on top of assumptions by cnf.hpp's ClauseGroup.
 //
@@ -74,6 +87,10 @@ struct SolverStats {
   std::int64_t learntDeleted = 0;
   std::int64_t liveClauses = 0;   ///< current live clauses (original + learnt)
   std::int64_t liveLiterals = 0;  ///< literals the live database pins
+  std::int64_t gcRuns = 0;        ///< arena garbage collections (cumulative)
+  /// Current clause-arena footprint in bytes (headers + literals, live and
+  /// not-yet-collected dead space). Shrinks when garbage collection runs.
+  std::int64_t arenaBytes = 0;
 };
 
 class Solver {
@@ -122,7 +139,17 @@ class Solver {
   /// every solve() leaves it) and still ok(). Level-0 facts need no
   /// reason clause, so purged reasons are detached safely. Called by
   /// ClauseGroup::retire(); safe to call at any other quiescent point.
+  /// Runs arena garbage collection afterwards when the dead fraction
+  /// crosses the threshold (setGcDeadFraction).
   void compactDatabase();
+
+  /// Activity/LBD learnt-clause reduction: flags the worse half of the
+  /// learnt clauses (high LBD, low activity; reasons and LBD <= 2 glue
+  /// clauses are kept) as deleted and scrubs their watchers. Triggered
+  /// internally when the learnt database outgrows its limit; public so
+  /// long-running hosts and the watcher-hygiene regression tests can force
+  /// a reduction at a point of their choosing. Safe at any decision level.
+  void reduceLearntDb();
 
   /// Clauses not yet purged or reduced away (original + learnt): the live
   /// clause database the propagation loop still walks.
@@ -134,6 +161,23 @@ class Solver {
   std::size_t liveLiterals() const {
     return static_cast<std::size_t>(stats_.liveLiterals);
   }
+  /// Current arena footprint in bytes (live clauses plus dead space not
+  /// yet garbage-collected).
+  std::size_t arenaBytes() const {
+    return arena_.size() * sizeof(std::uint32_t);
+  }
+  /// Arena garbage collections performed so far.
+  std::int64_t gcRuns() const { return stats_.gcRuns; }
+  /// Total entries across all watch lists. With eager watcher scrubbing
+  /// (reduceLearntDb / compactDatabase) this is exactly 2 * liveClauses():
+  /// the invariant the watcher-hygiene regression tests pin down.
+  std::size_t watcherCount() const;
+
+  /// Test hook: sets the dead fraction of the arena that triggers garbage
+  /// collection after reduceLearntDb() / compactDatabase() (default 0.25).
+  /// A tiny value forces a collection after nearly every deletion, which
+  /// is how the GC fuzz tests exercise reference remapping constantly.
+  void setGcDeadFraction(double fraction) { gcDeadFraction_ = fraction; }
 
   /// Value of a variable in the model snapshot taken when solve() last
   /// returned Sat. Variables created after that solve have no model value.
@@ -142,7 +186,11 @@ class Solver {
   // --- statistics ---
   /// The full statistics snapshot (see SolverStats); the scalar accessors
   /// below remain as shorthands for the common fields.
-  SolverStats snapshotStats() const { return stats_; }
+  SolverStats snapshotStats() const {
+    SolverStats stats = stats_;
+    stats.arenaBytes = static_cast<std::int64_t>(arenaBytes());
+    return stats;
+  }
   std::int64_t conflicts() const { return stats_.conflicts; }
   std::int64_t decisions() const { return stats_.decisions; }
   std::int64_t propagations() const { return stats_.propagations; }
@@ -162,24 +210,73 @@ class Solver {
   static Lit negate(Lit l) { return l ^ 1; }
   Lit fromDimacs(int d) const;
 
-  struct Clause {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    int lbd = 0;
-    bool learnt = false;
-    bool deleted = false;
-  };
+  // --- arena clause store ---------------------------------------------------
+  // A clause is kHeaderWords uint32_t header words followed by its literals,
+  // all inline in arena_; a ClauseRef is the word offset of the header.
+  //   word 0: literal count
+  //   word 1: flag bits (kLearntFlag/kDeletedFlag/kReasonFlag/kRelocatedFlag)
+  //           with the LBD in the bits above kLbdShift
+  //   word 2: activity as a float bit pattern; during garbage collection the
+  //           forwarding ClauseRef of a relocated clause
+  // Deleted clauses keep their size word so sequential arena walks stay
+  // possible; garbage collection reclaims their space.
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNullRef = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kHeaderWords = 3;
+  static constexpr std::uint32_t kLearntFlag = 1u << 0;
+  static constexpr std::uint32_t kDeletedFlag = 1u << 1;
+  // Scratch marks: kReasonFlag protects locked clauses inside one
+  // reduceLearntDb() pass; kRelocatedFlag marks forwarded clauses inside
+  // one garbageCollect() pass. Both are cleared before the pass returns.
+  static constexpr std::uint32_t kReasonFlag = 1u << 2;
+  static constexpr std::uint32_t kRelocatedFlag = 1u << 3;
+  static constexpr std::uint32_t kLbdShift = 4;
+
+  std::uint32_t clauseSize(ClauseRef c) const { return arena_[c]; }
+  bool clauseLearnt(ClauseRef c) const { return arena_[c + 1] & kLearntFlag; }
+  bool clauseDeleted(ClauseRef c) const {
+    return arena_[c + 1] & kDeletedFlag;
+  }
+  int clauseLbd(ClauseRef c) const {
+    return static_cast<int>(arena_[c + 1] >> kLbdShift);
+  }
+  void setClauseLbd(ClauseRef c, int lbd) {
+    arena_[c + 1] = (arena_[c + 1] & ((1u << kLbdShift) - 1)) |
+                    (static_cast<std::uint32_t>(lbd) << kLbdShift);
+  }
+  float clauseActivity(ClauseRef c) const;
+  void setClauseActivity(ClauseRef c, float activity);
+  Lit litAt(ClauseRef c, std::uint32_t i) const {
+    return static_cast<Lit>(arena_[c + kHeaderWords + i]);
+  }
+  void setLitAt(ClauseRef c, std::uint32_t i, Lit l) {
+    arena_[c + kHeaderWords + i] = static_cast<std::uint32_t>(l);
+  }
+  /// Flags the clause deleted and accounts the space as reclaimable.
+  void markClauseDeleted(ClauseRef c);
+  /// Drops every watch-list entry that points at a deleted clause. Shared
+  /// by reduceLearntDb() and compactDatabase() so watch lists shrink with
+  /// the database instead of retaining entries for reclaimed clauses
+  /// behind a still-true blocker.
+  void scrubDeletedWatchers();
+  /// Mark-and-compact garbage collection: copies live clauses into a fresh
+  /// buffer and remaps watches_ / reason_ / learntIndices_ through
+  /// forwarding refs left in the old headers. Runs when the dead fraction
+  /// crosses gcDeadFraction_ (see maybeGarbageCollect).
+  void garbageCollect();
+  void maybeGarbageCollect();
 
   struct Watcher {
-    int clause;
+    ClauseRef clause;
     Lit blocker;
   };
 
   static int toDimacs(Lit l) { return signOf(l) ? -(varOf(l) + 1) : varOf(l) + 1; }
   std::uint8_t litValue(Lit l) const;
-  void enqueue(Lit l, int reason);
-  int propagate();  // returns conflicting clause index or kUndef
-  void analyze(int conflictClause, std::vector<Lit>& learnt, int& backtrackLevel);
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();  // returns conflicting clause ref or kNullRef
+  void analyze(ClauseRef conflictClause, std::vector<Lit>& learnt,
+               int& backtrackLevel);
   /// Final-conflict analysis for a falsified assumption: collects the
   /// assumption decisions that imply the falsification into conflictCore_.
   void analyzeFinal(Lit failedAssumption);
@@ -187,12 +284,12 @@ class Solver {
   bool litRedundant(Lit l, std::uint32_t abstractLevels);
   void backtrackTo(int level);
   Lit pickBranchLit();
-  int addClauseInternal(std::vector<Lit> lits, bool learnt);
-  void attachClause(int idx);
+  ClauseRef addClauseInternal(const std::vector<Lit>& lits, bool learnt);
+  void attachClause(ClauseRef ref);
   void bumpVar(int var);
-  void bumpClause(int idx);
+  void bumpClause(ClauseRef ref);
+  void rescaleClauseActivities();
   void decayActivities();
-  void reduceLearntDb();
   int currentLevel() const { return static_cast<int>(trailLimits_.size()); }
   int computeLbd(const std::vector<Lit>& lits);
   static std::int64_t luby(std::int64_t i);
@@ -205,12 +302,14 @@ class Solver {
   void heapSiftUp(int pos);
   void heapSiftDown(int pos);
 
-  std::vector<Clause> clauses_;
+  std::vector<std::uint32_t> arena_;  // the clause store (see layout above)
+  std::uint32_t wastedWords_ = 0;     // words held by deleted clauses
+  double gcDeadFraction_ = 0.25;      // GC trigger threshold
   std::vector<std::vector<Watcher>> watches_;  // indexed by internal literal
   std::vector<std::uint8_t> assigns_;          // per var: kTrue/kFalse/kUnassigned
   std::vector<std::uint8_t> savedPhase_;       // per var: last assigned sign
   std::vector<int> level_;                     // per var
-  std::vector<int> reason_;                    // per var: clause index or kUndef
+  std::vector<ClauseRef> reason_;  // per var: clause ref or kNullRef
   std::vector<Lit> trail_;
   std::vector<int> trailLimits_;
   int propagationHead_ = 0;
@@ -224,7 +323,7 @@ class Solver {
   std::vector<std::uint8_t> seen_;  // scratch for analyze
   std::vector<Lit> analyzeStack_;
 
-  std::vector<int> learntIndices_;
+  std::vector<ClauseRef> learntIndices_;
   std::vector<std::uint8_t> model_;  // snapshot of assigns_ at the last Sat
   std::vector<int> conflictCore_;    // DIMACS lits; see conflictCore()
   bool unsatisfiable_ = false;

@@ -595,11 +595,16 @@ class IncrementalSessionFuzz : public ::testing::TestWithParam<int> {};
 TEST_P(IncrementalSessionFuzz, GrowingFormulaTracksFreshReference) {
   // One live solver accumulates clauses across interleaved addClause /
   // solve(assumptions) steps; every verdict is cross-checked against a
-  // brute-force reference over the clauses added so far.
+  // brute-force reference over the clauses added so far. The arena GC is
+  // forced down to a tiny dead-fraction threshold so learnt-clause
+  // reduction and database compaction collect (and remap every live
+  // reference) many times within one session; the wider group/retire/core
+  // interleaving lives in test_sat_arena.cpp's ArenaGcSessionFuzz.
   const int seed = GetParam();
   SplitMix64 rng(0xBEEF + static_cast<std::uint64_t>(seed));
   const int numVars = 9;
   Solver solver;
+  solver.setGcDeadFraction(1e-9);
   for (int i = 0; i < numVars; ++i) solver.newVar();
   std::vector<std::vector<int>> mirror;
 
@@ -626,6 +631,19 @@ TEST_P(IncrementalSessionFuzz, GrowingFormulaTracksFreshReference) {
       EXPECT_EQ(solver.solve(), Result::Unsat);
       break;
     }
+    // Force collection pressure between solves and check the stats stay
+    // coherent across relocation.
+    if (rng.nextBelow(2)) {
+      solver.reduceLearntDb();
+    } else {
+      solver.compactDatabase();
+    }
+    const SolverStats stats = solver.snapshotStats();
+    EXPECT_GE(stats.liveClauses, 0) << "seed=" << seed << " step=" << step;
+    EXPECT_GE(stats.liveLiterals, 0) << "seed=" << seed << " step=" << step;
+    EXPECT_GE(stats.arenaBytes, 0) << "seed=" << seed << " step=" << step;
+    EXPECT_EQ(solver.watcherCount(), 2 * solver.liveClauses())
+        << "seed=" << seed << " step=" << step;
   }
 }
 

@@ -1,0 +1,377 @@
+// Arena clause store + watcher hygiene (ISSUE 8).
+//
+// Two families of tests:
+//  * SatWatcherHygiene -- the regression tests for the two watcher bugs:
+//    reduceLearntDb() used to leave watch-list entries pointing at reclaimed
+//    clauses (the blocker fast path in propagate() keeps a watcher without
+//    ever touching the clause, so an entry behind a permanently-true blocker
+//    survived forever), and only compactDatabase() scrubbed eagerly. The
+//    invariant pinned down here: after any reduction or compaction, every
+//    watch-list entry points at a live clause, so the total watcher count is
+//    exactly 2 * liveClauses().
+//  * SatArenaGc -- the mark-and-compact garbage collector, driven with a
+//    tiny dead-fraction threshold (Solver::setGcDeadFraction test hook) so
+//    collections run constantly while the PR 3 incremental-session fuzz
+//    pattern interleaves addClause / solve(assumptions) / ClauseGroup
+//    retire / compactDatabase. Verdicts, models and cores are cross-checked
+//    against a brute-force reference on the mirrored clause list, and the
+//    SolverStats invariants (liveClauses/liveLiterals never negative, arena
+//    bytes shrink across a collection) are asserted at every step.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+#include "support/numeric.hpp"
+
+namespace lclgrid::sat {
+namespace {
+
+// Brute-force reference over an explicit clause list (DIMACS literals).
+bool bruteForceSat(int numVars, const std::vector<std::vector<int>>& clauses) {
+  for (int assignment = 0; assignment < (1 << numVars); ++assignment) {
+    bool allSatisfied = true;
+    for (const auto& clause : clauses) {
+      bool satisfied = false;
+      for (int lit : clause) {
+        int var = std::abs(lit) - 1;
+        bool value = (assignment >> var) & 1;
+        if ((lit > 0) == value) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        allSatisfied = false;
+        break;
+      }
+    }
+    if (allSatisfied) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<int>> randomCnf(SplitMix64& rng, int numVars,
+                                        int numClauses, int width = 3) {
+  std::vector<std::vector<int>> clauses;
+  clauses.reserve(static_cast<std::size_t>(numClauses));
+  for (int i = 0; i < numClauses; ++i) {
+    std::vector<int> clause;
+    for (int j = 0; j < width; ++j) {
+      int var = static_cast<int>(
+                    rng.nextBelow(static_cast<std::uint64_t>(numVars))) +
+                1;
+      clause.push_back(rng.nextBelow(2) ? -var : var);
+    }
+    clauses.push_back(std::move(clause));
+  }
+  return clauses;
+}
+
+// Pigeonhole principle: n+1 pigeons into n holes -- hard UNSAT, generates
+// plenty of learnt clauses for the reduction tests.
+void buildPigeonhole(Solver& solver, int holes) {
+  int pigeons = holes + 1;
+  std::vector<std::vector<int>> var(
+      static_cast<std::size_t>(pigeons),
+      std::vector<int>(static_cast<std::size_t>(holes)));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) {
+      var[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)] =
+          solver.newVar();
+    }
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<int> clause;
+    for (int h = 0; h < holes; ++h) {
+      clause.push_back(
+          var[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)]);
+    }
+    solver.addClause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        solver.addClause(
+            {-var[static_cast<std::size_t>(p1)][static_cast<std::size_t>(h)],
+             -var[static_cast<std::size_t>(p2)][static_cast<std::size_t>(h)]});
+      }
+    }
+  }
+}
+
+/// The watcher-hygiene invariant: every stored (non-unit) clause holds
+/// exactly two watch entries, and nothing else is in any list.
+void expectWatcherHygiene(const Solver& solver) {
+  EXPECT_EQ(solver.watcherCount(), 2 * solver.liveClauses());
+}
+
+// --- watcher hygiene regressions -------------------------------------------
+
+TEST(SatWatcherHygiene, ReductionScrubsWatchListsInLongSession) {
+  // A long incremental session: budgeted solves accumulate learnt clauses,
+  // explicit reductions delete half of them. Before the fix, every
+  // reduction leaked the deleted clauses' watch entries (reduceLearntDb
+  // never scrubbed; the blocker fast path retained them indefinitely), so
+  // the watcher count drifted above 2 * liveClauses and never came back.
+  Solver solver;
+  buildPigeonhole(solver, 7);
+  expectWatcherHygiene(solver);
+
+  std::int64_t deletedSoFar = 0;
+  Result result = Result::Unknown;
+  for (int round = 0; round < 6 && result == Result::Unknown; ++round) {
+    result = solver.solve(400);
+    solver.reduceLearntDb();
+    expectWatcherHygiene(solver);
+    deletedSoFar = solver.learntDeleted();
+  }
+  EXPECT_GT(deletedSoFar, 0);
+  // The session stays correct after all those reductions: the formula is
+  // still pigeonhole-unsat.
+  while (result == Result::Unknown) result = solver.solve(100000);
+  EXPECT_EQ(result, Result::Unsat);
+}
+
+TEST(SatWatcherHygiene, TrueBlockerDoesNotRetainReclaimedClause) {
+  // The precise bug shape: a clause watched with a blocker that is pinned
+  // true at level 0 is never traversed by propagate() (the fast path keeps
+  // the watcher without touching the clause), so lazily-dropped deletion
+  // never reached it. Retiring the group reclaims the clauses; the eager
+  // scrub must drop their watchers even though the blockers stay true.
+  Solver solver;
+  int x = solver.newVar();
+  int y = solver.newVar();
+  int z = solver.newVar();
+
+  ClauseGroup group(solver);
+  // Clauses watching x as one of the two watched literals (the sorted
+  // clause puts x first), so the co-watched literal's entry carries x as
+  // its blocker.
+  group.addClause(solver, {x, y, z});
+  group.addClause(solver, {x, -y, z});
+  group.addClause(solver, {x, y, -z});
+  ASSERT_EQ(solver.solve({group.activation()}, -1), Result::Sat);
+
+  // Now pin the blocker permanently true at level 0 and exercise the fast
+  // path: every propagation through these lists takes the blocker exit
+  // without ever touching the clauses.
+  solver.addClause({x});
+  ASSERT_EQ(solver.solve({group.activation(), -y}, -1), Result::Sat);
+  expectWatcherHygiene(solver);
+
+  const std::size_t watchersWithGroup = solver.watcherCount();
+  group.retire(solver);  // purges the group via compactDatabase()
+  EXPECT_LT(solver.watcherCount(), watchersWithGroup);
+  expectWatcherHygiene(solver);
+
+  // Propagation through the scrubbed lists stays sound.
+  ASSERT_EQ(solver.solve({-y, -z}, -1), Result::Sat);
+  EXPECT_FALSE(solver.modelValue(y));
+  EXPECT_FALSE(solver.modelValue(z));
+  expectWatcherHygiene(solver);
+}
+
+// --- arena garbage collection ----------------------------------------------
+
+TEST(SatArenaGc, RetireTriggersCollectionAndShrinksArena) {
+  Solver solver;
+  solver.setGcDeadFraction(1e-9);  // any dead word triggers a collection
+  const int k = 10;
+  std::vector<int> vars;
+  for (int i = 0; i < k; ++i) vars.push_back(solver.newVar());
+  solver.addClause({vars[0], vars[1]});  // persistent backbone
+
+  ClauseGroup group(solver);
+  for (int i = 0; i + 1 < k; ++i) {
+    group.addClause(solver, {vars[i], vars[i + 1]});
+    group.addClause(solver, {-vars[i], -vars[i + 1]});
+  }
+  ASSERT_EQ(solver.solve({group.activation()}, -1), Result::Sat);
+
+  const std::size_t bytesWithGroup = solver.arenaBytes();
+  const std::int64_t gcBefore = solver.gcRuns();
+  group.retire(solver);
+  EXPECT_GT(solver.gcRuns(), gcBefore);
+  EXPECT_LT(solver.arenaBytes(), bytesWithGroup);
+  expectWatcherHygiene(solver);
+
+  // The remapped references still drive correct propagation: the backbone
+  // survives, the retired clauses no longer constrain.
+  ASSERT_EQ(solver.solve({-vars[0]}, -1), Result::Sat);
+  EXPECT_TRUE(solver.modelValue(vars[1]));
+  ASSERT_EQ(solver.solve({vars[0], vars[1]}, -1), Result::Sat);
+}
+
+TEST(SatArenaGc, CollectionDuringActiveSearchKeepsVerdict) {
+  // Reductions (and therefore collections, at a tiny threshold) fire in
+  // the middle of a search with a populated trail and live reason clauses;
+  // the remap must leave the resumed search sound.
+  Solver withGc;
+  withGc.setGcDeadFraction(1e-9);
+  buildPigeonhole(withGc, 6);
+  Result result = Result::Unknown;
+  std::int64_t budget = 64;
+  while (result == Result::Unknown) {
+    result = withGc.solve(budget);
+    withGc.reduceLearntDb();  // delete + collect mid-session
+    expectWatcherHygiene(withGc);
+    budget *= 2;
+  }
+  EXPECT_EQ(result, Result::Unsat);
+  EXPECT_GT(withGc.gcRuns(), 0);
+}
+
+TEST(SatArenaGc, StatsInvariantsHoldAcrossCollections) {
+  Solver solver;
+  solver.setGcDeadFraction(1e-9);
+  SplitMix64 rng(0xC01157);
+  const int numVars = 8;
+  for (int i = 0; i < numVars; ++i) solver.newVar();
+  for (int step = 0; step < 12; ++step) {
+    for (const auto& clause : randomCnf(rng, numVars, 3)) {
+      solver.addClause(clause);
+    }
+    (void)solver.solve(-1);
+    solver.compactDatabase();
+    const SolverStats stats = solver.snapshotStats();
+    EXPECT_GE(stats.liveClauses, 0);
+    EXPECT_GE(stats.liveLiterals, 0);
+    EXPECT_GE(stats.arenaBytes, 0);
+    EXPECT_GE(stats.gcRuns, 0);
+    // Every stored clause has >= 2 literals (units live on the trail), and
+    // after a collection the arena holds exactly the live database.
+    EXPECT_GE(stats.liveLiterals, 2 * stats.liveClauses);
+    EXPECT_EQ(static_cast<std::size_t>(stats.arenaBytes),
+              (3 * static_cast<std::size_t>(stats.liveClauses) +
+               static_cast<std::size_t>(stats.liveLiterals)) *
+                  sizeof(std::uint32_t));
+    if (!solver.ok()) break;
+  }
+}
+
+// The PR 3 incremental-session fuzz, extended with forced GC: one live
+// solver interleaves addClause bursts, assumption solves, activation-group
+// retire (-> compactDatabase -> collection) and explicit compactDatabase
+// calls, with the dead-fraction threshold at ~0 so the arena is collected
+// and every reference remapped constantly. Every verdict, model and core is
+// checked against brute force over the mirrored clause list -- exactly what
+// a fresh solver would see.
+class ArenaGcSessionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArenaGcSessionFuzz, ForcedGcTracksFreshReference) {
+  const int seed = GetParam();
+  SplitMix64 rng(0xA7E4A + static_cast<std::uint64_t>(seed));
+  const int numVars = 9;
+  Solver solver;
+  solver.setGcDeadFraction(1e-9);
+  for (int i = 0; i < numVars; ++i) solver.newVar();
+  // The mirror holds every clause the solver logically contains, including
+  // guard-extended group clauses and the unit !guard of each retirement.
+  std::vector<std::vector<int>> mirror;
+  struct LiveGroup {
+    ClauseGroup group;
+    int guard;
+  };
+  std::vector<LiveGroup> groups;
+
+  for (int step = 0; step < 14; ++step) {
+    // Burst of permanent clauses.
+    const int burst = 1 + static_cast<int>(rng.nextBelow(3));
+    for (const auto& clause : randomCnf(rng, numVars, burst)) {
+      solver.addClause(clause);
+      mirror.push_back(clause);
+    }
+    // Occasionally open a scoped group with a couple of clauses.
+    if (rng.nextBelow(3) == 0) {
+      LiveGroup live{ClauseGroup(solver), 0};
+      live.guard = live.group.activation();
+      for (auto& clause : randomCnf(rng, numVars, 2)) {
+        live.group.addClause(solver, clause);
+        clause.push_back(-live.guard);
+        mirror.push_back(clause);
+      }
+      groups.push_back(std::move(live));
+    }
+    // Occasionally retire the oldest open group (runs compactDatabase and,
+    // at this threshold, a full collection).
+    if (!groups.empty() && rng.nextBelow(3) == 0) {
+      groups.front().group.retire(solver);
+      mirror.push_back({-groups.front().guard});
+      groups.erase(groups.begin());
+    }
+    if (rng.nextBelow(4) == 0) solver.compactDatabase();
+
+    // Assumptions over the base variables plus open-group activations.
+    std::vector<int> assumptions;
+    if (rng.nextBelow(2)) {
+      int var = static_cast<int>(rng.nextBelow(numVars)) + 1;
+      assumptions.push_back(rng.nextBelow(2) ? -var : var);
+    }
+    for (const LiveGroup& live : groups) {
+      if (rng.nextBelow(2)) assumptions.push_back(live.guard);
+    }
+
+    auto withUnits = mirror;
+    for (int lit : assumptions) withUnits.push_back({lit});
+    const int totalVars = solver.numVars();
+    ASSERT_LE(totalVars, 20) << "brute-force ceiling";
+    const bool expected = bruteForceSat(totalVars, withUnits);
+
+    const std::size_t arenaBefore = solver.arenaBytes();
+    const std::int64_t gcBefore = solver.gcRuns();
+    Result result = solver.solve(assumptions, -1);
+    ASSERT_NE(result, Result::Unknown);
+    EXPECT_EQ(result == Result::Sat, expected)
+        << "seed=" << seed << " step=" << step;
+
+    const SolverStats stats = solver.snapshotStats();
+    EXPECT_GE(stats.liveClauses, 0) << "seed=" << seed << " step=" << step;
+    EXPECT_GE(stats.liveLiterals, 0) << "seed=" << seed << " step=" << step;
+    if (stats.gcRuns > gcBefore) {
+      // A collection ran somewhere in this step: the arena must not have
+      // grown past its pre-step size plus this step's additions -- in
+      // particular a retire-triggered collection shrinks it outright.
+      EXPECT_LE(stats.arenaBytes,
+                static_cast<std::int64_t>(arenaBefore) +
+                    static_cast<std::int64_t>(stats.liveLiterals + 64) * 4)
+          << "seed=" << seed << " step=" << step;
+    }
+
+    if (result == Result::Sat) {
+      // The model satisfies the mirror (guard-extended clauses included)
+      // and binds every assumption.
+      for (int lit : assumptions) {
+        EXPECT_EQ(solver.modelValue(std::abs(lit)), lit > 0);
+      }
+      for (const auto& clause : mirror) {
+        bool satisfied = false;
+        for (int lit : clause) {
+          if (solver.modelValue(std::abs(lit)) == (lit > 0)) satisfied = true;
+        }
+        EXPECT_TRUE(satisfied) << "seed=" << seed << " step=" << step;
+      }
+    } else {
+      // The core is a subset of the assumptions and itself unsat.
+      const auto& core = solver.conflictCore();
+      for (int lit : core) {
+        EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), lit),
+                  assumptions.end())
+            << "core literal " << lit << " is not an assumption";
+      }
+      auto withCore = mirror;
+      for (int lit : core) withCore.push_back({lit});
+      EXPECT_FALSE(bruteForceSat(totalVars, withCore))
+          << "seed=" << seed << " step=" << step;
+    }
+    if (!solver.ok()) break;  // formula itself unsat: session over
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaGcSessionFuzz, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace lclgrid::sat
