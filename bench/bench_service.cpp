@@ -1,0 +1,333 @@
+// Service daemon throughput: an in-process VerificationService on a TCP
+// loopback socket, hammered by concurrent blocking clients with the mixed
+// request stream the daemon exists for -- verification (fingerprint-
+// referenced after a first by-spec request, inline labels handed to the
+// engine zero-copy), classification (report-cache hits after the first)
+// and stats polls. Reports per-op requests / qps / p50 / p99 latency as
+// JSON in the repo-wide {name, config, results[]} schema -- the qps and
+// p99_us columns are what scripts/check_bench_json.py gates and the perf
+// trajectory plots (docs/service.md).
+//
+// Soak mode additionally drives the overload path on purpose: each client
+// periodically bursts more kSleep requests than its admission budget, so
+// the daemon must answer the excess with explicit kBusy frames (never a
+// silent drop, never a crash) while the other clients' traffic continues.
+// CI runs the soak under AddressSanitizer; the run fails if any burst
+// response goes missing or the expected kBusy rejections never occur.
+//
+// Usage: bench_service [--smoke] [--soak S] [--seconds S] [--clients N]
+//                      [--service-threads N] [--engine-threads N]
+//                      [--trace-out F] [--metrics-out F]
+//   --smoke            CI sizes: 2 clients, ~0.3 s
+//   --soak S           run S seconds with overload bursts (implies
+//                      test-ops and a small admission budget)
+//   --seconds S        measurement window (default 2.0)
+//   --clients N        concurrent client connections (default 4)
+//   --service-threads N  daemon worker threads (default 2)
+//   --engine-threads N   per-request engine thread budget (default 1)
+//   --trace-out F    enable span tracing, write Chrome trace JSON to F
+//   --metrics-out F  write the telemetry metrics snapshot to F
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/service.hpp"
+#include "support/json.hpp"
+#include "support/telemetry.hpp"
+
+using namespace lclgrid;
+using service::ServiceClient;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double microsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// Proper 4-colouring of the even-sided torus: colour = 2*(y%2) + (x%2),
+/// so both axes flip a distinct bit between neighbours.
+std::vector<int> fourColouring(int n) {
+  std::vector<int> labels(static_cast<std::size_t>(n) * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      labels[static_cast<std::size_t>(y) * n + x] = 2 * (y % 2) + (x % 2);
+    }
+  }
+  return labels;
+}
+
+struct OpStats {
+  std::int64_t requests = 0;
+  std::vector<double> latenciesUs;
+};
+
+struct ClientStats {
+  OpStats verify;
+  OpStats classify;
+  OpStats stats;
+  std::int64_t burstRequests = 0;
+  std::int64_t busy = 0;
+  std::int64_t missingResponses = 0;  // burst replies that never arrived
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(std::ceil(q * double(sorted.size())) - 1));
+  return sorted[index];
+}
+
+void clientLoop(int port, double seconds, bool soak, int burstSize,
+                ClientStats* out) {
+  ServiceClient client = ServiceClient::connectTcp(port);
+  const int n = 32;
+  const std::vector<int> labels = fourColouring(n);
+
+  service::VerifyRequestFrame bySpec;
+  bySpec.spec = "vc:4";
+  bySpec.countViolations = true;
+  bySpec.n = static_cast<std::uint32_t>(n);
+  bySpec.labels = labels;
+  const auto first = client.verify(bySpec);
+  if (!first) return;  // busy on the very first request: nothing to measure
+  ++out->verify.requests;
+
+  // The steady-state request: fingerprint-referenced (no spec resolution,
+  // the daemon's cache hot path).
+  service::VerifyRequestFrame byFingerprint = bySpec;
+  byFingerprint.problemRef = service::ProblemRefKind::kFingerprint;
+  byFingerprint.fingerprint = first->fingerprint;
+  byFingerprint.spec.clear();
+
+  service::ClassifyRequestFrame classifyFrame;
+  classifyFrame.spec = "cvc:3";
+
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(seconds);
+  std::int64_t iteration = 0;
+  while (Clock::now() < deadline) {
+    ++iteration;
+    if (soak && iteration % 8 == 0) {
+      // Deliberate overload: more sleeps than the admission budget,
+      // back-to-back. Every frame must be answered -- kPong or kBusy.
+      for (int i = 0; i < burstSize; ++i) {
+        std::vector<std::uint8_t> payload;
+        service::wire::appendU32(payload, 2);  // ms
+        client.sendFrame(service::wire::FrameType::kSleep,
+                         1000u + static_cast<std::uint32_t>(i), payload);
+      }
+      out->burstRequests += burstSize;
+      for (int i = 0; i < burstSize; ++i) {
+        const auto reply = client.receive();
+        if (!reply) {
+          ++out->missingResponses;
+          return;
+        }
+        if (reply->type == service::wire::FrameType::kBusy) ++out->busy;
+      }
+      continue;
+    }
+    // Offsets chosen to never collide with the soak burst branch above.
+    if (iteration % 16 == 5) {
+      const auto start = Clock::now();
+      if (client.classify(classifyFrame)) {
+        out->classify.latenciesUs.push_back(microsSince(start));
+        ++out->classify.requests;
+      } else {
+        ++out->busy;
+      }
+      continue;
+    }
+    if (iteration % 32 == 11 || out->stats.requests == 0) {
+      const auto start = Clock::now();
+      if (client.stats()) {
+        out->stats.latenciesUs.push_back(microsSince(start));
+        ++out->stats.requests;
+      } else {
+        ++out->busy;
+      }
+      continue;
+    }
+    const auto start = Clock::now();
+    if (client.verify(byFingerprint)) {
+      out->verify.latenciesUs.push_back(microsSince(start));
+      ++out->verify.requests;
+    } else {
+      ++out->busy;
+    }
+  }
+}
+
+void emitOpRow(support::JsonWriter& json, const char* op, OpStats& stats,
+               double elapsedSeconds, std::int64_t busy) {
+  std::sort(stats.latenciesUs.begin(), stats.latenciesUs.end());
+  json.beginObject();
+  json.key("op").value(op);
+  json.key("requests").value(static_cast<long long>(stats.requests));
+  json.key("busy").value(static_cast<long long>(busy));
+  json.key("qps").value(double(stats.requests) / elapsedSeconds);
+  json.key("p50_us").value(percentile(stats.latenciesUs, 0.50));
+  json.key("p99_us").value(percentile(stats.latenciesUs, 0.99));
+  json.endObject();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 2.0;
+  int clients = 4;
+  int serviceThreads = 2;
+  int engineThreads = 1;
+  bool smoke = false;
+  bool soak = false;
+  std::string traceOut;
+  std::string metricsOut;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--soak") == 0 && i + 1 < argc) {
+      soak = true;
+      seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--service-threads") == 0 &&
+               i + 1 < argc) {
+      serviceThreads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--engine-threads") == 0 && i + 1 < argc) {
+      engineThreads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      traceOut = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metricsOut = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--soak S] [--seconds S] "
+                   "[--clients N] [--service-threads N] [--engine-threads N] "
+                   "[--trace-out F] [--metrics-out F]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    seconds = std::min(seconds, 0.3);
+    clients = std::min(clients, 2);
+  }
+  if (clients < 1 || serviceThreads < 1 || seconds <= 0) {
+    std::fprintf(stderr, "bench_service: bad arguments\n");
+    return 2;
+  }
+  if (!traceOut.empty()) telemetry::setTraceEnabled(true);
+
+  service::ServiceConfig config;
+  config.serviceThreads = serviceThreads;
+  config.engineThreads = engineThreads;
+  if (soak) {
+    config.enableTestOps = true;
+    config.maxQueuedPerClient = 2;  // small budget: bursts must draw kBusy
+  }
+  const int burstSize = config.maxQueuedPerClient + 4;
+  service::VerificationService daemon(config);
+  daemon.start();
+
+  std::vector<ClientStats> perClient(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto started = Clock::now();
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back(clientLoop, daemon.port(), seconds, soak, burstSize,
+                         &perClient[static_cast<std::size_t>(i)]);
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - started).count();
+  daemon.stop();
+
+  OpStats verify;
+  OpStats classify;
+  OpStats stats;
+  OpStats all;
+  std::int64_t busy = 0;
+  std::int64_t burstRequests = 0;
+  std::int64_t missing = 0;
+  for (ClientStats& client : perClient) {
+    const auto merge = [&all](OpStats& into, OpStats& from) {
+      into.requests += from.requests;
+      all.requests += from.requests;
+      all.latenciesUs.insert(all.latenciesUs.end(), from.latenciesUs.begin(),
+                             from.latenciesUs.end());
+      into.latenciesUs.insert(into.latenciesUs.end(),
+                              from.latenciesUs.begin(),
+                              from.latenciesUs.end());
+    };
+    merge(verify, client.verify);
+    merge(classify, client.classify);
+    merge(stats, client.stats);
+    all.requests += client.burstRequests;
+    burstRequests += client.burstRequests;
+    busy += client.busy;
+    missing += client.missingResponses;
+  }
+
+  support::JsonWriter json;
+  json.beginObject();
+  json.key("name").value("bench_service");
+  json.key("config").beginObject();
+  json.key("clients").value(clients);
+  json.key("service_threads").value(serviceThreads);
+  json.key("engine_threads").value(engineThreads);
+  json.key("seconds").value(elapsed);
+  json.key("smoke").value(smoke);
+  json.key("soak").value(soak);
+  json.key("max_queued_per_client").value(config.maxQueuedPerClient);
+  json.key("burst_requests").value(static_cast<long long>(burstRequests));
+  json.key("busy_rejections").value(static_cast<long long>(busy));
+  json.key("missing_responses").value(static_cast<long long>(missing));
+  json.endObject();
+  json.key("results").beginArray();
+  emitOpRow(json, "verify", verify, elapsed, 0);
+  emitOpRow(json, "classify", classify, elapsed, 0);
+  emitOpRow(json, "stats", stats, elapsed, 0);
+  emitOpRow(json, "all", all, elapsed, busy);
+  json.endArray();
+  json.endObject();
+  std::printf("%s\n", json.str().c_str());
+
+  if (!traceOut.empty() && !telemetry::writeTraceFile(traceOut)) {
+    std::fprintf(stderr, "bench_service: failed to write %s\n",
+                 traceOut.c_str());
+  }
+  if (!metricsOut.empty() && !telemetry::writeMetricsFile(metricsOut)) {
+    std::fprintf(stderr, "bench_service: failed to write %s\n",
+                 metricsOut.c_str());
+  }
+
+  // Soak acceptance: every burst frame answered, and the overload path
+  // actually exercised (a soak where kBusy never fires measured nothing).
+  if (missing != 0) {
+    std::fprintf(stderr, "bench_service: %lld burst responses missing\n",
+                 static_cast<long long>(missing));
+    return 1;
+  }
+  if (soak && burstRequests > 0 && busy == 0) {
+    std::fprintf(stderr,
+                 "bench_service: soak drove %lld burst requests but saw no "
+                 "kBusy rejection\n",
+                 static_cast<long long>(burstRequests));
+    return 1;
+  }
+  return 0;
+}

@@ -87,6 +87,12 @@ run_json -t mmap bench_verify_throughput --smoke --threads 2 --dims 2 --mmap
 LCLGRID_BITSLICE=0 run_json -t bitslice-off bench_verify_throughput --smoke --threads 2
 run_json bench_family_sweep --smoke --threads 2
 run_json bench_sat --smoke
+# The verification service daemon: an in-process daemon on an ephemeral
+# loopback port, hammered by client threads. --smoke clamps duration and
+# clients; the soak tag additionally exercises the explicit-BUSY admission
+# path (the run fails if any burst response goes missing).
+run_json -t smoke bench_service --smoke
+run_json -t soak bench_service --soak 1 --clients 2
 
 # Google Benchmark binaries (skipped automatically if the library was
 # unavailable at configure time).

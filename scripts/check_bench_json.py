@@ -113,6 +113,22 @@ def check_bench_sat(doc, results, errors):
                 errors.append(f"{label}: missing/invalid {key}")
 
 
+def check_bench_service(doc, results, errors):
+    """Gate for the verification service bench: every per-op row carries a
+    positive finite qps and p99_us (the columns the service perf
+    trajectory plots, docs/service.md). A row that loses them means the
+    bench stopped timing round-trips -- a zero-request op would emit qps 0
+    and fail here, which is the point: the smoke run must actually drive
+    every op."""
+    for entry in results:
+        if not isinstance(entry, dict):
+            continue
+        label = f"bench_service/{entry.get('op')}"
+        for key in ("qps", "p99_us"):
+            if not positive_finite(entry.get(key)):
+                errors.append(f"{label}: missing/invalid {key}")
+
+
 def check_metrics_snapshot(doc, results, errors):
     """Gate for the telemetry exporter (support/telemetry.hpp): every
     results[] entry is {kind: counter|gauge|histogram, name, ...} with a
@@ -177,6 +193,8 @@ def check_document(doc, errors):
         check_verify_throughput(doc, results, errors)
     elif name == "bench_sat":
         check_bench_sat(doc, results, errors)
+    elif name == "bench_service":
+        check_bench_service(doc, results, errors)
     elif name == "metrics_snapshot":
         check_metrics_snapshot(doc, results, errors)
 

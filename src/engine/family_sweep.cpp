@@ -11,6 +11,35 @@ namespace lclgrid::engine {
 
 using support::Stopwatch;
 
+ReportCache::ReportCache(std::size_t capacity, std::string_view counterPrefix)
+    : cache_(capacity, counterPrefix) {}
+
+std::shared_ptr<const synthesis::OracleReport> ReportCache::find(
+    const GridLcl& problem) {
+  if (!problem.hasTable()) return nullptr;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<Entry> entry = cache_.get(problem.table().fingerprint());
+  if (!entry) return nullptr;
+  // Exact content check behind the 64-bit hash: a collision with a
+  // different relation is a miss, never an aliased report.
+  if (!entry->table.sameContent(problem.table())) return nullptr;
+  return entry->report;
+}
+
+void ReportCache::insert(
+    const GridLcl& problem,
+    std::shared_ptr<const synthesis::OracleReport> report) {
+  if (!problem.hasTable() || report == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cache_.put(problem.table().fingerprint(),
+             Entry{problem.table(), std::move(report)});
+}
+
+support::LruStats ReportCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.stats();
+}
+
 SweepReport sweepFamily(std::span<const GridLcl> family,
                         const SweepOptions& options) {
   static const telemetry::Counter problemCounter =
@@ -54,6 +83,23 @@ SweepReport sweepFamily(std::span<const GridLcl> family,
     runOf[i] = i;
     jobs.push_back(i);
   }
+
+  // Cross-call cache: designated runners consult the shared ReportCache
+  // (deterministically, on the caller) and drop out of the job list on a
+  // hit; their readers fan out from the cached report like any other.
+  if (options.reportCache != nullptr) {
+    std::vector<std::size_t> stillToRun;
+    stillToRun.reserve(jobs.size());
+    for (std::size_t i : jobs) {
+      if (auto cached = options.reportCache->find(family[i])) {
+        report.entries[i].report = std::move(cached);
+        report.entries[i].cacheHit = true;
+      } else {
+        stillToRun.push_back(i);
+      }
+    }
+    jobs = std::move(stillToRun);
+  }
   report.oracleRuns = static_cast<int>(jobs.size());
   report.cacheHits = static_cast<int>(family.size() - jobs.size());
   problemCounter.add(static_cast<std::int64_t>(family.size()));
@@ -80,7 +126,13 @@ SweepReport sweepFamily(std::span<const GridLcl> family,
         }
       });
 
-  // Fan cached reports out to their readers.
+  // Publish fresh reports into the cross-call cache (caller thread, family
+  // order -- deterministic), then fan cached reports out to their readers.
+  if (options.reportCache != nullptr) {
+    for (std::size_t i : jobs) {
+      options.reportCache->insert(family[i], report.entries[i].report);
+    }
+  }
   for (std::size_t i = 0; i < family.size(); ++i) {
     if (runOf[i] != i) {
       report.entries[i].report = report.entries[runOf[i]].report;
@@ -88,6 +140,52 @@ SweepReport sweepFamily(std::span<const GridLcl> family,
   }
   report.seconds = sweepClock.seconds();
   return report;
+}
+
+ClassifyResult classify(const GridLcl& problem,
+                        const ClassifyOptions& options) {
+  static const telemetry::Counter gridCounter =
+      telemetry::counter("classify.grid");
+  gridCounter.increment();
+  ClassifyResult result;
+  result.problem = problem.name();
+  if (problem.hasTable()) {
+    result.fingerprint = problem.table().fingerprint();
+  }
+  if (options.reportCache != nullptr) {
+    if (auto cached = options.reportCache->find(problem)) {
+      result.grid = std::move(cached);
+      result.cacheHit = true;
+      result.complexity = synthesis::gridComplexityName(result.grid->complexity);
+      return result;
+    }
+  }
+  const Stopwatch clock;
+  telemetry::ScopedSpan span("classify/grid/" + result.problem);
+  result.grid = std::make_shared<const synthesis::OracleReport>(
+      synthesis::classifyOnGrid(problem, options.oracle));
+  result.seconds = clock.seconds();
+  result.complexity = synthesis::gridComplexityName(result.grid->complexity);
+  if (options.reportCache != nullptr) {
+    options.reportCache->insert(problem, result.grid);
+  }
+  return result;
+}
+
+ClassifyResult classify(const cycle::CycleLcl& problem,
+                        const ClassifyOptions& options) {
+  static const telemetry::Counter cycleCounter =
+      telemetry::counter("classify.cycle");
+  (void)options;  // cycle classification takes no oracle knobs and no cache
+  cycleCounter.increment();
+  ClassifyResult result;
+  result.problem = problem.name();
+  const Stopwatch clock;
+  telemetry::ScopedSpan span("classify/cycle/" + result.problem);
+  result.cycle = cycle::classifyCycleLcl(problem);
+  result.seconds = clock.seconds();
+  result.complexity = cycle::complexityName(result.cycle->complexity);
+  return result;
 }
 
 std::string sweepReportJson(const SweepReport& report,

@@ -1,515 +1,80 @@
-// The sharded parallel verifier: the threaded overloads declared in
-// lcl/verifier.hpp, for Torus2D and TorusD. A single labelling is sharded
-// into contiguous ranges of "shard items" -- grid rows on Torus2D, axis-0
-// lines on TorusD (a chunk of the line space is a slab along the outermost
-// axes) -- each shard runs the exact serial kernel slice, and per-shard
-// violation counts are combined in chunk order, so every result is
-// bit-identical to the serial engine; the determinism tests pin this down
-// for 1/2/8 threads. Batches run one labelling per chunk.
-//
-// Both torus families share one set of sharding templates below; the
-// per-family differences (item count, kernel slice, size validation) are
-// small overloaded shims, so the sharding scheme itself cannot diverge
-// between 2D and d dimensions. The d = 2 TorusD case additionally
-// delegates to the 2D row kernel inside tableViolationLinesD, so the
-// sharded 2D fast path is one code path however it is reached.
-#include <atomic>
+// The threaded verification overloads declared in lcl/verifier.hpp and
+// lcl/stream_verify.hpp. Since the unified front door (lcl/verify_api.hpp)
+// landed, the in-core overloads here are thin forwarders: they validate the
+// single-labelling/batch shape their signature promises, build a
+// VerifyRequest and dispatch through verify(VerifyRequest) -- one tier
+// selection, one sharding scheme (engine/shard_detail.hpp), bit-identical
+// to what these overloads computed before the redesign (the determinism
+// tests pin this at 1/2/8 threads). The streaming overloads shard each
+// slab of the stream pass through the pool directly; their slab walk is
+// stream_verify_detail::runStreamPass, shared with the serial entries.
+#include <cstddef>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 
-#include "engine/thread_pool.hpp"
-#include "lcl/stream_verify.hpp"
-#include "lcl/verifier.hpp"
-#include "lcl/verify_probes.hpp"
+#include "engine/shard_detail.hpp"
+#include "grid/torus2d.hpp"
+#include "grid/torusd.hpp"
+#include "lcl/verify_api.hpp"
 
 namespace lclgrid {
 
 namespace {
 
-using verifier_detail::allLabelsInRange;
-using verifier_detail::functionalViolationRange;
-using verifier_detail::functionalViolationRangeD;
-using verifier_detail::lineCountD;
-using verifier_detail::tableViolationLinesD;
-using verifier_detail::tableViolationRows;
+namespace sd = engine::shard_detail;
 
-// --- per-torus shims -------------------------------------------------------
-
-/// Shard items of one labelling: grid rows / axis-0 lines.
-std::int64_t shardItems(const Torus2D& torus) { return torus.n(); }
-std::int64_t shardItems(const TorusD& torus) { return lineCountD(torus); }
-
-/// Labelling size validation (TorusD also checks the dimension match).
-void checkLabelling(const Torus2D& torus, const GridLcl&,
-                    std::span<const int> labels) {
-  if (static_cast<int>(labels.size()) != torus.size()) {
-    throw std::invalid_argument("verifier: labelling size mismatch");
-  }
-}
-void checkLabelling(const TorusD& torus, const GridLclD& lcl,
-                    std::span<const int> labels) {
-  if (torus.dims() != lcl.dims()) {
-    throw std::invalid_argument("verifier: torus/problem dimension mismatch");
-  }
-  if (static_cast<long long>(labels.size()) != torus.size()) {
-    throw std::invalid_argument("verifier: labelling size mismatch");
-  }
-}
-
-/// The serial compiled-table kernel slice over shard items [begin, end).
-std::int64_t tableSlice(const Torus2D& torus, const GridLcl& lcl,
-                        const int* labels, std::int64_t begin,
-                        std::int64_t end, bool stopAtFirst) {
-  return tableViolationRows(lcl.table(), torus.n(), labels,
-                            static_cast<int>(begin), static_cast<int>(end),
-                            stopAtFirst);
-}
-std::int64_t tableSlice(const TorusD& torus, const GridLclD& lcl,
-                        const int* labels, std::int64_t begin,
-                        std::int64_t end, bool stopAtFirst) {
-  return tableViolationLinesD(lcl.table(), torus, labels, begin, end,
-                              stopAtFirst);
-}
-
-/// The serial functional-fallback slice over nodes [begin, end).
-std::int64_t functionalSlice(const Torus2D& torus, const GridLcl& lcl,
-                             std::span<const int> labels, std::int64_t begin,
-                             std::int64_t end, bool stopAtFirst) {
-  return functionalViolationRange(torus, lcl, labels,
-                                  static_cast<int>(begin),
-                                  static_cast<int>(end), stopAtFirst);
-}
-std::int64_t functionalSlice(const TorusD& torus, const GridLclD& lcl,
-                             std::span<const int> labels, std::int64_t begin,
-                             std::int64_t end, bool stopAtFirst) {
-  return functionalViolationRangeD(torus, lcl, labels, begin, end,
-                                   stopAtFirst);
-}
-
-std::size_t batchCountOf(const Torus2D& torus,
-                         std::span<const int> labelsBatch) {
-  return verifier_detail::batchCount(torus, labelsBatch);
-}
-std::size_t batchCountOf(const TorusD& torus,
-                         std::span<const int> labelsBatch) {
-  return verifier_detail::batchCountD(torus, labelsBatch);
-}
-
-// --- bit-sliced shard runners ---------------------------------------------
-// Selection mirrors the serial engine (verifier_detail::bitsliceSelected*),
-// so every thread count runs the same kernel tier; each runner returns
-// false when the problem stays on the row-pointer kernel. 2D shards (and
-// d = 2 TorusD shards, via the delegated table) run the self-contained
-// rolling row kernel; d >= 3 stages the whole labelling into a LabelPlanes
-// buffer with its own sharded transposition pass first (disjoint line
-// ranges, so the staging writes are race-free).
-
-bool bitsliceShardCount(engine::ThreadPool& pool, std::int64_t grain,
-                        const Torus2D& torus, const GridLcl& lcl,
-                        std::span<const int> labels, std::int64_t* result) {
-  if (!verifier_detail::bitsliceSelected(lcl, torus.size())) return false;
-  verify_probes::recordCall(verify_probes::Tier::kBitsliced,
-                            static_cast<std::int64_t>(labels.size()));
-  telemetry::ScopedSpan span(
-      verify_probes::spanName(verify_probes::Tier::kBitsliced));
-  *result = pool.parallelReduce(
-      0, shardItems(torus), grain, std::int64_t{0},
-      [&](std::int64_t begin, std::int64_t end) {
-        return verifier_detail::bitsliceViolationRows(
-            lcl.table(), torus.n(), torus.n(), labels.data(),
-            static_cast<int>(begin), static_cast<int>(end),
-            /*stopAtFirst=*/false);
-      },
-      [](std::int64_t a, std::int64_t b) { return a + b; });
-  return true;
-}
-
-bool bitsliceShardCount(engine::ThreadPool& pool, std::int64_t grain,
-                        const TorusD& torus, const GridLclD& lcl,
-                        std::span<const int> labels, std::int64_t* result) {
-  if (!verifier_detail::bitsliceSelectedD(lcl, torus.size())) return false;
-  verify_probes::recordCall(verify_probes::Tier::kBitsliced,
-                            static_cast<std::int64_t>(labels.size()));
-  telemetry::ScopedSpan span(
-      verify_probes::spanName(verify_probes::Tier::kBitsliced));
-  const std::int64_t lines = shardItems(torus);
-  LabelPlanes planes = verifier_detail::bitsliceMakePlanesD(torus, lcl.table());
-  if (planes.rows() > 0) {
-    pool.parallelFor(0, lines, grain,
-                     [&](std::int64_t begin, std::int64_t end) {
-                       verifier_detail::bitsliceStageLinesD(
-                           torus, labels, planes, begin, end);
-                     });
-  }
-  *result = pool.parallelReduce(
-      0, lines, grain, std::int64_t{0},
-      [&](std::int64_t begin, std::int64_t end) {
-        return verifier_detail::bitsliceViolationLinesD(
-            lcl.table(), torus, planes, labels.data(), begin, end,
-            /*stopAtFirst=*/false);
-      },
-      [](std::int64_t a, std::int64_t b) { return a + b; });
-  return true;
-}
-
-bool bitsliceShardVerify(engine::ThreadPool& pool, std::int64_t grain,
-                         const Torus2D& torus, const GridLcl& lcl,
-                         std::span<const int> labels, bool* feasible) {
-  if (!verifier_detail::bitsliceSelected(lcl, torus.size())) return false;
-  verify_probes::recordCall(verify_probes::Tier::kBitsliced,
-                            static_cast<std::int64_t>(labels.size()));
-  telemetry::ScopedSpan span(
-      verify_probes::spanName(verify_probes::Tier::kBitsliced));
-  std::atomic<bool> violated{false};
-  pool.parallelFor(0, shardItems(torus), grain,
-                   [&](std::int64_t begin, std::int64_t end) {
-                     if (violated.load(std::memory_order_relaxed)) return;
-                     if (verifier_detail::bitsliceViolationRows(
-                             lcl.table(), torus.n(), torus.n(), labels.data(),
-                             static_cast<int>(begin), static_cast<int>(end),
-                             /*stopAtFirst=*/true) > 0) {
-                       violated.store(true, std::memory_order_relaxed);
-                     }
-                   });
-  *feasible = !violated.load();
-  return true;
-}
-
-bool bitsliceShardVerify(engine::ThreadPool& pool, std::int64_t grain,
-                         const TorusD& torus, const GridLclD& lcl,
-                         std::span<const int> labels, bool* feasible) {
-  if (!verifier_detail::bitsliceSelectedD(lcl, torus.size())) return false;
-  verify_probes::recordCall(verify_probes::Tier::kBitsliced,
-                            static_cast<std::int64_t>(labels.size()));
-  telemetry::ScopedSpan span(
-      verify_probes::spanName(verify_probes::Tier::kBitsliced));
-  const std::int64_t lines = shardItems(torus);
-  // The d >= 3 staging below is one full parallel pass; only the kernel
-  // pass early-exits cooperatively. (The serial engine staggers staging
-  // one block ahead instead -- see verifier_d.cpp -- but a sharded
-  // staggered stage would serialise on block order.)
-  LabelPlanes planes = verifier_detail::bitsliceMakePlanesD(torus, lcl.table());
-  if (planes.rows() > 0) {
-    pool.parallelFor(0, lines, grain,
-                     [&](std::int64_t begin, std::int64_t end) {
-                       verifier_detail::bitsliceStageLinesD(
-                           torus, labels, planes, begin, end);
-                     });
-  }
-  std::atomic<bool> violated{false};
-  pool.parallelFor(0, lines, grain,
-                   [&](std::int64_t begin, std::int64_t end) {
-                     if (violated.load(std::memory_order_relaxed)) return;
-                     if (verifier_detail::bitsliceViolationLinesD(
-                             lcl.table(), torus, planes, labels.data(), begin,
-                             end, /*stopAtFirst=*/true) > 0) {
-                       violated.store(true, std::memory_order_relaxed);
-                     }
-                   });
-  *feasible = !violated.load();
-  return true;
-}
-
-// --- shared sharding scheme ------------------------------------------------
-
-/// EngineOptions::grain counts shard items (rows / lines) for a single
-/// labelling; the functional fallback shards by node index, so the item
-/// grain is scaled by the item length to keep the chunk payload (and hence
-/// the scheduling overhead) identical on both paths.
-template <typename Torus>
-std::int64_t nodeGrain(std::int64_t itemGrain, const Torus& torus) {
-  return itemGrain > 0 ? itemGrain * torus.n() : 0;
-}
-
-/// Sharded table-path precondition check. The serial allLabelsInRange scan
-/// would sit in front of the parallel kernel as a serial O(N) pass (a
-/// material Amdahl fraction -- the kernel itself is only a few loads per
-/// node), so the scan is sharded too, with chunks after the first
-/// out-of-range find returning immediately.
-template <typename Torus>
-bool shardedAllInRange(engine::ThreadPool& pool, std::int64_t grain,
-                       const Torus& torus, int sigma,
-                       std::span<const int> labels) {
-  std::atomic<bool> outOfRange{false};
-  pool.parallelFor(
-      0, static_cast<std::int64_t>(labels.size()), nodeGrain(grain, torus),
-      [&](std::int64_t begin, std::int64_t end) {
-        if (outOfRange.load(std::memory_order_relaxed)) return;
-        if (!allLabelsInRange(
-                sigma, labels.subspan(static_cast<std::size_t>(begin),
-                                      static_cast<std::size_t>(end - begin)))) {
-          outOfRange.store(true, std::memory_order_relaxed);
-        }
-      });
-  return !outOfRange.load();
-}
-
-/// Sharded violation count over one labelling; exact same shard kernels as
-/// the serial path, summed in shard order.
+/// Shared forwarder body for the four in-core single-labelling overloads.
 template <typename Torus, typename Lcl>
-std::int64_t shardedCount(engine::ThreadPool& pool, std::int64_t grain,
-                          const Torus& torus, const Lcl& lcl,
-                          std::span<const int> labels) {
-  checkLabelling(torus, lcl, labels);
-  const auto sum = [](std::int64_t a, std::int64_t b) { return a + b; };
-  if (lcl.hasTable() &&
-      shardedAllInRange(pool, grain, torus, lcl.sigma(), labels)) {
-    std::int64_t bitsliced = 0;
-    if (bitsliceShardCount(pool, grain, torus, lcl, labels, &bitsliced)) {
-      return bitsliced;
-    }
-    verify_probes::recordCall(verify_probes::Tier::kTable,
-                              static_cast<std::int64_t>(labels.size()));
-    telemetry::ScopedSpan span(
-        verify_probes::spanName(verify_probes::Tier::kTable));
-    return pool.parallelReduce(
-        0, shardItems(torus), grain, std::int64_t{0},
-        [&](std::int64_t begin, std::int64_t end) {
-          return tableSlice(torus, lcl, labels.data(), begin, end,
-                            /*stopAtFirst=*/false);
-        },
-        sum);
+VerifyResult forwardSingle(const Torus& torus, const Lcl& lcl,
+                           std::span<const int> labels,
+                           const engine::EngineOptions& options,
+                           bool countViolations) {
+  // The single-labelling overloads reject any other span shape outright; a
+  // whole multiple of torus.size() must not silently become a batch here.
+  sd::checkLabelling(torus, lcl, labels);
+  VerifyRequest request;
+  if constexpr (std::is_same_v<Torus, Torus2D>) {
+    request.problem = &lcl;
+    request.torus = &torus;
+  } else {
+    request.problemD = &lcl;
+    request.torusD = &torus;
   }
-  verify_probes::recordCall(verify_probes::Tier::kFunctional,
-                            static_cast<std::int64_t>(labels.size()));
-  telemetry::ScopedSpan span(
-      verify_probes::spanName(verify_probes::Tier::kFunctional));
-  return pool.parallelReduce(
-      0, static_cast<std::int64_t>(labels.size()), nodeGrain(grain, torus),
-      std::int64_t{0},
-      [&](std::int64_t begin, std::int64_t end) {
-        return functionalSlice(torus, lcl, labels, begin, end,
-                               /*stopAtFirst=*/false);
-      },
-      sum);
+  request.labels = labels;
+  request.options.countViolations = countViolations;
+  request.options.engine = options;
+  return verify(request);
 }
 
-/// Sharded feasibility check with cooperative early exit: shards that start
-/// after a violation was found return immediately. The boolean outcome is
-/// scheduling-independent either way.
+/// Shared forwarder body for the four in-core batch overloads. On the
+/// batch entry points options.grain counts labellings, and a one-labelling
+/// batch runs the sharded single-labelling path with auto item grain --
+/// the pre-redesign contract, preserved by zeroing the grain.
 template <typename Torus, typename Lcl>
-bool shardedVerify(engine::ThreadPool& pool, std::int64_t grain,
-                   const Torus& torus, const Lcl& lcl,
-                   std::span<const int> labels) {
-  checkLabelling(torus, lcl, labels);
-  std::atomic<bool> violated{false};
-  const bool tablePath =
-      lcl.hasTable() &&
-      shardedAllInRange(pool, grain, torus, lcl.sigma(), labels);
-  if (tablePath) {
-    bool feasible = true;
-    if (bitsliceShardVerify(pool, grain, torus, lcl, labels, &feasible)) {
-      return feasible;
-    }
+VerifyResult forwardBatch(const Torus& torus, const Lcl& lcl,
+                          std::span<const int> labelsBatch,
+                          const engine::EngineOptions& options,
+                          bool countViolations) {
+  const std::size_t count = sd::batchCountOf(torus, labelsBatch);
+  VerifyRequest request;
+  if constexpr (std::is_same_v<Torus, Torus2D>) {
+    request.problem = &lcl;
+    request.torus = &torus;
+  } else {
+    request.problemD = &lcl;
+    request.torusD = &torus;
   }
-  const verify_probes::Tier tier = tablePath ? verify_probes::Tier::kTable
-                                             : verify_probes::Tier::kFunctional;
-  verify_probes::recordCall(tier, static_cast<std::int64_t>(labels.size()));
-  telemetry::ScopedSpan span(verify_probes::spanName(tier));
-  const std::int64_t items = tablePath
-                                 ? shardItems(torus)
-                                 : static_cast<std::int64_t>(labels.size());
-  pool.parallelFor(0, items, tablePath ? grain : nodeGrain(grain, torus),
-                   [&](std::int64_t begin, std::int64_t end) {
-                     if (violated.load(std::memory_order_relaxed)) return;
-                     const std::int64_t bad =
-                         tablePath
-                             ? tableSlice(torus, lcl, labels.data(), begin,
-                                          end, /*stopAtFirst=*/true)
-                             : functionalSlice(torus, lcl, labels, begin, end,
-                                               /*stopAtFirst=*/true);
-                     if (bad > 0) {
-                       violated.store(true, std::memory_order_relaxed);
-                     }
-                   });
-  return !violated.load();
-}
-
-/// Batched feasibility: one labelling per work item (options.grain counts
-/// labellings); a single-labelling batch falls through to the sharded
-/// single-labelling path with auto item grain (the caller's grain counts
-/// labellings on the batch entry points, not rows/lines).
-template <typename Torus, typename Lcl>
-std::vector<std::uint8_t> shardedVerifyBatch(engine::ThreadPool& pool,
-                                             std::int64_t grain,
-                                             const Torus& torus,
-                                             const Lcl& lcl,
-                                             std::span<const int> labelsBatch) {
-  const std::size_t count = batchCountOf(torus, labelsBatch);
-  const std::size_t stride = static_cast<std::size_t>(torus.size());
-  std::vector<std::uint8_t> feasible(count, 0);
-  if (count == 1) {
-    feasible[0] =
-        shardedVerify(pool, /*grain=*/0, torus, lcl, labelsBatch) ? 1 : 0;
-    return feasible;
-  }
-  pool.parallelFor(
-      0, static_cast<std::int64_t>(count), grain,
-      [&](std::int64_t begin, std::int64_t end) {
-        for (std::int64_t i = begin; i < end; ++i) {
-          feasible[static_cast<std::size_t>(i)] =
-              verify(torus, lcl,
-                     labelsBatch.subspan(static_cast<std::size_t>(i) * stride,
-                                         stride))
-                  ? 1
-                  : 0;
-        }
-      });
-  return feasible;
-}
-
-/// Batched violation counts; same chunking contract as shardedVerifyBatch.
-template <typename Torus, typename Lcl>
-std::vector<std::int64_t> shardedCountBatch(engine::ThreadPool& pool,
-                                            std::int64_t grain,
-                                            const Torus& torus, const Lcl& lcl,
-                                            std::span<const int> labelsBatch) {
-  const std::size_t count = batchCountOf(torus, labelsBatch);
-  const std::size_t stride = static_cast<std::size_t>(torus.size());
-  std::vector<std::int64_t> violations(count, 0);
-  if (count == 1) {
-    violations[0] = shardedCount(pool, /*grain=*/0, torus, lcl, labelsBatch);
-    return violations;
-  }
-  pool.parallelFor(
-      0, static_cast<std::int64_t>(count), grain,
-      [&](std::int64_t begin, std::int64_t end) {
-        for (std::int64_t i = begin; i < end; ++i) {
-          violations[static_cast<std::size_t>(i)] = countViolations(
-              torus, lcl,
-              labelsBatch.subspan(static_cast<std::size_t>(i) * stride,
-                                  stride));
-        }
-      });
-  return violations;
+  request.labels = labelsBatch;
+  request.options.countViolations = countViolations;
+  request.options.engine = options;
+  if (count == 1) request.options.engine.grain = 0;
+  return verify(request);
 }
 
 }  // namespace
 
-// --- streaming (out-of-core) sharding --------------------------------------
-// The sharded halves of the lcl/stream_verify.hpp overloads: the slab walk
-// itself (window geometry, validation frontier, drop-behind, functional
-// restart) is stream_verify_detail::runStreamPass -- the exact code the
-// serial streaming entry points run -- and only the per-slab callbacks
-// differ: each slab shards across the pool with the chunk-ordered combine
-// of the in-core sharded verifier, so counts stay bit-identical to the
-// serial pass at every thread count.
-
-namespace {
-
-/// The compiled-kernel slice of one streaming chunk; `sliced` is the
-/// pass-wide tier choice (stream_verify_detail::streamUsesBitslice*).
-std::int64_t streamKernelSlice(const Torus2D& torus, const GridLcl& lcl,
-                               const int* labels, bool sliced,
-                               std::int64_t begin, std::int64_t end,
-                               bool stopAtFirst) {
-  if (sliced) {
-    return verifier_detail::bitsliceViolationRows(
-        lcl.table(), torus.n(), torus.n(), labels, static_cast<int>(begin),
-        static_cast<int>(end), stopAtFirst);
-  }
-  return tableSlice(torus, lcl, labels, begin, end, stopAtFirst);
-}
-std::int64_t streamKernelSlice(const TorusD& torus, const GridLclD& lcl,
-                               const int* labels, bool sliced,
-                               std::int64_t begin, std::int64_t end,
-                               bool stopAtFirst) {
-  if (sliced) {
-    // Streaming only selects the d = 2 delegated row kernel, which reads
-    // the raw labels and ignores the plane buffer.
-    static const LabelPlanes kNoPlanes;
-    return verifier_detail::bitsliceViolationLinesD(
-        lcl.table(), torus, kNoPlanes, labels, begin, end, stopAtFirst);
-  }
-  return tableSlice(torus, lcl, labels, begin, end, stopAtFirst);
-}
-
-bool streamSliced(const StreamLabelling& file, const GridLcl& lcl) {
-  return stream_verify_detail::streamUsesBitslice(file, lcl);
-}
-bool streamSliced(const StreamLabelling& file, const GridLclD& lcl) {
-  return stream_verify_detail::streamUsesBitsliceD(file, lcl);
-}
-
-template <typename Torus, typename Lcl>
-std::int64_t shardedStream(engine::ThreadPool& pool, std::int64_t grain,
-                           const StreamLabelling& file, const Lcl& lcl,
-                           const Torus& torus, const StreamWindow& window,
-                           bool stopAtFirst) {
-  const int n = file.n();
-  const long long lines = file.lines();
-  const int* labels = file.labels();
-  const std::span<const int> all(labels,
-                                 static_cast<std::size_t>(file.size()));
-  stream_verify_detail::StreamPass pass;
-  pass.file = &file;
-  pass.window = stream_verify_detail::resolveWindowRows(n, lines, window.rows);
-  pass.wrapKeep = stream_verify_detail::wrapWindowRows(file.dims(), n);
-  pass.dropBehind = window.dropBehind;
-  pass.tablePath = lcl.hasTable();
-  const bool sliced = streamSliced(file, lcl);
-  const auto sum = [](std::int64_t a, std::int64_t b) { return a + b; };
-  if (pass.tablePath) {
-    pass.rowsInRange = [&](long long begin, long long end) {
-      return shardedAllInRange(
-          pool, grain, torus, lcl.sigma(),
-          all.subspan(static_cast<std::size_t>(begin * n),
-                      static_cast<std::size_t>((end - begin) * n)));
-    };
-    pass.kernelRows = [&](long long begin, long long end,
-                          bool stop) -> std::int64_t {
-      if (stop) {
-        std::atomic<bool> violated{false};
-        pool.parallelFor(begin, end, grain,
-                         [&](std::int64_t s, std::int64_t t) {
-                           if (violated.load(std::memory_order_relaxed)) {
-                             return;
-                           }
-                           if (streamKernelSlice(torus, lcl, labels, sliced,
-                                                 s, t,
-                                                 /*stopAtFirst=*/true) > 0) {
-                             violated.store(true, std::memory_order_relaxed);
-                           }
-                         });
-        return violated.load() ? 1 : 0;
-      }
-      return pool.parallelReduce(begin, end, grain, std::int64_t{0},
-                                 [&](std::int64_t s, std::int64_t t) {
-                                   return streamKernelSlice(
-                                       torus, lcl, labels, sliced, s, t,
-                                       /*stopAtFirst=*/false);
-                                 },
-                                 sum);
-    };
-  }
-  pass.functionalRows = [&](long long begin, long long end,
-                            bool stop) -> std::int64_t {
-    const std::int64_t nodeBegin = begin * n;
-    const std::int64_t nodeEnd = end * n;
-    if (stop) {
-      std::atomic<bool> violated{false};
-      pool.parallelFor(nodeBegin, nodeEnd, nodeGrain(grain, torus),
-                       [&](std::int64_t s, std::int64_t t) {
-                         if (violated.load(std::memory_order_relaxed)) return;
-                         if (functionalSlice(torus, lcl, all, s, t,
-                                             /*stopAtFirst=*/true) > 0) {
-                           violated.store(true, std::memory_order_relaxed);
-                         }
-                       });
-      return violated.load() ? 1 : 0;
-    }
-    return pool.parallelReduce(nodeBegin, nodeEnd, nodeGrain(grain, torus),
-                               std::int64_t{0},
-                               [&](std::int64_t s, std::int64_t t) {
-                                 return functionalSlice(
-                                     torus, lcl, all, s, t,
-                                     /*stopAtFirst=*/false);
-                               },
-                               sum);
-  };
-  return stream_verify_detail::runStreamPass(pass, stopAtFirst);
-}
-
-}  // namespace
+// --- streaming (out-of-core) overloads -------------------------------------
 
 std::int64_t streamCountViolations(const StreamLabelling& file,
                                    const GridLcl& lcl,
@@ -521,8 +86,8 @@ std::int64_t streamCountViolations(const StreamLabelling& file,
   }
   stream_verify_detail::checkStream2D(file, lcl);
   const Torus2D torus(file.n());
-  return shardedStream(handle.pool(), options.grain, file, lcl, torus, window,
-                       /*stopAtFirst=*/false);
+  return sd::shardedStream(handle.pool(), options.grain, file, lcl, torus,
+                           window, /*stopAtFirst=*/false);
 }
 
 bool streamVerify(const StreamLabelling& file, const GridLcl& lcl,
@@ -532,8 +97,8 @@ bool streamVerify(const StreamLabelling& file, const GridLcl& lcl,
   if (handle.pool().lanes() == 1) return streamVerify(file, lcl, window);
   stream_verify_detail::checkStream2D(file, lcl);
   const Torus2D torus(file.n());
-  return shardedStream(handle.pool(), options.grain, file, lcl, torus, window,
-                       /*stopAtFirst=*/true) == 0;
+  return sd::shardedStream(handle.pool(), options.grain, file, lcl, torus,
+                           window, /*stopAtFirst=*/true) == 0;
 }
 
 std::int64_t streamCountViolations(const StreamLabelling& file,
@@ -546,8 +111,8 @@ std::int64_t streamCountViolations(const StreamLabelling& file,
   }
   stream_verify_detail::checkStreamD(file, lcl);
   const TorusD torus(file.dims(), file.n());
-  return shardedStream(handle.pool(), options.grain, file, lcl, torus, window,
-                       /*stopAtFirst=*/false);
+  return sd::shardedStream(handle.pool(), options.grain, file, lcl, torus,
+                           window, /*stopAtFirst=*/false);
 }
 
 bool streamVerify(const StreamLabelling& file, const GridLclD& lcl,
@@ -557,8 +122,8 @@ bool streamVerify(const StreamLabelling& file, const GridLclD& lcl,
   if (handle.pool().lanes() == 1) return streamVerify(file, lcl, window);
   stream_verify_detail::checkStreamD(file, lcl);
   const TorusD torus(file.dims(), file.n());
-  return shardedStream(handle.pool(), options.grain, file, lcl, torus, window,
-                       /*stopAtFirst=*/true) == 0;
+  return sd::shardedStream(handle.pool(), options.grain, file, lcl, torus,
+                           window, /*stopAtFirst=*/true) == 0;
 }
 
 // --- Torus2D ---------------------------------------------------------------
@@ -566,44 +131,43 @@ bool streamVerify(const StreamLabelling& file, const GridLclD& lcl,
 bool verify(const Torus2D& torus, const GridLcl& lcl,
             std::span<const int> labels,
             const engine::EngineOptions& options) {
-  engine::PoolHandle handle(options);
-  if (handle.pool().lanes() == 1) return verify(torus, lcl, labels);
-  return shardedVerify(handle.pool(), options.grain, torus, lcl, labels);
+  return forwardSingle(torus, lcl, labels, options,
+                       /*countViolations=*/false)
+      .feasible;
 }
 
 std::int64_t countViolations(const Torus2D& torus, const GridLcl& lcl,
                              std::span<const int> labels,
                              const engine::EngineOptions& options) {
-  engine::PoolHandle handle(options);
-  if (handle.pool().lanes() == 1) return countViolations(torus, lcl, labels);
-  return shardedCount(handle.pool(), options.grain, torus, lcl, labels);
+  return forwardSingle(torus, lcl, labels, options, /*countViolations=*/true)
+      .violations;
 }
 
 std::vector<std::uint8_t> verifyBatch(const Torus2D& torus, const GridLcl& lcl,
                                       std::span<const int> labelsBatch,
                                       const engine::EngineOptions& options) {
-  engine::PoolHandle handle(options);
-  if (handle.pool().lanes() == 1) {
-    return verifyBatch(torus, lcl, labelsBatch);
-  }
-  return shardedVerifyBatch(handle.pool(), options.grain, torus, lcl,
-                            labelsBatch);
+  VerifyResult result =
+      forwardBatch(torus, lcl, labelsBatch, options, /*countViolations=*/false);
+  if (result.labellings == 1) return {result.feasible ? std::uint8_t{1}
+                                                      : std::uint8_t{0}};
+  return std::move(result.feasiblePerLabelling);
 }
 
 std::vector<std::int64_t> countViolationsBatch(
     const Torus2D& torus, const GridLcl& lcl, std::span<const int> labelsBatch,
     const engine::EngineOptions& options) {
-  engine::PoolHandle handle(options);
-  if (handle.pool().lanes() == 1) {
-    return countViolationsBatch(torus, lcl, labelsBatch);
-  }
-  return shardedCountBatch(handle.pool(), options.grain, torus, lcl,
-                           labelsBatch);
+  VerifyResult result =
+      forwardBatch(torus, lcl, labelsBatch, options, /*countViolations=*/true);
+  if (result.labellings == 1) return {result.violations};
+  return std::move(result.violationsPerLabelling);
 }
 
 std::vector<std::uint8_t> verifyBatch(
     const GridLcl& lcl, std::span<const LabellingInstance> instances,
     const engine::EngineOptions& options) {
+  // Heterogeneous tori: not expressible as one VerifyRequest (which names a
+  // single geometry), so this overload keeps its direct implementation --
+  // one serial verification per instance, chunked across the pool.
   engine::PoolHandle handle(options);
   if (handle.pool().lanes() == 1) return verifyBatch(lcl, instances);
   for (const LabellingInstance& instance : instances) {
@@ -630,39 +194,35 @@ std::vector<std::uint8_t> verifyBatch(
 bool verify(const TorusD& torus, const GridLclD& lcl,
             std::span<const int> labels,
             const engine::EngineOptions& options) {
-  engine::PoolHandle handle(options);
-  if (handle.pool().lanes() == 1) return verify(torus, lcl, labels);
-  return shardedVerify(handle.pool(), options.grain, torus, lcl, labels);
+  return forwardSingle(torus, lcl, labels, options,
+                       /*countViolations=*/false)
+      .feasible;
 }
 
 std::int64_t countViolations(const TorusD& torus, const GridLclD& lcl,
                              std::span<const int> labels,
                              const engine::EngineOptions& options) {
-  engine::PoolHandle handle(options);
-  if (handle.pool().lanes() == 1) return countViolations(torus, lcl, labels);
-  return shardedCount(handle.pool(), options.grain, torus, lcl, labels);
+  return forwardSingle(torus, lcl, labels, options, /*countViolations=*/true)
+      .violations;
 }
 
 std::vector<std::uint8_t> verifyBatch(const TorusD& torus, const GridLclD& lcl,
                                       std::span<const int> labelsBatch,
                                       const engine::EngineOptions& options) {
-  engine::PoolHandle handle(options);
-  if (handle.pool().lanes() == 1) {
-    return verifyBatch(torus, lcl, labelsBatch);
-  }
-  return shardedVerifyBatch(handle.pool(), options.grain, torus, lcl,
-                            labelsBatch);
+  VerifyResult result =
+      forwardBatch(torus, lcl, labelsBatch, options, /*countViolations=*/false);
+  if (result.labellings == 1) return {result.feasible ? std::uint8_t{1}
+                                                      : std::uint8_t{0}};
+  return std::move(result.feasiblePerLabelling);
 }
 
 std::vector<std::int64_t> countViolationsBatch(
     const TorusD& torus, const GridLclD& lcl, std::span<const int> labelsBatch,
     const engine::EngineOptions& options) {
-  engine::PoolHandle handle(options);
-  if (handle.pool().lanes() == 1) {
-    return countViolationsBatch(torus, lcl, labelsBatch);
-  }
-  return shardedCountBatch(handle.pool(), options.grain, torus, lcl,
-                           labelsBatch);
+  VerifyResult result =
+      forwardBatch(torus, lcl, labelsBatch, options, /*countViolations=*/true);
+  if (result.labellings == 1) return {result.violations};
+  return std::move(result.violationsPerLabelling);
 }
 
 }  // namespace lclgrid

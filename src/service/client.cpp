@@ -1,0 +1,257 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace lclgrid::service {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw std::runtime_error("client: " + what + ": " + std::strerror(errno));
+}
+
+bool readFully(int fd, void* data, std::size_t bytes) {
+  auto* out = static_cast<std::uint8_t*>(data);
+  while (bytes > 0) {
+    const ssize_t got = ::recv(fd, out, bytes, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;
+    out += got;
+    bytes -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+void writeFully(int fd, const void* data, std::size_t bytes) {
+  const auto* in = static_cast<const std::uint8_t*>(data);
+  while (bytes > 0) {
+    const ssize_t put = ::send(fd, in, bytes, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("send");
+    }
+    in += put;
+    bytes -= static_cast<std::size_t>(put);
+  }
+}
+
+int connectTcpFd(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throwErrno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throwErrno("connect(loopback:" + std::to_string(port) + ")");
+  }
+  return fd;
+}
+
+}  // namespace
+
+// --- ServiceClient ----------------------------------------------------------
+
+ServiceClient ServiceClient::connectTcp(int port) {
+  return ServiceClient(connectTcpFd(port));
+}
+
+ServiceClient ServiceClient::connectUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throwErrno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw std::runtime_error("client: unix socket path too long");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throwErrno("connect(" + path + ")");
+  }
+  return ServiceClient(fd);
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      nextRequestId_(other.nextRequestId_) {}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    nextRequestId_ = other.nextRequestId_;
+  }
+  return *this;
+}
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServiceClient::sendFrame(wire::FrameType type, std::uint32_t requestId,
+                              std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(wire::kHeaderBytes + payload.size());
+  wire::appendHeader(frame, type, requestId,
+                     static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  writeFully(fd_, frame.data(), frame.size());
+}
+
+void ServiceClient::sendRaw(std::span<const std::uint8_t> bytes) {
+  writeFully(fd_, bytes.data(), bytes.size());
+}
+
+std::optional<ServiceClient::Reply> ServiceClient::receive() {
+  std::uint8_t header[wire::kHeaderBytes];
+  if (!readFully(fd_, header, sizeof(header))) return std::nullopt;
+  wire::FrameHeader frame;
+  if (!wire::decodeHeader(header, &frame)) {
+    throw RemoteError("client: corrupt frame magic from server");
+  }
+  Reply reply;
+  reply.type = frame.type;
+  reply.requestId = frame.requestId;
+  reply.payload.resize(frame.payloadBytes);
+  if (!readFully(fd_, reply.payload.data(), reply.payload.size())) {
+    return std::nullopt;
+  }
+  return reply;
+}
+
+std::optional<ServiceClient::Reply> ServiceClient::call(
+    wire::FrameType type, std::span<const std::uint8_t> payload,
+    wire::FrameType expected) {
+  const std::uint32_t requestId = nextRequestId_++;
+  sendFrame(type, requestId, payload);
+  std::optional<Reply> reply = receive();
+  if (!reply) {
+    throw RemoteError("client: connection closed awaiting a response");
+  }
+  if (reply->type == wire::FrameType::kBusy) return std::nullopt;
+  if (reply->type == wire::FrameType::kError) {
+    throw RemoteError(
+        std::string(reinterpret_cast<const char*>(reply->payload.data()),
+                    reply->payload.size()));
+  }
+  if (reply->type != expected) {
+    throw RemoteError("client: unexpected response frame type");
+  }
+  return reply;
+}
+
+bool ServiceClient::ping() {
+  try {
+    return call(wire::FrameType::kPing, {}, wire::FrameType::kPong)
+        .has_value();
+  } catch (const RemoteError&) {
+    return false;
+  }
+}
+
+std::optional<VerifyResultFrame> ServiceClient::verify(
+    const VerifyRequestFrame& request) {
+  const std::vector<std::uint8_t> payload = encodeVerifyRequest(request);
+  std::optional<Reply> reply =
+      call(wire::FrameType::kVerify, payload, wire::FrameType::kVerifyResult);
+  if (!reply) return std::nullopt;
+  return decodeVerifyResult(reply->payload);
+}
+
+std::optional<std::string> ServiceClient::classify(
+    const ClassifyRequestFrame& request) {
+  const std::vector<std::uint8_t> payload = encodeClassifyRequest(request);
+  std::optional<Reply> reply = call(wire::FrameType::kClassify, payload,
+                                    wire::FrameType::kClassifyResult);
+  if (!reply) return std::nullopt;
+  return std::string(reinterpret_cast<const char*>(reply->payload.data()),
+                     reply->payload.size());
+}
+
+std::optional<std::string> ServiceClient::stats() {
+  std::optional<Reply> reply =
+      call(wire::FrameType::kStats, {}, wire::FrameType::kStatsResult);
+  if (!reply) return std::nullopt;
+  return std::string(reinterpret_cast<const char*>(reply->payload.data()),
+                     reply->payload.size());
+}
+
+void ServiceClient::requestShutdown() {
+  (void)call(wire::FrameType::kShutdown, {}, wire::FrameType::kShutdownAck);
+}
+
+bool ServiceClient::sleepMs(std::uint32_t millis) {
+  std::vector<std::uint8_t> payload;
+  wire::appendU32(payload, millis);
+  return call(wire::FrameType::kSleep, payload, wire::FrameType::kPong)
+      .has_value();
+}
+
+// --- JsonDebugClient --------------------------------------------------------
+
+JsonDebugClient JsonDebugClient::connectTcp(int port) {
+  return JsonDebugClient(connectTcpFd(port));
+}
+
+JsonDebugClient::JsonDebugClient(JsonDebugClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+JsonDebugClient& JsonDebugClient::operator=(JsonDebugClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+JsonDebugClient::~JsonDebugClient() { close(); }
+
+void JsonDebugClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<std::string> JsonDebugClient::request(const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  writeFully(fd_, out.data(), out.size());
+  char chunk[4096];
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return response;
+    }
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return std::nullopt;
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+}  // namespace lclgrid::service

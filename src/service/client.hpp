@@ -1,0 +1,112 @@
+// Client side of the verification service protocol: a blocking,
+// one-request-at-a-time connection speaking the binary framing of
+// service/protocol.hpp, plus a newline-JSON debug client. Used by the
+// service tests, bench_service and the lclgrid_serve --request mode; the
+// raw send/receive surface is public so protocol error-path tests can craft
+// malformed frames.
+//
+// Overload surface: requests the daemon rejects with kBusy return
+// std::nullopt (callers decide between retrying and backing off); kError
+// frames throw RemoteError carrying the daemon's message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace lclgrid::service {
+
+/// The daemon answered kError; what() is the daemon's message.
+struct RemoteError : std::runtime_error {
+  explicit RemoteError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ServiceClient {
+ public:
+  /// Connects to the daemon on TCP loopback / a Unix socket; throws
+  /// std::runtime_error when the connection fails.
+  static ServiceClient connectTcp(int port);
+  static ServiceClient connectUnix(const std::string& path);
+
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ~ServiceClient();
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Round-trips a ping; false on a dead connection.
+  bool ping();
+  /// One verification request; nullopt when the daemon answered kBusy.
+  std::optional<VerifyResultFrame> verify(const VerifyRequestFrame& request);
+  /// One classification request; the daemon's JSON report.
+  std::optional<std::string> classify(const ClassifyRequestFrame& request);
+  /// The daemon's stats document (telemetry metrics + service counters).
+  std::optional<std::string> stats();
+  /// Asks the daemon to shut down (it acks, then waitForShutdown() on the
+  /// server side returns).
+  void requestShutdown();
+  /// Test op (ServiceConfig::enableTestOps): occupy a worker for `millis`.
+  /// False when the daemon answered kBusy.
+  bool sleepMs(std::uint32_t millis);
+
+  // --- raw frame access (protocol tests) -----------------------------------
+
+  struct Reply {
+    wire::FrameType type = wire::FrameType::kError;
+    std::uint32_t requestId = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Sends one well-formed frame.
+  void sendFrame(wire::FrameType type, std::uint32_t requestId,
+                 std::span<const std::uint8_t> payload);
+  /// Sends arbitrary bytes (malformed-frame tests).
+  void sendRaw(std::span<const std::uint8_t> bytes);
+  /// Receives one frame; nullopt when the daemon closed the connection.
+  /// Throws RemoteError if the server's framing itself is corrupt.
+  std::optional<Reply> receive();
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+  /// Send + receive, unwrapping kError into RemoteError and expecting
+  /// `expected` (or kBusy -> nullopt).
+  std::optional<Reply> call(wire::FrameType type,
+                            std::span<const std::uint8_t> payload,
+                            wire::FrameType expected);
+
+  int fd_ = -1;
+  std::uint32_t nextRequestId_ = 1;
+};
+
+/// Newline-JSON debug-mode client (the "telnet" framing): one JSON request
+/// line out, one JSON response line back.
+class JsonDebugClient {
+ public:
+  static JsonDebugClient connectTcp(int port);
+  JsonDebugClient(JsonDebugClient&& other) noexcept;
+  JsonDebugClient& operator=(JsonDebugClient&& other) noexcept;
+  JsonDebugClient(const JsonDebugClient&) = delete;
+  JsonDebugClient& operator=(const JsonDebugClient&) = delete;
+  ~JsonDebugClient();
+
+  void close();
+  /// Sends `line` (newline appended) and returns the daemon's response
+  /// line; nullopt when the daemon closed the connection.
+  std::optional<std::string> request(const std::string& line);
+
+ private:
+  explicit JsonDebugClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace lclgrid::service

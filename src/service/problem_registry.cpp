@@ -1,0 +1,158 @@
+#include "service/problem_registry.hpp"
+
+#include <charconv>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "lcl/problems.hpp"
+
+namespace lclgrid::service {
+
+namespace {
+
+[[noreturn]] void badSpec(std::string_view spec, const char* why) {
+  throw std::invalid_argument("problem spec \"" + std::string(spec) +
+                              "\": " + why);
+}
+
+/// Splits on ':' (the family token first).
+std::vector<std::string_view> tokens(std::string_view spec) {
+  std::vector<std::string_view> out;
+  while (true) {
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string_view::npos) {
+      out.push_back(spec);
+      return out;
+    }
+    out.push_back(spec.substr(0, colon));
+    spec.remove_prefix(colon + 1);
+  }
+}
+
+int parseInt(std::string_view spec, std::string_view token) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    badSpec(spec, "malformed integer parameter");
+  }
+  return value;
+}
+
+void wantParams(std::string_view spec,
+                const std::vector<std::string_view>& parts,
+                std::size_t params) {
+  if (parts.size() != params + 1) badSpec(spec, "wrong parameter count");
+}
+
+}  // namespace
+
+bool isProblemDSpec(std::string_view spec) {
+  const std::string_view family = spec.substr(0, spec.find(':'));
+  return family == "vcd" || family == "xor" || family == "mono";
+}
+
+bool isCycleSpec(std::string_view spec) {
+  const std::string_view family = spec.substr(0, spec.find(':'));
+  return family == "cvc" || family == "cmis";
+}
+
+GridLcl buildProblem(std::string_view spec) {
+  const std::vector<std::string_view> parts = tokens(spec);
+  const std::string_view family = parts[0];
+  if (family == "vc") {
+    wantParams(spec, parts, 1);
+    return problems::vertexColouring(parseInt(spec, parts[1]));
+  }
+  if (family == "mis") {
+    wantParams(spec, parts, 0);
+    return problems::maximalIndependentSet();
+  }
+  if (family == "is") {
+    wantParams(spec, parts, 0);
+    return problems::independentSet();
+  }
+  if (family == "mm") {
+    wantParams(spec, parts, 0);
+    return problems::maximalMatching();
+  }
+  if (family == "ec") {
+    wantParams(spec, parts, 1);
+    return problems::edgeColouring(parseInt(spec, parts[1]));
+  }
+  if (family == "orient") {
+    wantParams(spec, parts, 1);
+    std::set<int> degrees;
+    std::string_view list = parts[1];
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      degrees.insert(parseInt(spec, list.substr(0, comma)));
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+    if (degrees.empty()) badSpec(spec, "empty in-degree set");
+    return problems::orientation(degrees);
+  }
+  if (family == "nh1p") {
+    wantParams(spec, parts, 0);
+    return problems::noHorizontalOnePair();
+  }
+  if (family == "weak") {
+    wantParams(spec, parts, 2);
+    return problems::weakColouring(parseInt(spec, parts[1]),
+                                   parseInt(spec, parts[2]));
+  }
+  badSpec(spec, isProblemDSpec(spec)   ? "d-dimensional spec on a 2D request"
+          : isCycleSpec(spec)          ? "cycle spec on a grid request"
+                                       : "unknown problem family");
+}
+
+GridLclD buildProblemD(std::string_view spec) {
+  const std::vector<std::string_view> parts = tokens(spec);
+  const std::string_view family = parts[0];
+  if (family == "vcd") {
+    wantParams(spec, parts, 2);
+    return problems_d::vertexColouring(parseInt(spec, parts[1]),
+                                       parseInt(spec, parts[2]));
+  }
+  if (family == "xor") {
+    wantParams(spec, parts, 1);
+    return problems_d::xorParity(parseInt(spec, parts[1]));
+  }
+  if (family == "mono") {
+    wantParams(spec, parts, 3);
+    return problems_d::monotoneAxis(parseInt(spec, parts[1]),
+                                    parseInt(spec, parts[2]),
+                                    parseInt(spec, parts[3]));
+  }
+  badSpec(spec, "unknown d-dimensional problem family");
+}
+
+cycle::CycleLcl buildCycleProblem(std::string_view spec) {
+  const std::vector<std::string_view> parts = tokens(spec);
+  const std::string_view family = parts[0];
+  if (family == "cvc") {
+    wantParams(spec, parts, 1);
+    const int k = parseInt(spec, parts[1]);
+    if (k < 1) badSpec(spec, "colour count must be positive");
+    return cycle::CycleLcl(
+        "cycle-vertex-colouring-" + std::to_string(k), k, /*radius=*/1,
+        [](const std::vector<int>& window) {
+          return window[1] != window[0] && window[1] != window[2];
+        });
+  }
+  if (family == "cmis") {
+    wantParams(spec, parts, 0);
+    // sigma = 2, 1 = in the set: no two adjacent 1s, and a 0 centre must
+    // see a 1 (maximality).
+    return cycle::CycleLcl(
+        "cycle-mis", 2, /*radius=*/1, [](const std::vector<int>& window) {
+          if (window[1] == 1) return window[0] == 0 && window[2] == 0;
+          return window[0] == 1 || window[2] == 1;
+        });
+  }
+  badSpec(spec, "unknown cycle problem family");
+}
+
+}  // namespace lclgrid::service

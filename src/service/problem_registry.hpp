@@ -1,0 +1,51 @@
+// Problem spec strings of the verification service: a compact, stable text
+// name for every problem the daemon can build on demand, so clients refer
+// to problems without shipping predicates over the wire. Colon-separated,
+// first token the family, the rest integer parameters:
+//
+//   2D grid (lcl/problems.hpp):        d-dimensional (problems_d):
+//     "vc:<k>"      vertexColouring      "vcd:<dims>:<k>"  vertexColouring
+//     "mis"         maximalIndependentSet"xor:<dims>"      xorParity
+//     "is"          independentSet       "mono:<dims>:<axis>:<sigma>"
+//     "mm"          maximalMatching                        monotoneAxis
+//     "ec:<k>"      edgeColouring
+//     "orient:<a>,<b>,..."  orientation (allowed in-degrees)
+//     "nh1p"        noHorizontalOnePair
+//     "weak:<k>:<m>" weakColouring
+//
+//   cycles (classification requests only):
+//     "cvc:<k>"  proper k-colouring of the directed cycle
+//     "cmis"     maximal independent set on the directed cycle
+//
+// Unknown family names or malformed parameters throw std::invalid_argument
+// with the offending spec -- the daemon relays that as a kError frame.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cycle/cycle_lcl.hpp"
+#include "lcl/grid_lcl.hpp"
+#include "lcl/grid_lcl_d.hpp"
+
+namespace lclgrid::service {
+
+/// True iff the spec names a d-dimensional problem ("vcd:", "xor:",
+/// "mono:") -- those resolve through buildProblemD.
+bool isProblemDSpec(std::string_view spec);
+
+/// True iff the spec names a cycle problem ("cvc:", "cmis").
+bool isCycleSpec(std::string_view spec);
+
+/// Builds the named 2D grid problem; throws std::invalid_argument for
+/// unknown/malformed specs (including d-dimensional and cycle specs).
+GridLcl buildProblem(std::string_view spec);
+
+/// Builds the named d-dimensional problem; throws for anything else.
+GridLclD buildProblemD(std::string_view spec);
+
+/// Builds the named cycle problem; throws for anything else.
+cycle::CycleLcl buildCycleProblem(std::string_view spec);
+
+}  // namespace lclgrid::service

@@ -1,0 +1,908 @@
+#include "service/service.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "grid/torus2d.hpp"
+#include "grid/torusd.hpp"
+#include "lcl/verify_api.hpp"
+#include "service/problem_registry.hpp"
+
+namespace lclgrid::service {
+
+namespace {
+
+using support::JsonWriter;
+using support::JsonValue;
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw std::runtime_error("service: " + what + ": " + std::strerror(errno));
+}
+
+/// Blocking read of exactly `bytes`; false on EOF or a hard error (the
+/// connection is then treated as disconnected, mid-frame or not).
+bool readFully(int fd, void* data, std::size_t bytes) {
+  auto* out = static_cast<std::uint8_t*>(data);
+  while (bytes > 0) {
+    const ssize_t got = ::recv(fd, out, bytes, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;
+    out += got;
+    bytes -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+/// Best-effort blocking write; a failure (client went away mid-response)
+/// is deliberately ignored -- the reader side notices the disconnect.
+void writeFully(int fd, const void* data, std::size_t bytes) {
+  const auto* in = static_cast<const std::uint8_t*>(data);
+  while (bytes > 0) {
+    const ssize_t put = ::send(fd, in, bytes, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    in += put;
+    bytes -= static_cast<std::size_t>(put);
+  }
+}
+
+std::uint8_t tierPinOf(const std::string& name) {
+  if (name == "auto") return 0;
+  if (name == "functional") return 1;
+  if (name == "table") return 2;
+  if (name == "bitsliced") return 3;
+  throw std::invalid_argument("service: unknown tier pin \"" + name + "\"");
+}
+
+std::string jsonErrorLine(std::uint32_t requestId, std::string_view message) {
+  JsonWriter json;
+  json.beginObject();
+  json.key("id").value(static_cast<long long>(requestId));
+  json.key("error").value(message);
+  json.endObject();
+  return json.str();
+}
+
+}  // namespace
+
+// --- ProblemCache -----------------------------------------------------------
+
+VerificationService::ProblemCache::ProblemCache(std::size_t capacity)
+    : specs_(capacity, "service.problem_cache"),
+      specsD_(capacity, "service.problem_cache_d") {
+  // Keep the fingerprint index consistent with the LRU: an evicted problem
+  // must stop resolving by fingerprint (the index would otherwise pin its
+  // memory forever and grow without bound).
+  specs_.setEvictionCallback(
+      [this](const std::string&, const std::shared_ptr<const GridLcl>& lcl) {
+        if (!lcl->hasTable()) return;
+        const auto it = fingerprints_.find(lcl->table().fingerprint());
+        if (it != fingerprints_.end() && it->second.get() == lcl.get()) {
+          fingerprints_.erase(it);
+        }
+      });
+}
+
+std::shared_ptr<const GridLcl> VerificationService::ProblemCache::bySpec(
+    const std::string& spec) {
+  std::lock_guard lock(mutex_);
+  if (std::optional hit = specs_.get(spec)) return *hit;
+  auto built = std::make_shared<const GridLcl>(buildProblem(spec));
+  specs_.put(spec, built);
+  if (built->hasTable()) {
+    fingerprints_[built->table().fingerprint()] = built;
+  }
+  return built;
+}
+
+std::shared_ptr<const GridLclD> VerificationService::ProblemCache::bySpecD(
+    const std::string& spec) {
+  std::lock_guard lock(mutex_);
+  if (std::optional hit = specsD_.get(spec)) return *hit;
+  auto built = std::make_shared<const GridLclD>(buildProblemD(spec));
+  specsD_.put(spec, built);
+  return built;
+}
+
+std::shared_ptr<const GridLcl>
+VerificationService::ProblemCache::byFingerprint(std::uint64_t fingerprint) {
+  std::lock_guard lock(mutex_);
+  const auto it = fingerprints_.find(fingerprint);
+  return it == fingerprints_.end() ? nullptr : it->second;
+}
+
+support::LruStats VerificationService::ProblemCache::stats() const {
+  std::lock_guard lock(mutex_);
+  const support::LruStats a = specs_.stats();
+  const support::LruStats b = specsD_.stats();
+  return {a.hits + b.hits, a.misses + b.misses, a.evictions + b.evictions,
+          a.entries + b.entries};
+}
+
+// --- lifecycle --------------------------------------------------------------
+
+VerificationService::VerificationService(ServiceConfig config)
+    : config_(std::move(config)),
+      problems_(config_.problemCacheCapacity),
+      reports_(config_.reportCacheCapacity, "service.report_cache"),
+      requestCounter_(telemetry::counter("service.requests")),
+      busyCounter_(telemetry::counter("service.busy")),
+      errorCounter_(telemetry::counter("service.errors")),
+      queueGauge_(telemetry::gauge("service.queue_depth")) {
+  config_.serviceThreads = std::max(1, config_.serviceThreads);
+  config_.engineThreads = std::max(1, config_.engineThreads);
+  config_.maxQueuedPerClient = std::max(1, config_.maxQueuedPerClient);
+  config_.maxConnections = std::max(1, config_.maxConnections);
+}
+
+VerificationService::~VerificationService() { stop(); }
+
+void VerificationService::start() {
+  if (running_.exchange(true)) {
+    throw std::logic_error("service: already started");
+  }
+  shutdownRequested_.store(false);
+  if (!config_.unixSocketPath.empty()) {
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+      running_.store(false);
+      throwErrno("socket(AF_UNIX)");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unixSocketPath.size() >= sizeof(addr.sun_path)) {
+      ::close(listenFd_);
+      listenFd_ = -1;
+      running_.store(false);
+      throw std::runtime_error("service: unix socket path too long");
+    }
+    std::strncpy(addr.sun_path, config_.unixSocketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(config_.unixSocketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      ::close(listenFd_);
+      listenFd_ = -1;
+      running_.store(false);
+      throwErrno("bind(" + config_.unixSocketPath + ")");
+    }
+    port_ = -1;
+  } else {
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+      running_.store(false);
+      throwErrno("socket(AF_INET)");
+    }
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcpPort));
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      ::close(listenFd_);
+      listenFd_ = -1;
+      running_.store(false);
+      throwErrno("bind(loopback)");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listenFd_, 64) != 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+    running_.store(false);
+    throwErrno("listen");
+  }
+  workers_.reserve(static_cast<std::size_t>(config_.serviceThreads));
+  for (int i = 0; i < config_.serviceThreads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+  acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void VerificationService::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard lock(shutdownMutex_);
+  }
+  shutdownCv_.notify_all();
+  if (listenFd_ >= 0) {
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  listenFd_ = -1;
+  {
+    std::lock_guard lock(connectionsMutex_);
+    for (const auto& conn : connections_) {
+      std::lock_guard writeLock(conn->writeMutex);
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  // The acceptor is joined, so no new connection threads appear.
+  for (auto& thread : connectionThreads_) {
+    if (thread.joinable()) thread.join();
+  }
+  queueCv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  for (const auto& conn : connections_) closeConnection(*conn);
+  connections_.clear();
+  connectionThreads_.clear();
+  if (!config_.unixSocketPath.empty()) {
+    ::unlink(config_.unixSocketPath.c_str());
+  }
+}
+
+void VerificationService::waitForShutdown() {
+  // Bounded waits, not a plain wait: noteSignalShutdown() runs in a signal
+  // handler and can only store the flag, never touch the cv.
+  std::unique_lock lock(shutdownMutex_);
+  while (!shutdownCv_.wait_for(lock, std::chrono::milliseconds(200), [this] {
+    return shutdownRequested_.load() || !running_.load();
+  })) {
+  }
+}
+
+void VerificationService::requestShutdown() {
+  shutdownRequested_.store(true);
+  {
+    std::lock_guard lock(shutdownMutex_);
+  }
+  shutdownCv_.notify_all();
+}
+
+void VerificationService::closeConnection(Connection& conn) {
+  std::lock_guard lock(conn.writeMutex);
+  if (conn.fd >= 0) {
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+}
+
+// --- accept / read side -----------------------------------------------------
+
+void VerificationService::acceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (!running_.load()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    if (!running_.load()) {
+      ::close(fd);
+      return;
+    }
+    if (liveConnections_.fetch_add(1) >= config_.maxConnections) {
+      liveConnections_.fetch_sub(1);
+      ::close(fd);
+      std::lock_guard lock(countersMutex_);
+      ++counters_.connectionsRejected;
+      continue;
+    }
+    {
+      std::lock_guard lock(countersMutex_);
+      ++counters_.connectionsAccepted;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard lock(connectionsMutex_);
+    connections_.push_back(conn);
+    connectionThreads_.emplace_back(
+        [this, conn] { connectionLoop(conn); });
+  }
+}
+
+void VerificationService::connectionLoop(std::shared_ptr<Connection> conn) {
+  // Framing detection: peek the first 4 bytes -- the binary magic selects
+  // length-prefixed frames, anything else the newline-JSON debug mode.
+  std::uint8_t probe[4];
+  ssize_t got;
+  do {
+    got = ::recv(conn->fd, probe, sizeof(probe), MSG_PEEK | MSG_WAITALL);
+  } while (got < 0 && errno == EINTR);
+  if (got == static_cast<ssize_t>(sizeof(probe))) {
+    conn->jsonMode = std::memcmp(probe, wire::kMagic, sizeof(probe)) != 0;
+    if (conn->jsonMode) {
+      jsonLoop(conn);
+    } else {
+      binaryLoop(conn);
+    }
+  }
+  liveConnections_.fetch_sub(1);
+  // Close now unless a worker still owes this client responses; the last
+  // such worker closes instead (both sides re-check, so the close cannot
+  // be lost between the two).
+  conn->closeRequested.store(true, std::memory_order_release);
+  if (conn->inflight.load(std::memory_order_acquire) == 0) {
+    closeConnection(*conn);
+  }
+}
+
+void VerificationService::binaryLoop(const std::shared_ptr<Connection>& conn) {
+  std::uint8_t header[wire::kHeaderBytes];
+  while (running_.load()) {
+    if (!readFully(conn->fd, header, sizeof(header))) return;
+    wire::FrameHeader frame;
+    if (!wire::decodeHeader(header, &frame)) {
+      // The stream cannot be re-synchronised after a framing error; report
+      // and close (docs/service.md).
+      sendError(*conn, 0, "service: bad frame magic");
+      return;
+    }
+    if (frame.payloadBytes > config_.maxPayloadBytes) {
+      sendError(*conn, frame.requestId,
+                "service: frame payload exceeds the configured size limit");
+      return;
+    }
+    Task task;
+    task.payload.resize(frame.payloadBytes);
+    if (!readFully(conn->fd, task.payload.data(), task.payload.size())) {
+      return;  // disconnect mid-frame
+    }
+    if (frame.type == wire::FrameType::kShutdown) {
+      sendFrame(*conn, wire::FrameType::kShutdownAck, frame.requestId, {});
+      requestShutdown();
+      continue;
+    }
+    task.conn = conn;
+    task.type = frame.type;
+    task.requestId = frame.requestId;
+    admit(std::move(task));
+  }
+}
+
+void VerificationService::jsonLoop(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  char chunk[4096];
+  while (running_.load()) {
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      std::uint32_t requestId = 0;
+      try {
+        JsonValue request = support::parseJson(line);
+        if (const JsonValue* id = request.find("id")) {
+          requestId = static_cast<std::uint32_t>(id->asInt());
+        }
+        const std::string& op = request.at("op").asString();
+        if (op == "shutdown") {
+          JsonWriter ack;
+          ack.beginObject();
+          ack.key("id").value(static_cast<long long>(requestId));
+          ack.key("ok").value(true);
+          ack.key("shutdown").value(true);
+          ack.endObject();
+          sendJsonLine(*conn, ack.str());
+          requestShutdown();
+          continue;
+        }
+        Task task;
+        task.conn = conn;
+        task.json = true;
+        task.requestId = requestId;
+        if (op == "ping") {
+          task.type = wire::FrameType::kPing;
+        } else if (op == "verify") {
+          task.type = wire::FrameType::kVerify;
+        } else if (op == "classify") {
+          task.type = wire::FrameType::kClassify;
+        } else if (op == "stats") {
+          task.type = wire::FrameType::kStats;
+        } else if (op == "sleep") {
+          task.type = wire::FrameType::kSleep;
+        } else {
+          throw std::invalid_argument("service: unknown op \"" + op + "\"");
+        }
+        task.jsonRequest = std::move(request);
+        admit(std::move(task));
+      } catch (const std::exception& error) {
+        sendJsonLine(*conn, jsonErrorLine(requestId, error.what()));
+      }
+    }
+    if (buffer.size() > config_.maxPayloadBytes) {
+      sendJsonLine(*conn, jsonErrorLine(0, "service: request line too long"));
+      return;
+    }
+    ssize_t got = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+bool VerificationService::admit(Task task) {
+  Connection& conn = *task.conn;
+  // Only this connection's reader increments, so load-then-add is not a
+  // race against other admissions for the same client.
+  if (conn.inflight.load(std::memory_order_acquire) >=
+      config_.maxQueuedPerClient) {
+    {
+      std::lock_guard lock(countersMutex_);
+      ++counters_.busyRejections;
+    }
+    busyCounter_.increment();
+    if (task.json) {
+      JsonWriter busy;
+      busy.beginObject();
+      busy.key("id").value(static_cast<long long>(task.requestId));
+      busy.key("busy").value(true);
+      busy.endObject();
+      sendJsonLine(conn, busy.str());
+    } else {
+      sendFrame(conn, wire::FrameType::kBusy, task.requestId, {});
+    }
+    return true;
+  }
+  conn.inflight.fetch_add(1, std::memory_order_acq_rel);
+  std::size_t depth;
+  {
+    std::lock_guard lock(queueMutex_);
+    queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  queueCv_.notify_one();
+  queueGauge_.set(static_cast<std::int64_t>(depth));
+  std::lock_guard lock(countersMutex_);
+  counters_.queueDepth = static_cast<std::int64_t>(depth);
+  counters_.queuePeakDepth =
+      std::max(counters_.queuePeakDepth, counters_.queueDepth);
+  return true;
+}
+
+// --- worker side ------------------------------------------------------------
+
+void VerificationService::workerLoop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock lock(queueMutex_);
+      queueCv_.wait(lock,
+                    [this] { return !queue_.empty() || !running_.load(); });
+      if (queue_.empty()) {
+        if (!running_.load()) return;  // spurious wake with no work
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      counters_.queueDepth = static_cast<std::int64_t>(queue_.size());
+      queueGauge_.set(counters_.queueDepth);
+    }
+    if (task.json) {
+      executeJson(task);
+    } else {
+      execute(task);
+    }
+    Connection& conn = *task.conn;
+    if (conn.inflight.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        conn.closeRequested.load(std::memory_order_acquire)) {
+      closeConnection(conn);
+    }
+  }
+}
+
+void VerificationService::execute(Task& task) {
+  Connection& conn = *task.conn;
+  requestCounter_.increment();
+  {
+    std::lock_guard lock(countersMutex_);
+    ++counters_.requests;
+    if (task.type == wire::FrameType::kVerify) ++counters_.verifyRequests;
+    if (task.type == wire::FrameType::kClassify) ++counters_.classifyRequests;
+  }
+  try {
+    switch (task.type) {
+      case wire::FrameType::kPing:
+        sendFrame(conn, wire::FrameType::kPong, task.requestId, {});
+        break;
+      case wire::FrameType::kSleep: {
+        if (!config_.enableTestOps) {
+          throw std::invalid_argument(
+              "service: sleep is a test-only operation");
+        }
+        std::size_t offset = 0;
+        const std::uint32_t millis = wire::readU32(task.payload, offset);
+        std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+        sendFrame(conn, wire::FrameType::kPong, task.requestId, {});
+        break;
+      }
+      case wire::FrameType::kVerify: {
+        const VerifyRequestFrame request = decodeVerifyRequest(task.payload);
+        const VerifyResultFrame result = runVerify(request);
+        const std::vector<std::uint8_t> payload = encodeVerifyResult(result);
+        sendFrame(conn, wire::FrameType::kVerifyResult, task.requestId,
+                  payload);
+        break;
+      }
+      case wire::FrameType::kClassify: {
+        const ClassifyRequestFrame request =
+            decodeClassifyRequest(task.payload);
+        const std::string json = runClassify(request);
+        sendFrame(conn, wire::FrameType::kClassifyResult, task.requestId,
+                  {reinterpret_cast<const std::uint8_t*>(json.data()),
+                   json.size()});
+        break;
+      }
+      case wire::FrameType::kStats: {
+        const std::string json = statsJson();
+        sendFrame(conn, wire::FrameType::kStatsResult, task.requestId,
+                  {reinterpret_cast<const std::uint8_t*>(json.data()),
+                   json.size()});
+        break;
+      }
+      default:
+        throw std::invalid_argument("service: unknown request frame type");
+    }
+  } catch (const std::exception& error) {
+    {
+      std::lock_guard lock(countersMutex_);
+      ++counters_.errors;
+    }
+    errorCounter_.increment();
+    sendError(conn, task.requestId, error.what());
+  }
+}
+
+void VerificationService::executeJson(Task& task) {
+  Connection& conn = *task.conn;
+  requestCounter_.increment();
+  {
+    std::lock_guard lock(countersMutex_);
+    ++counters_.requests;
+    if (task.type == wire::FrameType::kVerify) ++counters_.verifyRequests;
+    if (task.type == wire::FrameType::kClassify) ++counters_.classifyRequests;
+  }
+  const JsonValue& request = task.jsonRequest;
+  const long long id = task.requestId;
+  try {
+    switch (task.type) {
+      case wire::FrameType::kPing: {
+        JsonWriter json;
+        json.beginObject();
+        json.key("id").value(id);
+        json.key("ok").value(true);
+        json.key("pong").value(true);
+        json.endObject();
+        sendJsonLine(conn, json.str());
+        break;
+      }
+      case wire::FrameType::kSleep: {
+        if (!config_.enableTestOps) {
+          throw std::invalid_argument(
+              "service: sleep is a test-only operation");
+        }
+        const JsonValue* millis = request.find("ms");
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(millis ? millis->asInt() : 0));
+        JsonWriter json;
+        json.beginObject();
+        json.key("id").value(id);
+        json.key("ok").value(true);
+        json.key("pong").value(true);
+        json.endObject();
+        sendJsonLine(conn, json.str());
+        break;
+      }
+      case wire::FrameType::kVerify: {
+        VerifyRequestFrame frame;
+        std::vector<int> labels;  // owns what the frame's span views
+        if (const JsonValue* fingerprint = request.find("fingerprint")) {
+          frame.problemRef = ProblemRefKind::kFingerprint;
+          frame.fingerprint =
+              static_cast<std::uint64_t>(fingerprint->asInt());
+        } else {
+          frame.spec = request.at("problem").asString();
+        }
+        if (const JsonValue* count = request.find("count")) {
+          frame.countViolations = count->asBool();
+        }
+        if (const JsonValue* tier = request.find("tier")) {
+          frame.tierPin = tierPinOf(tier->asString());
+        }
+        if (const JsonValue* threads = request.find("threads")) {
+          frame.threads = static_cast<std::uint32_t>(threads->asInt());
+        }
+        if (const JsonValue* path = request.find("path")) {
+          frame.labelling = LabellingKind::kPath;
+          frame.path = path->asString();
+        } else {
+          const std::vector<JsonValue>& array = request.at("labels").asArray();
+          labels.reserve(array.size());
+          for (const JsonValue& label : array) {
+            labels.push_back(static_cast<int>(label.asInt()));
+          }
+          frame.labels = labels;
+          frame.n = static_cast<std::uint32_t>(request.at("n").asInt());
+          if (const JsonValue* dims = request.find("dims")) {
+            frame.dims = static_cast<std::uint32_t>(dims->asInt());
+          }
+          if (const JsonValue* batch = request.find("batch")) {
+            frame.batch = static_cast<std::uint32_t>(batch->asInt());
+          }
+        }
+        const VerifyResultFrame result = runVerify(frame);
+        JsonWriter json;
+        json.beginObject();
+        json.key("id").value(id);
+        json.key("ok").value(true);
+        json.key("feasible").value(result.feasible);
+        json.key("violations").value(
+            static_cast<long long>(result.violations));
+        json.key("labellings").value(
+            static_cast<long long>(result.labellings));
+        json.key("tier").value(
+            verifyTierName(static_cast<VerifyTier>(result.tier)));
+        json.key("fingerprint").value(JsonWriter::hex(result.fingerprint));
+        json.key("nanos").value(static_cast<long long>(result.nanos));
+        if (!result.feasiblePerLabelling.empty()) {
+          json.key("feasible_per_labelling").beginArray();
+          for (std::uint8_t feasible : result.feasiblePerLabelling) {
+            json.value(feasible != 0);
+          }
+          json.endArray();
+        }
+        if (!result.violationsPerLabelling.empty()) {
+          json.key("violations_per_labelling").beginArray();
+          for (std::int64_t violations : result.violationsPerLabelling) {
+            json.value(static_cast<long long>(violations));
+          }
+          json.endArray();
+        }
+        json.endObject();
+        sendJsonLine(conn, json.str());
+        break;
+      }
+      case wire::FrameType::kClassify: {
+        ClassifyRequestFrame frame;
+        if (const JsonValue* fingerprint = request.find("fingerprint")) {
+          frame.problemRef = ProblemRefKind::kFingerprint;
+          frame.fingerprint =
+              static_cast<std::uint64_t>(fingerprint->asInt());
+        } else {
+          frame.spec = request.at("problem").asString();
+        }
+        const std::string classification = runClassify(frame);
+        sendJsonLine(conn, "{\"id\":" + std::to_string(id) +
+                               ",\"ok\":true,\"classification\":" +
+                               classification + "}");
+        break;
+      }
+      case wire::FrameType::kStats:
+        sendJsonLine(conn, "{\"id\":" + std::to_string(id) +
+                               ",\"ok\":true,\"stats\":" + statsJson() + "}");
+        break;
+      default:
+        throw std::invalid_argument("service: unknown request type");
+    }
+  } catch (const std::exception& error) {
+    {
+      std::lock_guard lock(countersMutex_);
+      ++counters_.errors;
+    }
+    errorCounter_.increment();
+    sendJsonLine(conn, jsonErrorLine(task.requestId, error.what()));
+  }
+}
+
+// --- request execution ------------------------------------------------------
+
+VerifyResultFrame VerificationService::runVerify(
+    const VerifyRequestFrame& frame) {
+  VerifyRequest request;
+  // The shared_ptrs keep cached problems alive across a concurrent
+  // eviction for the duration of the call.
+  std::shared_ptr<const GridLcl> held;
+  std::shared_ptr<const GridLclD> heldD;
+  if (frame.problemRef == ProblemRefKind::kFingerprint) {
+    held = problems_.byFingerprint(frame.fingerprint);
+    if (!held) {
+      throw std::invalid_argument(
+          "service: unknown problem fingerprint (not in the cache; send the "
+          "spec once first)");
+    }
+    request.problem = held.get();
+  } else if (isCycleSpec(frame.spec)) {
+    throw std::invalid_argument(
+        "service: cycle problems take classify requests, not verify");
+  } else if (isProblemDSpec(frame.spec)) {
+    heldD = problems_.bySpecD(frame.spec);
+    request.problemD = heldD.get();
+  } else {
+    held = problems_.bySpec(frame.spec);
+    request.problem = held.get();
+  }
+  if (frame.tierPin > 3) {
+    throw std::invalid_argument("service: unknown tier pin");
+  }
+  request.options.tier = static_cast<TierPin>(frame.tierPin);
+  request.options.countViolations = frame.countViolations;
+  // Per-request parallelism is capped by the daemon's engineThreads budget
+  // (0 on the wire asks for the daemon default).
+  const int askedThreads =
+      frame.threads == 0 ? config_.engineThreads
+                         : static_cast<int>(frame.threads);
+  request.options.engine.threads =
+      std::clamp(askedThreads, 1, config_.engineThreads);
+
+  std::optional<Torus2D> torus;
+  std::optional<TorusD> torusD;
+  if (frame.labelling == LabellingKind::kPath) {
+    request.labellingPath = frame.path;
+  } else {
+    if (request.problemD != nullptr) {
+      torusD.emplace(static_cast<int>(frame.dims), static_cast<int>(frame.n));
+      request.torusD = &*torusD;
+    } else {
+      if (frame.dims != 2) {
+        throw std::invalid_argument("service: 2D problems need dims == 2");
+      }
+      torus.emplace(static_cast<int>(frame.n));
+      request.torus = &*torus;
+    }
+    request.labels = frame.labels;
+  }
+
+  VerifyResult result = verify(request);
+  VerifyResultFrame out;
+  out.feasible = result.feasible;
+  out.tier = static_cast<std::uint8_t>(result.tier);
+  out.violations = result.violations;
+  out.labellings = result.labellings;
+  out.fingerprint = result.fingerprint;
+  out.nanos = result.nanos;
+  out.feasiblePerLabelling = std::move(result.feasiblePerLabelling);
+  out.violationsPerLabelling = std::move(result.violationsPerLabelling);
+  return out;
+}
+
+std::string VerificationService::runClassify(
+    const ClassifyRequestFrame& frame) {
+  engine::ClassifyOptions options;
+  options.reportCache = &reports_;
+  engine::ClassifyResult result;
+  const char* engineName = "grid";
+  if (frame.problemRef == ProblemRefKind::kFingerprint) {
+    const std::shared_ptr<const GridLcl> held =
+        problems_.byFingerprint(frame.fingerprint);
+    if (!held) {
+      throw std::invalid_argument(
+          "service: unknown problem fingerprint (not in the cache; send the "
+          "spec once first)");
+    }
+    result = engine::classify(*held, options);
+  } else if (isCycleSpec(frame.spec)) {
+    result = engine::classify(buildCycleProblem(frame.spec), options);
+    engineName = "cycle";
+  } else if (isProblemDSpec(frame.spec)) {
+    throw std::invalid_argument(
+        "service: classification covers 2D grid and cycle problems");
+  } else {
+    const std::shared_ptr<const GridLcl> held = problems_.bySpec(frame.spec);
+    result = engine::classify(*held, options);
+  }
+  JsonWriter json;
+  json.beginObject();
+  json.key("problem").value(result.problem);
+  json.key("engine").value(engineName);
+  json.key("complexity").value(result.complexity);
+  json.key("fingerprint").value(JsonWriter::hex(result.fingerprint));
+  json.key("cache_hit").value(result.cacheHit);
+  json.key("seconds").value(result.seconds);
+  if (result.grid) {
+    json.key("trivial_label").value(result.grid->trivialLabel);
+    json.key("attempts").value(
+        static_cast<long long>(result.grid->attempts.size()));
+  }
+  if (result.cycle) {
+    json.key("flexible_node").value(result.cycle->flexibleNode);
+    json.key("flexibility").value(result.cycle->flexibility);
+    json.key("has_self_loop").value(result.cycle->hasSelfLoop);
+    json.key("has_cycle").value(result.cycle->hasCycle);
+  }
+  json.endObject();
+  return json.str();
+}
+
+// --- stats ------------------------------------------------------------------
+
+ServiceCounters VerificationService::counters() const {
+  std::lock_guard lock(countersMutex_);
+  return counters_;
+}
+
+std::string VerificationService::statsJson() const {
+  const ServiceCounters counters = this->counters();
+  const support::LruStats problemStats = problems_.stats();
+  const support::LruStats reportStats = reports_.stats();
+  JsonWriter service;
+  service.beginObject();
+  service.key("requests").value(static_cast<long long>(counters.requests));
+  service.key("verify_requests")
+      .value(static_cast<long long>(counters.verifyRequests));
+  service.key("classify_requests")
+      .value(static_cast<long long>(counters.classifyRequests));
+  service.key("busy_rejections")
+      .value(static_cast<long long>(counters.busyRejections));
+  service.key("errors").value(static_cast<long long>(counters.errors));
+  service.key("connections_accepted")
+      .value(static_cast<long long>(counters.connectionsAccepted));
+  service.key("connections_rejected")
+      .value(static_cast<long long>(counters.connectionsRejected));
+  service.key("queue_depth").value(static_cast<long long>(counters.queueDepth));
+  service.key("queue_peak_depth")
+      .value(static_cast<long long>(counters.queuePeakDepth));
+  const auto cacheObject = [&service](const char* name,
+                                      const support::LruStats& stats) {
+    service.key(name).beginObject();
+    service.key("hits").value(static_cast<long long>(stats.hits));
+    service.key("misses").value(static_cast<long long>(stats.misses));
+    service.key("evictions").value(static_cast<long long>(stats.evictions));
+    service.key("entries").value(static_cast<long long>(stats.entries));
+    service.endObject();
+  };
+  cacheObject("problem_cache", problemStats);
+  cacheObject("report_cache", reportStats);
+  service.endObject();
+  // The telemetry snapshot is already a complete JSON document; splice it
+  // in verbatim ("null" when telemetry is compiled out).
+  std::string metrics = telemetry::metricsJson();
+  if (metrics.empty()) metrics = "null";
+  return "{\"metrics\":" + metrics + ",\"service\":" + service.str() + "}";
+}
+
+// --- response writers -------------------------------------------------------
+
+void VerificationService::sendFrame(Connection& conn, wire::FrameType type,
+                                    std::uint32_t requestId,
+                                    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(wire::kHeaderBytes + payload.size());
+  wire::appendHeader(frame, type, requestId,
+                     static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  std::lock_guard lock(conn.writeMutex);
+  if (conn.fd < 0) return;
+  writeFully(conn.fd, frame.data(), frame.size());
+}
+
+void VerificationService::sendError(Connection& conn, std::uint32_t requestId,
+                                    const std::string& message) {
+  sendFrame(conn, wire::FrameType::kError, requestId,
+            {reinterpret_cast<const std::uint8_t*>(message.data()),
+             message.size()});
+}
+
+void VerificationService::sendJsonLine(Connection& conn,
+                                       const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  std::lock_guard lock(conn.writeMutex);
+  if (conn.fd < 0) return;
+  writeFully(conn.fd, out.data(), out.size());
+}
+
+}  // namespace lclgrid::service

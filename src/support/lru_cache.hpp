@@ -1,0 +1,148 @@
+// A capacity-bounded LRU cache with telemetry hit/miss/eviction counters,
+// shared by the engine's oracle-report cache (engine/family_sweep.hpp) and
+// the verification service's compiled-table cache (service/service.hpp).
+//
+// Design: a std::list holds the entries in recency order (front = most
+// recent) and an unordered_map indexes list iterators by key, so get(),
+// put() and the eviction on overflow are all O(1). Capacity counts entries;
+// a capacity of 0 disables caching entirely (every get() misses, put() is a
+// no-op) -- useful for "run everything fresh" configurations.
+//
+// Telemetry: constructing a cache with a name prefix registers
+// "<prefix>.hits", "<prefix>.misses" and "<prefix>.evictions" counters in
+// the process registry (support/telemetry.hpp), so cache behaviour shows up
+// in telemetry::metricsJson() -- the service's stats frame serves exactly
+// that snapshot. The per-instance stats() struct is maintained regardless
+// of whether telemetry is compiled in.
+//
+// Thread-safety: none -- the cache is a plain container. Callers that share
+// one across threads (the service, the sweep's cross-call report cache)
+// guard it with their own mutex; see engine::ReportCache for the locked
+// idiom.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "support/telemetry.hpp"
+
+namespace lclgrid::support {
+
+struct LruStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t entries = 0;  // current size
+};
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// `counterPrefix` empty: no telemetry counters are registered (the
+  /// per-instance stats() are still maintained).
+  explicit LruCache(std::size_t capacity, std::string_view counterPrefix = {})
+      : capacity_(capacity) {
+    if (!counterPrefix.empty()) {
+      const std::string prefix(counterPrefix);
+      hitCounter_ = telemetry::counter(prefix + ".hits");
+      missCounter_ = telemetry::counter(prefix + ".misses");
+      evictionCounter_ = telemetry::counter(prefix + ".evictions");
+    }
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Observer fired with (key, value) of each entry evicted on capacity
+  /// overflow -- not by erase()/clear(). The service's problem cache keeps
+  /// its fingerprint index consistent with the LRU through this.
+  void setEvictionCallback(std::function<void(const Key&, const Value&)> fn) {
+    onEvict_ = std::move(fn);
+  }
+
+  /// Looks the key up and, on a hit, marks the entry most-recently-used.
+  /// Returns a copy of the value (entries stay owned by the cache; cache
+  /// shared_ptrs for heavy values).
+  std::optional<Value> get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      missCounter_.increment();
+      return std::nullopt;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);
+    ++stats_.hits;
+    hitCounter_.increment();
+    return entries_.front().second;
+  }
+
+  /// Inserts (or refreshes) key -> value as most-recently-used, evicting
+  /// the least-recently-used entry on overflow. With capacity() == 0 the
+  /// call is a no-op.
+  void put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.emplace_front(key, std::move(value));
+    index_.emplace(key, entries_.begin());
+    if (entries_.size() > capacity_) {
+      if (onEvict_) onEvict_(entries_.back().first, entries_.back().second);
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+      ++stats_.evictions;
+      evictionCounter_.increment();
+    }
+    stats_.entries = static_cast<std::int64_t>(entries_.size());
+  }
+
+  /// Removes the key if present; returns true iff it was.
+  bool erase(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    entries_.erase(it->second);
+    index_.erase(it);
+    stats_.entries = static_cast<std::int64_t>(entries_.size());
+    return true;
+  }
+
+  void clear() {
+    entries_.clear();
+    index_.clear();
+    stats_.entries = 0;
+  }
+
+  /// Applies fn(key, value) in recency order (most recent first).
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (const auto& [key, value] : entries_) fn(key, value);
+  }
+
+  LruStats stats() const {
+    LruStats out = stats_;
+    out.entries = static_cast<std::int64_t>(entries_.size());
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<Key, Value>> entries_;  // front = most recent
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+      index_;
+  LruStats stats_;
+  std::function<void(const Key&, const Value&)> onEvict_;
+  telemetry::Counter hitCounter_;    // null handles when prefix was empty:
+  telemetry::Counter missCounter_;   // increment() is a no-op
+  telemetry::Counter evictionCounter_;
+};
+
+}  // namespace lclgrid::support

@@ -1,0 +1,365 @@
+// The unified verify(VerifyRequest) front door (lcl/verify_api.hpp): bit-
+// identity with every legacy overload it subsumes (serial and threaded,
+// single and batch, 2D and d-dimensional, in-core and streaming), tier
+// pinning incl. its error paths, the fingerprint-resolver idiom, the
+// malformed-request diagnostics, and the classify() front door with its
+// cross-call ReportCache.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/family_sweep.hpp"
+#include "grid/torus2d.hpp"
+#include "grid/torusd.hpp"
+#include "lcl/problems.hpp"
+#include "lcl/stream_verify.hpp"
+#include "lcl/verifier.hpp"
+#include "lcl/verify_api.hpp"
+#include "support/lru_cache.hpp"
+
+using namespace lclgrid;
+
+namespace {
+
+std::vector<GridLcl> problemRegistry() {
+  std::vector<GridLcl> registry;
+  registry.push_back(problems::vertexColouring(4));
+  registry.push_back(problems::maximalIndependentSet());
+  registry.push_back(problems::maximalMatching());
+  registry.push_back(problems::edgeColouring(4));
+  registry.push_back(problems::orientation({2}));
+  registry.push_back(problems::noHorizontalOnePair());
+  registry.push_back(problems::weakColouring(3, 1));
+  return registry;
+}
+
+std::vector<int> randomLabels(int sigma, std::size_t count,
+                              std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> label(0, sigma - 1);
+  std::vector<int> labels(count);
+  for (int& value : labels) value = label(rng);
+  return labels;
+}
+
+std::string tempPath(const char* stem) {
+  const char* dir = std::getenv("TMPDIR");
+  std::string path = dir != nullptr ? dir : "/tmp";
+  path += '/';
+  path += stem;
+  path += '.';
+  path += std::to_string(::getpid());
+  return path;
+}
+
+}  // namespace
+
+TEST(VerifyApi, MatchesSerialAndThreadedOverloadsAcrossRegistry) {
+  const Torus2D torus(8);
+  int seed = 1;
+  for (const GridLcl& problem : problemRegistry()) {
+    const std::vector<int> labels = randomLabels(
+        problem.sigma(), static_cast<std::size_t>(torus.size()), seed++);
+    const bool expectFeasible = verify(torus, problem, labels);
+    const std::int64_t expectCount = countViolations(torus, problem, labels);
+    for (int threads : {1, 2, 8}) {
+      VerifyRequest request;
+      request.problem = &problem;
+      request.torus = &torus;
+      request.labels = labels;
+      request.options.engine.threads = threads;
+
+      VerifyResult decided = verify(request);
+      EXPECT_EQ(decided.feasible, expectFeasible)
+          << problem.name() << " threads=" << threads;
+      EXPECT_EQ(decided.labellings, 1);
+      EXPECT_EQ(decided.fingerprint, problem.table().fingerprint());
+      EXPECT_GE(decided.nanos, 0);
+
+      request.options.countViolations = true;
+      VerifyResult counted = verify(request);
+      EXPECT_EQ(counted.violations, expectCount)
+          << problem.name() << " threads=" << threads;
+      EXPECT_EQ(counted.feasible, expectCount == 0);
+
+      // The legacy threaded overloads forward through the same entry.
+      engine::EngineOptions options;
+      options.threads = threads;
+      EXPECT_EQ(verify(torus, problem, labels, options), expectFeasible);
+      EXPECT_EQ(countViolations(torus, problem, labels, options), expectCount);
+    }
+  }
+}
+
+TEST(VerifyApi, TierPinsAgreeAndReportTheirTier) {
+  const Torus2D torus(16);  // above the bit-slice node floor
+  const GridLcl problem = problems::vertexColouring(4);
+  const std::vector<int> labels =
+      randomLabels(4, static_cast<std::size_t>(torus.size()), 7);
+  const std::int64_t expect = countViolations(torus, problem, labels);
+  for (int threads : {1, 4}) {
+    for (TierPin pin : {TierPin::kAuto, TierPin::kFunctional, TierPin::kTable,
+                        TierPin::kBitsliced}) {
+      VerifyRequest request;
+      request.problem = &problem;
+      request.torus = &torus;
+      request.labels = labels;
+      request.options.countViolations = true;
+      request.options.engine.threads = threads;
+      request.options.tier = pin;
+      const VerifyResult result = verify(request);
+      EXPECT_EQ(result.violations, expect)
+          << "pin=" << static_cast<int>(pin) << " threads=" << threads;
+      switch (pin) {
+        case TierPin::kFunctional:
+          EXPECT_EQ(result.tier, VerifyTier::kFunctional);
+          break;
+        case TierPin::kTable:
+          EXPECT_EQ(result.tier, VerifyTier::kTable);
+          break;
+        case TierPin::kBitsliced:
+          EXPECT_EQ(result.tier, VerifyTier::kBitsliced);
+          break;
+        case TierPin::kAuto:
+          break;  // whatever the engine selects
+      }
+    }
+  }
+}
+
+TEST(VerifyApi, PinnedTableRejectsOutOfRangeLabels) {
+  const Torus2D torus(4);
+  const GridLcl problem = problems::maximalIndependentSet();
+  std::vector<int> labels(static_cast<std::size_t>(torus.size()), 0);
+  labels[3] = 99;  // out of range: only the functional tier may run
+  VerifyRequest request;
+  request.problem = &problem;
+  request.torus = &torus;
+  request.labels = labels;
+  request.options.tier = TierPin::kTable;
+  EXPECT_THROW(verify(request), std::invalid_argument);
+  request.options.tier = TierPin::kBitsliced;
+  EXPECT_THROW(verify(request), std::invalid_argument);
+  request.options.tier = TierPin::kFunctional;
+  const VerifyResult functional = verify(request);
+  EXPECT_EQ(functional.tier, VerifyTier::kFunctional);
+}
+
+TEST(VerifyApi, BatchMatchesBatchOverloads) {
+  const Torus2D torus(6);
+  const GridLcl problem = problems::edgeColouring(4);
+  const std::size_t nodes = static_cast<std::size_t>(torus.size());
+  std::vector<int> batch;
+  for (int i = 0; i < 4; ++i) {
+    const std::vector<int> labels = randomLabels(problem.sigma(), nodes,
+                                                 100 + static_cast<std::uint32_t>(i));
+    batch.insert(batch.end(), labels.begin(), labels.end());
+  }
+  const std::vector<std::uint8_t> expectVerdicts =
+      verifyBatch(torus, problem, batch);
+  const std::vector<std::int64_t> expectCounts =
+      countViolationsBatch(torus, problem, batch);
+  for (int threads : {1, 2, 8}) {
+    VerifyRequest request;
+    request.problem = &problem;
+    request.torus = &torus;
+    request.labels = batch;
+    request.options.engine.threads = threads;
+    VerifyResult decided = verify(request);
+    EXPECT_EQ(decided.labellings, 4);
+    EXPECT_EQ(decided.feasiblePerLabelling, expectVerdicts);
+    bool allFeasible = true;
+    for (std::uint8_t verdict : expectVerdicts) allFeasible &= verdict != 0;
+    EXPECT_EQ(decided.feasible, allFeasible);
+
+    request.options.countViolations = true;
+    VerifyResult counted = verify(request);
+    EXPECT_EQ(counted.violationsPerLabelling, expectCounts);
+    std::int64_t total = 0;
+    for (std::int64_t count : expectCounts) total += count;
+    EXPECT_EQ(counted.violations, total);
+  }
+}
+
+TEST(VerifyApi, TorusDMatchesOverloads) {
+  const TorusD torus(3, 4);
+  const GridLclD problem = problems_d::xorParity(3);
+  const std::vector<int> labels = randomLabels(
+      problem.sigma(), static_cast<std::size_t>(torus.size()), 42);
+  const std::int64_t expect = countViolations(torus, problem, labels);
+  for (int threads : {1, 4}) {
+    VerifyRequest request;
+    request.problemD = &problem;
+    request.torusD = &torus;
+    request.labels = labels;
+    request.options.countViolations = true;
+    request.options.engine.threads = threads;
+    const VerifyResult result = verify(request);
+    EXPECT_EQ(result.violations, expect) << "threads=" << threads;
+  }
+}
+
+TEST(VerifyApi, StreamRequestsMatchStreamOverloads) {
+  const Torus2D torus(12);
+  const GridLcl problem = problems::vertexColouring(3);
+  const std::vector<int> labels = randomLabels(
+      problem.sigma(), static_cast<std::size_t>(torus.size()), 9);
+  const std::string path = tempPath("verify_api_stream");
+  writeLabellingFile(path, problem.sigma(), 2, torus.n(), labels);
+  const StreamLabelling file(path);
+  const std::int64_t expect = streamCountViolations(file, problem);
+
+  VerifyRequest request;
+  request.problem = &problem;
+  request.file = &file;
+  request.options.countViolations = true;
+  VerifyResult viaFile = verify(request);
+  EXPECT_EQ(viaFile.violations, expect);
+  EXPECT_EQ(viaFile.tier, VerifyTier::kStream);
+
+  VerifyRequest viaPathRequest;
+  viaPathRequest.problem = &problem;
+  viaPathRequest.labellingPath = path;
+  viaPathRequest.options.countViolations = true;
+  viaPathRequest.options.window.rows = 4;
+  EXPECT_EQ(verify(viaPathRequest).violations, expect);
+
+  // Streaming accepts only the automatic tier.
+  request.options.tier = TierPin::kTable;
+  EXPECT_THROW(verify(request), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(VerifyApi, FingerprintResolver) {
+  const Torus2D torus(6);
+  const GridLcl problem = problems::maximalMatching();
+  const std::vector<int> labels = randomLabels(
+      problem.sigma(), static_cast<std::size_t>(torus.size()), 5);
+  VerifyRequest request;
+  request.fingerprint = problem.table().fingerprint();
+  request.resolveFingerprint = [&problem](std::uint64_t fingerprint) {
+    return fingerprint == problem.table().fingerprint() ? &problem : nullptr;
+  };
+  request.torus = &torus;
+  request.labels = labels;
+  request.options.countViolations = true;
+  EXPECT_EQ(verify(request).violations, countViolations(torus, problem, labels));
+
+  request.fingerprint ^= 1;  // unknown
+  EXPECT_THROW(verify(request), std::invalid_argument);
+  request.resolveFingerprint = nullptr;  // no resolver at all
+  EXPECT_THROW(verify(request), std::invalid_argument);
+}
+
+TEST(VerifyApi, MalformedRequestsThrow) {
+  const Torus2D torus(4);
+  const TorusD torusD(3, 3);
+  const GridLcl problem = problems::independentSet();
+  const GridLclD problemD = problems_d::xorParity(3);
+  std::vector<int> labels(static_cast<std::size_t>(torus.size()), 0);
+
+  VerifyRequest ambiguous;
+  ambiguous.problem = &problem;
+  ambiguous.problemD = &problemD;
+  ambiguous.torus = &torus;
+  ambiguous.labels = labels;
+  EXPECT_THROW(verify(ambiguous), std::invalid_argument);
+
+  VerifyRequest noInstance;
+  noInstance.problem = &problem;
+  EXPECT_THROW(verify(noInstance), std::invalid_argument);
+
+  // The legacy single-labelling overload's size contract is preserved.
+  std::vector<int> wrongSize(static_cast<std::size_t>(torus.size()) + 1, 0);
+  try {
+    (void)verify(torus, problem, wrongSize, engine::EngineOptions{.threads = 2});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(), "verifier: labelling size mismatch");
+  }
+}
+
+TEST(ClassifyApi, GridMatchesOracleAndCaches) {
+  const GridLcl problem = problems::vertexColouring(2);
+  synthesis::OracleOptions oracle;
+  oracle.probeSizes = {4, 5};
+  const synthesis::OracleReport direct = synthesis::classifyOnGrid(problem, oracle);
+
+  engine::ReportCache cache(8, "");
+  engine::ClassifyOptions options;
+  options.oracle = oracle;
+  options.reportCache = &cache;
+  const engine::ClassifyResult fresh = engine::classify(problem, options);
+  EXPECT_EQ(fresh.problem, problem.name());
+  EXPECT_FALSE(fresh.cacheHit);
+  EXPECT_EQ(fresh.complexity, synthesis::gridComplexityName(direct.complexity));
+  ASSERT_NE(fresh.grid, nullptr);
+  EXPECT_EQ(fresh.grid->complexity, direct.complexity);
+  EXPECT_EQ(fresh.fingerprint, problem.table().fingerprint());
+
+  const engine::ClassifyResult cached = engine::classify(problem, options);
+  EXPECT_TRUE(cached.cacheHit);
+  EXPECT_EQ(cached.complexity, fresh.complexity);
+  EXPECT_EQ(cached.grid, fresh.grid);  // the very report object, shared
+  EXPECT_GE(cache.stats().hits, 1);
+}
+
+TEST(ClassifyApi, CycleMatchesCycleClassifier) {
+  const cycle::CycleLcl problem(
+      "cycle-2col", 2, 1, [](const std::vector<int>& window) {
+        return window[1] != window[0] && window[1] != window[2];
+      });
+  const cycle::Classification direct = cycle::classifyCycleLcl(problem);
+  const engine::ClassifyResult result = engine::classify(problem);
+  EXPECT_EQ(result.complexity, cycle::complexityName(direct.complexity));
+  ASSERT_TRUE(result.cycle.has_value());
+  EXPECT_EQ(result.cycle->complexity, direct.complexity);
+  EXPECT_EQ(result.grid, nullptr);
+  EXPECT_FALSE(result.cacheHit);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsedAndReportsStats) {
+  support::LruCache<int, std::string> cache(2, "");
+  cache.put(1, "one");
+  cache.put(2, "two");
+  EXPECT_EQ(cache.get(1).value(), "one");  // 1 becomes most recent
+  cache.put(3, "three");                   // evicts 2
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  const support::LruStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 3);
+}
+
+TEST(LruCache, EvictionCallbackFiresOnOverflowOnly) {
+  support::LruCache<int, int> cache(1, "");
+  std::vector<std::pair<int, int>> evicted;
+  cache.setEvictionCallback(
+      [&evicted](const int& key, const int& value) {
+        evicted.emplace_back(key, value);
+      });
+  cache.put(1, 10);
+  cache.put(2, 20);  // evicts (1, 10)
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], std::make_pair(1, 10));
+  cache.erase(2);  // NOT an eviction
+  cache.put(3, 30);
+  cache.clear();  // NOT an eviction
+  EXPECT_EQ(evicted.size(), 1u);
+}
+
+TEST(LruCache, ZeroCapacityDisablesCaching) {
+  support::LruCache<int, int> cache(0, "");
+  cache.put(1, 10);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
