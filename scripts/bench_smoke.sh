@@ -93,6 +93,21 @@ run_json bench_sat --smoke
 # path (the run fails if any burst response goes missing).
 run_json -t smoke bench_service --smoke
 run_json -t soak bench_service --soak 1 --clients 2
+# Graceful degradation A/B (docs/robustness.md): shed on vs off under 2x
+# the admission budget of allowDegrade count requests; the run fails if
+# the shed-on pass never downgrades or the shed-off pass ever does.
+run_json -t overload bench_service --overload --seconds 0.4 --clients 2
+
+# Armed-but-never-firing fault points (LCLGRID_FAULTS, docs/robustness.md):
+# with any point armed, every FAULT_POINT site in the process takes its
+# slow path. One run per JSON bench proves env arming cannot disturb
+# results and keeps the armed cost visible in the captured JSON -- the
+# <= 2% overhead methodology is documented in docs/robustness.md.
+armed='service.dispatch:delay=0@nth=1000000000'
+LCLGRID_FAULTS="$armed" run_json -t faults-armed bench_verify_throughput --smoke --threads 2
+LCLGRID_FAULTS="$armed" run_json -t faults-armed bench_family_sweep --smoke --threads 2
+LCLGRID_FAULTS="$armed" run_json -t faults-armed bench_sat --smoke
+LCLGRID_FAULTS="$armed" run_json -t faults-armed bench_service --smoke
 
 # Google Benchmark binaries (skipped automatically if the library was
 # unavailable at configure time).

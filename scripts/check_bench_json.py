@@ -119,13 +119,27 @@ def check_bench_service(doc, results, errors):
     trajectory plots, docs/service.md). A row that loses them means the
     bench stopped timing round-trips -- a zero-request op would emit qps 0
     and fail here, which is the point: the smoke run must actually drive
-    every op."""
+    every op. Every row also carries the robustness columns shed /
+    timeouts / retries (docs/robustness.md) as non-negative integers --
+    dropping one would silently stop tracking degradation, deadline and
+    retry behaviour across the perf trajectory."""
+
+    def nonneg_int(value):
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and value >= 0
+        )
+
     for entry in results:
         if not isinstance(entry, dict):
             continue
         label = f"bench_service/{entry.get('op')}"
         for key in ("qps", "p99_us"):
             if not positive_finite(entry.get(key)):
+                errors.append(f"{label}: missing/invalid {key}")
+        for key in ("shed", "timeouts", "retries"):
+            if not nonneg_int(entry.get(key)):
                 errors.append(f"{label}: missing/invalid {key}")
 
 

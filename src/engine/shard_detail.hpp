@@ -469,6 +469,8 @@ std::int64_t shardedStream(engine::ThreadPool& pool, std::int64_t grain,
   pass.wrapKeep = stream_verify_detail::wrapWindowRows(file.dims(), n);
   pass.dropBehind = window.dropBehind;
   pass.tablePath = lcl.hasTable();
+  stream_verify_detail::applyCheckpointConfig(
+      pass, file, window, lcl.hasTable() ? lcl.table().fingerprint() : 0);
   const bool sliced = streamSliced(file, lcl);
   const auto sum = [](std::int64_t a, std::int64_t b) { return a + b; };
   if (pass.tablePath) {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "support/faultpoint.hpp"
 #include "support/telemetry.hpp"
 
 namespace lclgrid::engine {
@@ -140,6 +141,9 @@ void ThreadPool::workerLoop(std::size_t self) {
     }
     std::function<void()> task;
     if (tryTake(self, task)) {
+      // Injected scheduling jitter (delay) for chaos runs; a slow worker
+      // must never change counts, only latency.
+      (void)FAULT_POINT("pool.task");
       task();
       continue;
     }

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -16,7 +17,13 @@
 #include "grid/torusd.hpp"
 #include "lcl/verifier.hpp"
 #include "lcl/verify_probes.hpp"
+#include "support/faultpoint.hpp"
 #include "support/timing.hpp"
+
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#define LCLGRID_HAVE_FSYNC 1
+#endif
 
 namespace lclgrid {
 
@@ -42,6 +49,17 @@ std::uint32_t get32le(const std::byte* in) {
          (static_cast<std::uint32_t>(in[1]) << 8) |
          (static_cast<std::uint32_t>(in[2]) << 16) |
          (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+void put64le(unsigned char* out, std::uint64_t value) {
+  put32le(out, static_cast<std::uint32_t>(value & 0xffffffffu));
+  put32le(out + 4, static_cast<std::uint32_t>(value >> 32));
+}
+
+std::uint64_t get64le(const unsigned char* in) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) value = (value << 8) | in[i];
+  return value;
 }
 
 /// n^dims with an overflow guard (the node count must also leave room for
@@ -108,6 +126,25 @@ void StreamLabellingWriter::appendLabels(std::span<const int> labels) {
   if (written_ + static_cast<long long>(labels.size()) > expected_) {
     throw std::runtime_error(
         "StreamLabellingWriter: more labels than side^dims '" + path_ + "'");
+  }
+  {
+    // Injected disk failure: a short write counts the clamped prefix as
+    // stored (the real partial-fwrite shape) and both fail typed.
+    namespace fp = support::faultpoint;
+    const auto fault = FAULT_POINT("stream.writer_append");
+    if (fault.action == fp::Action::kErrno ||
+        fault.action == fp::Action::kShort) {
+      if (fault.action == fp::Action::kShort) {
+        const auto clamp = std::min<long long>(
+            fault.arg / static_cast<long long>(sizeof(int)),
+            static_cast<long long>(labels.size()));
+        written_ += clamp;
+      }
+      throw std::runtime_error(
+          "StreamLabellingWriter: write failed '" + path_ + "': " +
+          std::strerror(fault.action == fp::Action::kErrno ? fault.errnoValue
+                                                           : ENOSPC));
+    }
   }
   std::size_t stored;
   if constexpr (std::endian::native == std::endian::little) {
@@ -205,6 +242,122 @@ void StreamLabelling::dropRows(long long rowBegin, long long rowEnd) const {
                   static_cast<std::size_t>(rowEnd - rowBegin) * rowBytes);
 }
 
+std::uint64_t StreamLabelling::fingerprint() const {
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t hash = kOffset;
+  auto mixByte = [&hash](unsigned char byte) {
+    hash ^= byte;
+    hash *= kPrime;
+  };
+  auto mix64 = [&mixByte](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) mixByte((value >> (8 * i)) & 0xff);
+  };
+  mix64(static_cast<std::uint64_t>(sigma_));
+  mix64(static_cast<std::uint64_t>(dims_));
+  mix64(static_cast<std::uint64_t>(n_));
+  mix64(static_cast<std::uint64_t>(size_));
+  const std::byte* payload = file_.data() + kHeaderBytes;
+  const std::size_t bytes = file_.size() - kHeaderBytes;
+  const std::size_t sample = std::min<std::size_t>(4096, bytes);
+  for (std::size_t i = 0; i < sample; ++i) {
+    mixByte(static_cast<unsigned char>(payload[i]));
+  }
+  for (std::size_t i = bytes - sample; i < bytes; ++i) {
+    mixByte(static_cast<unsigned char>(payload[i]));
+  }
+  return hash;
+}
+
+// --- checkpoints ------------------------------------------------------------
+
+namespace {
+
+/// "LCLCKPv1": 8 magic bytes, u32 flags (bit 0 = functional phase), u32
+/// reserved, the labelling and problem fingerprints, nextRow / frontier /
+/// total as int64, and an FNV-1a checksum of the preceding 56 bytes.
+constexpr unsigned char kCheckpointMagic[8] = {'L', 'C', 'L', 'C',
+                                               'K', 'P', 'v', '1'};
+constexpr std::size_t kCheckpointBytes = 64;
+
+std::uint64_t checkpointChecksum(const unsigned char* buffer) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (std::size_t i = 0; i < kCheckpointBytes - 8; ++i) {
+    hash ^= buffer[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+bool writeStreamCheckpoint(const std::string& path,
+                           const StreamCheckpoint& checkpoint) {
+  namespace fp = support::faultpoint;
+  const auto fault = FAULT_POINT("stream.checkpoint_write");
+  if (fault.action == fp::Action::kErrno) {
+    errno = fault.errnoValue;
+    return false;
+  }
+  if (fault.action == fp::Action::kDrop) return false;
+
+  unsigned char buffer[kCheckpointBytes];
+  std::memcpy(buffer, kCheckpointMagic, sizeof(kCheckpointMagic));
+  put32le(buffer + 8, checkpoint.functionalPhase ? 1u : 0u);
+  put32le(buffer + 12, 0);  // reserved
+  put64le(buffer + 16, checkpoint.labellingFingerprint);
+  put64le(buffer + 24, checkpoint.problemFingerprint);
+  put64le(buffer + 32, static_cast<std::uint64_t>(checkpoint.nextRow));
+  put64le(buffer + 40, static_cast<std::uint64_t>(checkpoint.frontier));
+  put64le(buffer + 48, static_cast<std::uint64_t>(checkpoint.total));
+  put64le(buffer + 56, checkpointChecksum(buffer));
+
+  // tmp + fsync + rename: a crash leaves either the previous checkpoint or
+  // the new one, never a torn record.
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return false;
+  bool ok = std::fwrite(buffer, 1, kCheckpointBytes, file) ==
+                kCheckpointBytes &&
+            std::fflush(file) == 0;
+#ifdef LCLGRID_HAVE_FSYNC
+  if (ok) ok = ::fsync(::fileno(file)) == 0;
+#endif
+  if (std::fclose(file) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<StreamCheckpoint> loadStreamCheckpoint(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  unsigned char buffer[kCheckpointBytes];
+  const std::size_t got = std::fread(buffer, 1, kCheckpointBytes, file);
+  std::fclose(file);
+  if (got != kCheckpointBytes) return std::nullopt;
+  if (std::memcmp(buffer, kCheckpointMagic, sizeof(kCheckpointMagic)) != 0) {
+    return std::nullopt;
+  }
+  if (get64le(buffer + 56) != checkpointChecksum(buffer)) return std::nullopt;
+  const std::uint32_t flags = get32le(reinterpret_cast<std::byte*>(buffer) + 8);
+  StreamCheckpoint checkpoint;
+  checkpoint.functionalPhase = (flags & 1u) != 0;
+  checkpoint.labellingFingerprint = get64le(buffer + 16);
+  checkpoint.problemFingerprint = get64le(buffer + 24);
+  checkpoint.nextRow = static_cast<long long>(get64le(buffer + 32));
+  checkpoint.frontier = static_cast<long long>(get64le(buffer + 40));
+  checkpoint.total = static_cast<std::int64_t>(get64le(buffer + 48));
+  if (checkpoint.nextRow < 0 || checkpoint.frontier < 0) return std::nullopt;
+  return checkpoint;
+}
+
+void removeStreamCheckpoint(const std::string& path) {
+  std::remove(path.c_str());
+}
+
 // --- slab machinery --------------------------------------------------------
 
 namespace stream_verify_detail {
@@ -263,10 +416,54 @@ void checkStreamD(const StreamLabelling& file, const GridLclD& lcl) {
   }
 }
 
+void applyCheckpointConfig(StreamPass& pass, const StreamLabelling& file,
+                           const StreamWindow& window,
+                           std::uint64_t problemFingerprint) {
+  if (window.checkpointPath.empty()) return;
+  pass.checkpointPath = window.checkpointPath;
+  pass.checkpointEverySlabs = std::max(1LL, window.checkpointEverySlabs);
+  pass.labellingFingerprint = file.fingerprint();
+  pass.problemFingerprint = problemFingerprint;
+}
+
+namespace {
+
+/// Writes one checkpoint record for the pass; failures degrade to "no
+/// checkpoint" (counted, never fatal). The stream.checkpoint fault point
+/// fires only after a durable write, so abort@nth=K in a crash test kills
+/// the pass with exactly K checkpoints on disk.
+void checkpointSlab(const StreamPass& pass, bool functionalPhase,
+                    long long nextRow, long long frontier,
+                    std::int64_t total) {
+  static const telemetry::Counter written =
+      telemetry::counter("stream.checkpoints");
+  static const telemetry::Counter failed =
+      telemetry::counter("stream.checkpoint_failures");
+  StreamCheckpoint checkpoint;
+  checkpoint.functionalPhase = functionalPhase;
+  checkpoint.labellingFingerprint = pass.labellingFingerprint;
+  checkpoint.problemFingerprint = pass.problemFingerprint;
+  checkpoint.nextRow = nextRow;
+  checkpoint.frontier = frontier;
+  checkpoint.total = total;
+  if (writeStreamCheckpoint(pass.checkpointPath, checkpoint)) {
+    written.increment();
+    (void)FAULT_POINT("stream.checkpoint");
+  } else {
+    failed.increment();
+  }
+}
+
+}  // namespace
+
 std::int64_t runStreamPass(const StreamPass& pass, bool stopAtFirst) {
   const StreamLabelling& file = *pass.file;
   const long long lines = file.lines();
   bool table = pass.tablePath;
+  // Checkpointing covers count passes only: verify early-exits, is cheap
+  // to rerun, and its "first violation" short-circuit would make resumed
+  // totals meaningless.
+  const bool checkpointing = !stopAtFirst && !pass.checkpointPath.empty();
   // Streaming-tier attribution and the bounded-memory gauges: one call per
   // pass, slabs and dropped rows as they stream by, and the process RSS
   // high-water after the pass (the docs/perf.md bounded-window claim in
@@ -278,26 +475,57 @@ std::int64_t runStreamPass(const StreamPass& pass, bool stopAtFirst) {
       telemetry::counter("stream.slabs");
   static const telemetry::Counter droppedRows =
       telemetry::counter("stream.rows_dropped");
+  static const telemetry::Counter resumeCounter =
+      telemetry::counter("stream.resumes");
   static const telemetry::Gauge rssGauge =
       telemetry::gauge("stream.peak_rss_kb");
   struct RssAtExit {
     const telemetry::Gauge& gauge;
     ~RssAtExit() { gauge.max(support::peakRssKb()); }
   } rssAtExit{rssGauge};
+
+  // Resume: a fingerprint-matching checkpoint restores the cursor, the
+  // validation frontier and the running total. Bit-identity needs no slab
+  // alignment -- totals are exact int64 sums over disjoint row ranges, so
+  // any partition of [0, lines) yields the identical count.
+  long long startRow = 0;
+  long long startFrontier = 0;
+  std::int64_t startTotal = 0;
+  bool resumeFunctional = false;
+  if (checkpointing) {
+    if (const auto loaded = loadStreamCheckpoint(pass.checkpointPath)) {
+      if (loaded->labellingFingerprint == pass.labellingFingerprint &&
+          loaded->problemFingerprint == pass.problemFingerprint &&
+          loaded->nextRow <= lines && loaded->frontier <= lines &&
+          (loaded->functionalPhase || table)) {
+        startRow = loaded->nextRow;
+        startFrontier = loaded->frontier;
+        startTotal = loaded->total;
+        resumeFunctional = loaded->functionalPhase;
+        resumeCounter.increment();
+      }
+    }
+  }
+
   std::int64_t total = 0;
-  if (table) {
+  if (table && !resumeFunctional) {
     // The wrap stash is read by the first slab's cyclic neighbours before
-    // the validation cursor reaches it, so it is validated up front.
+    // the validation cursor reaches it, so it is validated up front (a
+    // resumed pass revalidates it -- cheap, and robust to a file swapped
+    // underneath the checkpoint).
     const long long tailBegin = std::max(0LL, lines - pass.wrapKeep);
     if (!pass.rowsInRange(tailBegin, lines)) table = false;
   }
-  if (table) {
+  if (table && !resumeFunctional) {
     // Rows [0, frontier) -- plus the wrap stash above -- are known
     // in-range; the frontier stays one wrap window ahead of the kernel so
     // no table row is ever indexed by an unvalidated label.
-    long long frontier = 0;
-    long long dropCursor = pass.wrapKeep;  // rows [0, wrapKeep) stay pinned
-    for (long long begin = 0; begin < lines; begin += pass.window) {
+    long long frontier = startFrontier;
+    // Rows [0, wrapKeep) stay pinned.
+    long long dropCursor = std::max(pass.wrapKeep, startRow);
+    long long slabsSinceCheckpoint = 0;
+    total = startTotal;
+    for (long long begin = startRow; begin < lines; begin += pass.window) {
       const long long end = std::min(lines, begin + pass.window);
       const long long need = std::min(lines, end + pass.wrapKeep);
       if (frontier < need) {
@@ -310,6 +538,7 @@ std::int64_t runStreamPass(const StreamPass& pass, bool stopAtFirst) {
       {
         slabCounter.increment();
         telemetry::ScopedSpan slabSpan("stream/slab");
+        (void)FAULT_POINT("stream.slab");
         total += pass.kernelRows(begin, end, stopAtFirst);
       }
       if (stopAtFirst && total > 0) return total;
@@ -321,20 +550,34 @@ std::int64_t runStreamPass(const StreamPass& pass, bool stopAtFirst) {
           dropCursor = dropEnd;
         }
       }
+      if (checkpointing && ++slabsSinceCheckpoint >= pass.checkpointEverySlabs) {
+        slabsSinceCheckpoint = 0;
+        checkpointSlab(pass, /*functionalPhase=*/false, end, frontier, total);
+      }
     }
-    if (table) return total;
+    if (table) {
+      if (checkpointing) removeStreamCheckpoint(pass.checkpointPath);
+      return total;
+    }
   }
   // Functional fallback: an uncompiled problem, or an out-of-range label
   // surfaced mid-stream -- the whole pass restarts on the predicate loop,
   // mirroring the in-core engine's whole-labelling tier choice (dropped
-  // pages are simply paged back in).
-  total = 0;
-  long long dropCursor = pass.wrapKeep;
-  for (long long begin = 0; begin < lines; begin += pass.window) {
+  // pages are simply paged back in). A table-phase crash between the
+  // fallback and the first functional checkpoint resumes into the table
+  // phase, rediscovers the out-of-range label and falls back again --
+  // always to the same functional-from-zero restart.
+  const long long functionalStart = resumeFunctional ? startRow : 0;
+  total = resumeFunctional ? startTotal : 0;
+  long long dropCursor = std::max(pass.wrapKeep, functionalStart);
+  long long slabsSinceCheckpoint = 0;
+  for (long long begin = functionalStart; begin < lines;
+       begin += pass.window) {
     const long long end = std::min(lines, begin + pass.window);
     {
       slabCounter.increment();
       telemetry::ScopedSpan slabSpan("stream/slab");
+      (void)FAULT_POINT("stream.slab");
       total += pass.functionalRows(begin, end, stopAtFirst);
     }
     if (stopAtFirst && total > 0) return total;
@@ -346,7 +589,13 @@ std::int64_t runStreamPass(const StreamPass& pass, bool stopAtFirst) {
         dropCursor = dropEnd;
       }
     }
+    if (checkpointing && ++slabsSinceCheckpoint >= pass.checkpointEverySlabs) {
+      slabsSinceCheckpoint = 0;
+      checkpointSlab(pass, /*functionalPhase=*/true, end, /*frontier=*/0,
+                     total);
+    }
   }
+  if (checkpointing) removeStreamCheckpoint(pass.checkpointPath);
   return total;
 }
 
@@ -377,6 +626,8 @@ std::int64_t serialStream2D(const StreamLabelling& file, const GridLcl& lcl,
   pass.wrapKeep = wrapWindowRows(file.dims(), n);
   pass.dropBehind = window.dropBehind;
   pass.tablePath = lcl.hasTable();
+  stream_verify_detail::applyCheckpointConfig(
+      pass, file, window, lcl.hasTable() ? lcl.table().fingerprint() : 0);
   const bool sliced = stream_verify_detail::streamUsesBitslice(file, lcl);
   if (pass.tablePath) {
     pass.rowsInRange = [&lcl, all, n](long long begin, long long end) {
@@ -420,6 +671,8 @@ std::int64_t serialStreamD(const StreamLabelling& file, const GridLclD& lcl,
   pass.wrapKeep = wrapWindowRows(file.dims(), n);
   pass.dropBehind = window.dropBehind;
   pass.tablePath = lcl.hasTable();
+  stream_verify_detail::applyCheckpointConfig(
+      pass, file, window, lcl.hasTable() ? lcl.table().fingerprint() : 0);
   const bool sliced = stream_verify_detail::streamUsesBitsliceD(file, lcl);
   // Unused by the d = 2 delegated row kernel -- the only bit-sliced tier
   // the streaming pass selects.

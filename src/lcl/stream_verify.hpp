@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -100,6 +101,14 @@ class StreamLabelling {
   /// its cursor.
   void dropRows(long long rowBegin, long long rowEnd) const;
 
+  /// Content fingerprint for checkpoint binding: FNV-1a over the header
+  /// fields, the payload size, and the first/last 4 KiB of the payload.
+  /// Deliberately O(1) in the file size -- a resumable pass must not
+  /// re-read a multi-GiB payload just to identify it -- so it detects a
+  /// swapped or re-generated file, not a single flipped label in the
+  /// middle.
+  std::uint64_t fingerprint() const;
+
  private:
   support::MmapFile file_;
   int sigma_ = 0;
@@ -114,7 +123,50 @@ class StreamLabelling {
 struct StreamWindow {
   long long rows = 0;
   bool dropBehind = true;
+  /// Crash-safe resume (count passes only -- verify early-exits and is
+  /// cheap to rerun): when non-empty, the pass maintains a sidecar
+  /// checkpoint file at this path, written atomically (tmp + fsync +
+  /// rename) at slab boundaries and removed on completion. A pass finding
+  /// a checkpoint whose labelling and problem fingerprints match resumes
+  /// from the recorded cursor; counts are bit-identical to an
+  /// uninterrupted run because totals are exact int64 sums over disjoint
+  /// row ranges (docs/robustness.md).
+  std::string checkpointPath;
+  /// Checkpoint cadence: write every this many slabs (>= 1).
+  long long checkpointEverySlabs = 1;
 };
+
+/// The sidecar checkpoint record of a resumable streaming count pass
+/// ("LCLCKPv1", 64 bytes, docs/robustness.md). Exposed for tests and
+/// recovery tooling; the pass reads and writes it internally.
+struct StreamCheckpoint {
+  /// False: the table-tier walk (frontier meaningful). True: the
+  /// functional fallback walk (a restart after an out-of-range label).
+  bool functionalPhase = false;
+  std::uint64_t labellingFingerprint = 0;
+  std::uint64_t problemFingerprint = 0;
+  /// First row the resumed pass still has to process.
+  long long nextRow = 0;
+  /// Validation frontier (table phase): rows [0, frontier) are in-range.
+  long long frontier = 0;
+  /// Violations accumulated over rows [0, nextRow).
+  std::int64_t total = 0;
+};
+
+/// Writes `checkpoint` durably (tmp file, fsync, rename). Returns false --
+/// without throwing -- when the write fails: a checkpoint is an
+/// optimisation, and a pass that cannot checkpoint degrades to a plain
+/// uninterruptible pass rather than failing verification.
+bool writeStreamCheckpoint(const std::string& path,
+                           const StreamCheckpoint& checkpoint);
+
+/// Loads a checkpoint; nullopt when the file is absent, truncated, has a
+/// bad magic/version or fails its checksum. Fingerprint matching is the
+/// caller's decision.
+std::optional<StreamCheckpoint> loadStreamCheckpoint(const std::string& path);
+
+/// Removes a checkpoint file (best-effort; absent is fine).
+void removeStreamCheckpoint(const std::string& path);
 
 // --- serial entry points (stream_verify.cpp) ------------------------------
 // The GridLcl overloads require dims() == 2 files; the GridLclD overloads
@@ -193,7 +245,22 @@ struct StreamPass {
   std::function<std::int64_t(long long rowBegin, long long rowEnd,
                              bool stopAtFirst)>
       functionalRows;
+  /// Crash-safe resume (StreamWindow::checkpointPath): count passes load a
+  /// fingerprint-matching checkpoint at entry, write one every
+  /// checkpointEverySlabs slabs, and remove it on completion. Ignored for
+  /// stopAtFirst passes.
+  std::string checkpointPath;
+  long long checkpointEverySlabs = 1;
+  std::uint64_t labellingFingerprint = 0;
+  std::uint64_t problemFingerprint = 0;
 };
+
+/// Copies a window's checkpoint configuration onto a pass, binding the
+/// labelling fingerprint (computed only when checkpointing is on) and the
+/// problem fingerprint. Shared by the serial and sharded drivers.
+void applyCheckpointConfig(StreamPass& pass, const StreamLabelling& file,
+                           const StreamWindow& window,
+                           std::uint64_t problemFingerprint);
 
 std::int64_t runStreamPass(const StreamPass& pass, bool stopAtFirst);
 

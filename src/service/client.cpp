@@ -6,47 +6,106 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
+
+#include "support/faultpoint.hpp"
 
 namespace lclgrid::service {
 
 namespace {
 
+namespace fp = support::faultpoint;
+
 [[noreturn]] void throwErrno(const std::string& what) {
   throw std::runtime_error("client: " + what + ": " + std::strerror(errno));
 }
 
-bool readFully(int fd, void* data, std::size_t bytes) {
+/// True when errno carries a socket-timeout verdict (SO_RCVTIMEO /
+/// SO_SNDTIMEO expiry -- EAGAIN and EWOULDBLOCK may be distinct values).
+bool errnoIsTimeout() {
+  return errno == EAGAIN || errno == EWOULDBLOCK || errno == ETIMEDOUT;
+}
+
+enum class IoStatus { kOk, kDisconnected, kTimedOut };
+
+/// Blocking read of exactly `bytes`, looping over EINTR and partial recvs.
+/// The client.recv fault point injects a hard error (errno -- a timeout
+/// errno surfaces as kTimedOut, matching a real SO_RCVTIMEO expiry) or
+/// clamps one recv short, which the loop must absorb.
+IoStatus readFully(int fd, void* data, std::size_t bytes) {
+  long long shortClamp = 0;
+  {
+    const auto fault = FAULT_POINT("client.recv");
+    if (fault.action == fp::Action::kErrno) {
+      errno = fault.errnoValue;
+      return errnoIsTimeout() ? IoStatus::kTimedOut : IoStatus::kDisconnected;
+    }
+    if (fault.action == fp::Action::kShort) shortClamp = fault.arg;
+  }
   auto* out = static_cast<std::uint8_t*>(data);
   while (bytes > 0) {
-    const ssize_t got = ::recv(fd, out, bytes, 0);
+    std::size_t ask = bytes;
+    if (shortClamp > 0) {
+      ask = std::min(ask, static_cast<std::size_t>(shortClamp));
+      shortClamp = 0;
+    }
+    const ssize_t got = ::recv(fd, out, ask, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return errnoIsTimeout() ? IoStatus::kTimedOut : IoStatus::kDisconnected;
     }
-    if (got == 0) return false;
+    if (got == 0) return IoStatus::kDisconnected;
     out += got;
     bytes -= static_cast<std::size_t>(got);
   }
-  return true;
+  return IoStatus::kOk;
 }
 
-void writeFully(int fd, const void* data, std::size_t bytes) {
+/// Blocking write of exactly `bytes`, looping over EINTR and partial
+/// sends; throws on hard errors. The client.send fault point injects a
+/// hard error or clamps one send short (the partial-send regression
+/// vector: the loop must finish the frame, not truncate it).
+IoStatus writeFully(int fd, const void* data, std::size_t bytes) {
+  long long shortClamp = 0;
+  {
+    const auto fault = FAULT_POINT("client.send");
+    if (fault.action == fp::Action::kErrno) {
+      errno = fault.errnoValue;
+      if (errnoIsTimeout()) return IoStatus::kTimedOut;
+      throwErrno("send");
+    }
+    if (fault.action == fp::Action::kShort) shortClamp = fault.arg;
+  }
   const auto* in = static_cast<const std::uint8_t*>(data);
   while (bytes > 0) {
-    const ssize_t put = ::send(fd, in, bytes, MSG_NOSIGNAL);
+    std::size_t ask = bytes;
+    if (shortClamp > 0) {
+      ask = std::min(ask, static_cast<std::size_t>(shortClamp));
+      shortClamp = 0;
+    }
+    const ssize_t put = ::send(fd, in, ask, MSG_NOSIGNAL);
     if (put < 0) {
       if (errno == EINTR) continue;
+      if (errnoIsTimeout()) return IoStatus::kTimedOut;
       throwErrno("send");
     }
     in += put;
     bytes -= static_cast<std::size_t>(put);
   }
+  return IoStatus::kOk;
 }
 
 int connectTcpFd(int port) {
+  {
+    const auto fault = FAULT_POINT("client.connect");
+    if (fault.action == fp::Action::kErrno) {
+      errno = fault.errnoValue;
+      throwErrno("connect(loopback:" + std::to_string(port) + ")");
+    }
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throwErrno("socket(AF_INET)");
   sockaddr_in addr{};
@@ -61,15 +120,14 @@ int connectTcpFd(int port) {
   return fd;
 }
 
-}  // namespace
-
-// --- ServiceClient ----------------------------------------------------------
-
-ServiceClient ServiceClient::connectTcp(int port) {
-  return ServiceClient(connectTcpFd(port));
-}
-
-ServiceClient ServiceClient::connectUnix(const std::string& path) {
+int connectUnixFd(const std::string& path) {
+  {
+    const auto fault = FAULT_POINT("client.connect");
+    if (fault.action == fp::Action::kErrno) {
+      errno = fault.errnoValue;
+      throwErrno("connect(" + path + ")");
+    }
+  }
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throwErrno("socket(AF_UNIX)");
   sockaddr_un addr{};
@@ -84,20 +142,57 @@ ServiceClient ServiceClient::connectUnix(const std::string& path) {
     ::close(fd);
     throwErrno("connect(" + path + ")");
   }
-  return ServiceClient(fd);
+  return fd;
+}
+
+void applySocketDeadline(int fd, int millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+// --- ServiceClient ----------------------------------------------------------
+
+ServiceClient ServiceClient::connectTcp(int port) {
+  return ServiceClient(connectTcpFd(port), port, std::string());
+}
+
+ServiceClient ServiceClient::connectUnix(const std::string& path) {
+  return ServiceClient(connectUnixFd(path), -1, path);
 }
 
 ServiceClient::ServiceClient(ServiceClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      nextRequestId_(other.nextRequestId_) {}
+      nextRequestId_(other.nextRequestId_),
+      deadlineMs_(other.deadlineMs_),
+      port_(other.port_),
+      unixPath_(std::move(other.unixPath_)) {}
 
 ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     nextRequestId_ = other.nextRequestId_;
+    deadlineMs_ = other.deadlineMs_;
+    port_ = other.port_;
+    unixPath_ = std::move(other.unixPath_);
   }
   return *this;
+}
+
+void ServiceClient::setDeadlineMs(int millis) {
+  deadlineMs_ = std::max(0, millis);
+  if (fd_ >= 0) applySocketDeadline(fd_, deadlineMs_);
+}
+
+void ServiceClient::reconnect() {
+  close();
+  fd_ = unixPath_.empty() ? connectTcpFd(port_) : connectUnixFd(unixPath_);
+  if (deadlineMs_ > 0) applySocketDeadline(fd_, deadlineMs_);
 }
 
 ServiceClient::~ServiceClient() { close(); }
@@ -116,16 +211,31 @@ void ServiceClient::sendFrame(wire::FrameType type, std::uint32_t requestId,
   wire::appendHeader(frame, type, requestId,
                      static_cast<std::uint32_t>(payload.size()));
   frame.insert(frame.end(), payload.begin(), payload.end());
-  writeFully(fd_, frame.data(), frame.size());
+  if (writeFully(fd_, frame.data(), frame.size()) == IoStatus::kTimedOut) {
+    // A partially sent frame cannot be completed later: the stream is
+    // desynchronised, so the connection is dead to us.
+    close();
+    throw TimeoutError("client: send deadline expired mid-frame");
+  }
 }
 
 void ServiceClient::sendRaw(std::span<const std::uint8_t> bytes) {
-  writeFully(fd_, bytes.data(), bytes.size());
+  if (writeFully(fd_, bytes.data(), bytes.size()) == IoStatus::kTimedOut) {
+    close();
+    throw TimeoutError("client: send deadline expired");
+  }
 }
 
 std::optional<ServiceClient::Reply> ServiceClient::receive() {
   std::uint8_t header[wire::kHeaderBytes];
-  if (!readFully(fd_, header, sizeof(header))) return std::nullopt;
+  IoStatus status = readFully(fd_, header, sizeof(header));
+  if (status == IoStatus::kTimedOut) {
+    // The response may still arrive after we give up; reading it later
+    // would answer the WRONG request. Close so the caller reconnects.
+    close();
+    throw TimeoutError("client: receive deadline expired");
+  }
+  if (status != IoStatus::kOk) return std::nullopt;
   wire::FrameHeader frame;
   if (!wire::decodeHeader(header, &frame)) {
     throw RemoteError("client: corrupt frame magic from server");
@@ -134,9 +244,12 @@ std::optional<ServiceClient::Reply> ServiceClient::receive() {
   reply.type = frame.type;
   reply.requestId = frame.requestId;
   reply.payload.resize(frame.payloadBytes);
-  if (!readFully(fd_, reply.payload.data(), reply.payload.size())) {
-    return std::nullopt;
+  status = readFully(fd_, reply.payload.data(), reply.payload.size());
+  if (status == IoStatus::kTimedOut) {
+    close();
+    throw TimeoutError("client: receive deadline expired mid-frame");
   }
+  if (status != IoStatus::kOk) return std::nullopt;
   return reply;
 }
 
@@ -147,9 +260,14 @@ std::optional<ServiceClient::Reply> ServiceClient::call(
   sendFrame(type, requestId, payload);
   std::optional<Reply> reply = receive();
   if (!reply) {
-    throw RemoteError("client: connection closed awaiting a response");
+    throw DisconnectError("client: connection closed awaiting a response");
   }
   if (reply->type == wire::FrameType::kBusy) return std::nullopt;
+  if (reply->type == wire::FrameType::kTimeout) {
+    // The daemon's verdict, not ours: the request was never executed, the
+    // stream stays framed, the connection stays usable.
+    throw TimeoutError("client: request timed out in the service queue");
+  }
   if (reply->type == wire::FrameType::kError) {
     throw RemoteError(
         std::string(reinterpret_cast<const char*>(reply->payload.data()),

@@ -26,6 +26,22 @@ struct RemoteError : std::runtime_error {
   explicit RemoteError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A deadline outcome: the daemon answered kTimeout (the request was NOT
+/// executed), or the client's own socket deadline (setDeadlineMs) expired
+/// mid-call. In the latter case the connection is closed -- a byte stream
+/// abandoned mid-frame cannot be re-synchronised -- and the caller must
+/// reconnect before retrying (RetryingClient in service/retry.hpp does).
+struct TimeoutError : RemoteError {
+  explicit TimeoutError(const std::string& what) : RemoteError(what) {}
+};
+
+/// The connection died before a response arrived (EOF or a hard socket
+/// error mid-call). Whether the request executed is UNKNOWN -- only
+/// idempotent operations may be retried across this (service/retry.hpp).
+struct DisconnectError : RemoteError {
+  explicit DisconnectError(const std::string& what) : RemoteError(what) {}
+};
+
 class ServiceClient {
  public:
   /// Connects to the daemon on TCP loopback / a Unix socket; throws
@@ -41,6 +57,18 @@ class ServiceClient {
 
   void close();
   bool connected() const { return fd_ >= 0; }
+
+  /// Bounds every subsequent send/recv on the socket (SO_RCVTIMEO /
+  /// SO_SNDTIMEO). When a call trips the deadline the client closes the
+  /// connection and throws TimeoutError -- the response could still arrive
+  /// later and would desynchronise the framing. 0 removes the bound.
+  void setDeadlineMs(int millis);
+  int deadlineMs() const { return deadlineMs_; }
+
+  /// Re-establishes the connection to the endpoint this client was created
+  /// with (after a deadline close or server-side disconnect). Preserves the
+  /// deadline; throws std::runtime_error when the connect fails.
+  void reconnect();
 
   /// Round-trips a ping; false on a dead connection.
   bool ping();
@@ -75,15 +103,21 @@ class ServiceClient {
   std::optional<Reply> receive();
 
  private:
-  explicit ServiceClient(int fd) : fd_(fd) {}
-  /// Send + receive, unwrapping kError into RemoteError and expecting
-  /// `expected` (or kBusy -> nullopt).
+  ServiceClient(int fd, int port, std::string unixPath)
+      : fd_(fd), port_(port), unixPath_(std::move(unixPath)) {}
+  /// Send + receive, unwrapping kError into RemoteError, kTimeout into
+  /// TimeoutError, and expecting `expected` (or kBusy -> nullopt).
   std::optional<Reply> call(wire::FrameType type,
                             std::span<const std::uint8_t> payload,
                             wire::FrameType expected);
 
   int fd_ = -1;
   std::uint32_t nextRequestId_ = 1;
+  int deadlineMs_ = 0;
+  /// Remembered endpoint for reconnect(): TCP port, or the Unix path when
+  /// non-empty.
+  int port_ = -1;
+  std::string unixPath_;
 };
 
 /// Newline-JSON debug-mode client (the "telnet" framing): one JSON request

@@ -58,6 +58,11 @@ enum class FrameType : std::uint8_t {
   kBusy = 0x85,            // payload: empty
   kError = 0x86,           // payload: UTF-8 message
   kShutdownAck = 0x87,
+  /// Deadline outcome, distinct from kBusy (back-pressure: retry later)
+  /// and kError (the request itself is bad): the request was admitted but
+  /// its deadline expired before a worker could run it, or the daemon shed
+  /// it while draining. The request was NOT executed. Payload: empty.
+  kTimeout = 0x88,
 };
 
 struct FrameHeader {
@@ -83,9 +88,11 @@ enum class LabellingKind : std::uint8_t { kInline = 0, kPath = 1 };
 
 /// Fixed prefix: 40 bytes -- u8 problemRef, u8 countViolations, u8
 /// labelling, u8 tierPin, u32 threads, u64 fingerprint, u32 dims, u32 n,
-/// u32 batch, u32 specLen, u32 pathLen, u32 reserved -- then the spec
+/// u32 batch, u32 specLen, u32 pathLen, u32 flags -- then the spec
 /// bytes, the path bytes, zero padding to a 4-byte boundary, and batch *
-/// n^dims little-endian int32 labels (inline labellings only).
+/// n^dims little-endian int32 labels (inline labellings only). The flags
+/// word was reserved-zero before the degradation protocol, so old encoders
+/// interoperate (bit 0 = allowDegrade).
 struct VerifyRequestFrame {
   ProblemRefKind problemRef = ProblemRefKind::kSpec;
   bool countViolations = false;
@@ -96,6 +103,10 @@ struct VerifyRequestFrame {
   std::uint32_t dims = 2;
   std::uint32_t n = 0;
   std::uint32_t batch = 1;
+  /// Under shed pressure the daemon may downgrade this countViolations
+  /// request to early-exit verify (docs/robustness.md); the result then
+  /// carries degraded = true and `violations` is only a lower bound.
+  bool allowDegrade = false;
   std::string spec;
   std::string path;
   /// Decoded frames: a view into the receive buffer (zero-copy); valid
@@ -110,11 +121,16 @@ VerifyRequestFrame decodeVerifyRequest(std::span<const std::uint8_t> payload);
 
 /// Fixed prefix: 32 bytes -- u8 feasible, u8 tier (lclgrid::VerifyTier
 /// order), u8 perLabelling (0 none / 1 feasible bytes / 2 violation i64s),
-/// u8 reserved, u32 labellings, i64 violations, u64 fingerprint, i64
-/// nanos -- then the per-labelling array when perLabelling != 0.
+/// u8 flags (was reserved-zero; bit 0 = degraded), u32 labellings, i64
+/// violations, u64 fingerprint, i64 nanos -- then the per-labelling array
+/// when perLabelling != 0.
 struct VerifyResultFrame {
   bool feasible = false;
   std::uint8_t tier = 0;
+  /// True when the daemon downgraded a countViolations request to
+  /// early-exit verify under shed pressure (the request allowed it);
+  /// `violations` is then 0 or a lower bound, not an exact count.
+  bool degraded = false;
   std::int64_t violations = 0;
   std::int64_t labellings = 1;
   std::uint64_t fingerprint = 0;

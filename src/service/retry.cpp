@@ -1,0 +1,112 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace lclgrid::service {
+
+namespace {
+
+std::uint64_t xorshift(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(ServiceClient client, RetryPolicy policy)
+    : client_(std::move(client)),
+      policy_(policy),
+      rngState_(policy.jitterSeed != 0 ? policy.jitterSeed : 1) {
+  policy_.maxAttempts = std::max(1, policy_.maxAttempts);
+  policy_.baseDelayMs = std::max(0, policy_.baseDelayMs);
+  policy_.maxDelayMs = std::max(policy_.baseDelayMs, policy_.maxDelayMs);
+}
+
+int RetryingClient::drawBackoffMs() {
+  // Decorrelated jitter: sleep_k ~ uniform(base, 3 * sleep_{k-1}), capped.
+  // The 3x of the *previous actual sleep* (not attempt index) is what
+  // decorrelates concurrent clients: one early short draw keeps that
+  // client's whole schedule shifted off its neighbours'.
+  const long long lo = policy_.baseDelayMs;
+  const long long prev = lastSleepMs_ > 0 ? lastSleepMs_
+                         : policy_.baseDelayMs > 0 ? policy_.baseDelayMs
+                                                   : 1;
+  const long long hi = std::max(lo + 1, 3 * prev);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo + 1);
+  long long sleep =
+      lo + static_cast<long long>(xorshift(rngState_) % span);
+  sleep = std::min<long long>(sleep, policy_.maxDelayMs);
+  lastSleepMs_ = static_cast<int>(sleep);
+  return lastSleepMs_;
+}
+
+void RetryingClient::noteFailureAndBackoff(bool needReconnect, int attempt) {
+  if (attempt + 1 >= policy_.maxAttempts) return;  // no sleep before giving up
+  const int sleepMs = drawBackoffMs();
+  if (sleepMs > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleepMs));
+    stats_.backoffMs += sleepMs;
+  }
+  if (needReconnect) {
+    client_.reconnect();
+    ++stats_.reconnects;
+  }
+}
+
+template <typename Fn>
+auto RetryingClient::callWithRetry(Fn&& fn) -> decltype(fn()) {
+  for (int attempt = 0;; ++attempt) {
+    ++stats_.attempts;
+    const bool last = attempt + 1 >= policy_.maxAttempts;
+    try {
+      auto result = fn();
+      if (result) return result;
+      // kBusy: the daemon promised the request was not executed.
+      ++stats_.busy;
+      if (!policy_.retryBusy || last) {
+        throw RemoteError("retry: service busy, attempts exhausted");
+      }
+      noteFailureAndBackoff(/*needReconnect=*/false, attempt);
+    } catch (const TimeoutError&) {
+      ++stats_.timeouts;
+      if (!policy_.retryTimeout || last) throw;
+      // A client-side expiry closed the connection (the stream cannot be
+      // re-synchronised); a daemon kTimeout left it framed and open.
+      noteFailureAndBackoff(!client_.connected(), attempt);
+    } catch (const DisconnectError&) {
+      ++stats_.disconnects;
+      if (!policy_.retryDisconnect || last) throw;
+      noteFailureAndBackoff(/*needReconnect=*/true, attempt);
+    } catch (const RemoteError&) {
+      // The daemon judged the request itself bad; the same bytes would
+      // earn the same answer. Never retried.
+      throw;
+    } catch (const std::runtime_error&) {
+      // Transport-level failure below the protocol (hard send error such
+      // as EPIPE, failed reconnect): treated as a disconnect.
+      ++stats_.disconnects;
+      if (!policy_.retryDisconnect || last) throw;
+      noteFailureAndBackoff(/*needReconnect=*/true, attempt);
+    }
+  }
+}
+
+VerifyResultFrame RetryingClient::verify(const VerifyRequestFrame& request) {
+  return *callWithRetry([&] { return client_.verify(request); });
+}
+
+std::string RetryingClient::classify(const ClassifyRequestFrame& request) {
+  return *callWithRetry([&] { return client_.classify(request); });
+}
+
+std::string RetryingClient::stats() {
+  return *callWithRetry([&] { return client_.stats(); });
+}
+
+}  // namespace lclgrid::service

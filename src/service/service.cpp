@@ -18,10 +18,13 @@
 #include "grid/torusd.hpp"
 #include "lcl/verify_api.hpp"
 #include "service/problem_registry.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lclgrid::service {
 
 namespace {
+
+namespace fp = support::faultpoint;
 
 using support::JsonWriter;
 using support::JsonValue;
@@ -30,12 +33,29 @@ using support::JsonValue;
   throw std::runtime_error("service: " + what + ": " + std::strerror(errno));
 }
 
-/// Blocking read of exactly `bytes`; false on EOF or a hard error (the
-/// connection is then treated as disconnected, mid-frame or not).
+/// Blocking read of exactly `bytes`, looping over EINTR and partial
+/// recvs; false on EOF or a hard error (the connection is then treated as
+/// disconnected, mid-frame or not). The service.read_request fault point
+/// injects a hard recv error (errno) or clamps one recv to a partial read
+/// (short), which the loop must absorb.
 bool readFully(int fd, void* data, std::size_t bytes) {
+  long long shortClamp = 0;
+  {
+    const auto fault = FAULT_POINT("service.read_request");
+    if (fault.action == fp::Action::kErrno) {
+      errno = fault.errnoValue;
+      return false;
+    }
+    if (fault.action == fp::Action::kShort) shortClamp = fault.arg;
+  }
   auto* out = static_cast<std::uint8_t*>(data);
   while (bytes > 0) {
-    const ssize_t got = ::recv(fd, out, bytes, 0);
+    std::size_t ask = bytes;
+    if (shortClamp > 0) {
+      ask = std::min(ask, static_cast<std::size_t>(shortClamp));
+      shortClamp = 0;
+    }
+    const ssize_t got = ::recv(fd, out, ask, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -47,12 +67,30 @@ bool readFully(int fd, void* data, std::size_t bytes) {
   return true;
 }
 
-/// Best-effort blocking write; a failure (client went away mid-response)
-/// is deliberately ignored -- the reader side notices the disconnect.
+/// Best-effort blocking write, looping over EINTR and partial sends; a
+/// failure (client went away mid-response, or send timed out against
+/// SO_SNDTIMEO) is deliberately ignored -- the reader side notices the
+/// disconnect. The service.write_response fault point drops the whole
+/// frame (the client's deadline turns that into a typed timeout), injects
+/// a hard send error, or clamps one send short.
 void writeFully(int fd, const void* data, std::size_t bytes) {
+  long long shortClamp = 0;
+  {
+    const auto fault = FAULT_POINT("service.write_response");
+    if (fault.action == fp::Action::kDrop ||
+        fault.action == fp::Action::kErrno) {
+      return;
+    }
+    if (fault.action == fp::Action::kShort) shortClamp = fault.arg;
+  }
   const auto* in = static_cast<const std::uint8_t*>(data);
   while (bytes > 0) {
-    const ssize_t put = ::send(fd, in, bytes, MSG_NOSIGNAL);
+    std::size_t ask = bytes;
+    if (shortClamp > 0) {
+      ask = std::min(ask, static_cast<std::size_t>(shortClamp));
+      shortClamp = 0;
+    }
+    const ssize_t put = ::send(fd, in, ask, MSG_NOSIGNAL);
     if (put < 0) {
       if (errno == EINTR) continue;
       return;
@@ -144,11 +182,15 @@ VerificationService::VerificationService(ServiceConfig config)
       requestCounter_(telemetry::counter("service.requests")),
       busyCounter_(telemetry::counter("service.busy")),
       errorCounter_(telemetry::counter("service.errors")),
+      timeoutCounter_(telemetry::counter("service.timeouts")),
+      shedCounter_(telemetry::counter("service.shed")),
       queueGauge_(telemetry::gauge("service.queue_depth")) {
   config_.serviceThreads = std::max(1, config_.serviceThreads);
   config_.engineThreads = std::max(1, config_.engineThreads);
   config_.maxQueuedPerClient = std::max(1, config_.maxQueuedPerClient);
   config_.maxConnections = std::max(1, config_.maxConnections);
+  shedThreshold_ = config_.shedQueueDepth > 0 ? config_.shedQueueDepth
+                                              : 4 * config_.serviceThreads;
 }
 
 VerificationService::~VerificationService() { stop(); }
@@ -158,6 +200,8 @@ void VerificationService::start() {
     throw std::logic_error("service: already started");
   }
   shutdownRequested_.store(false);
+  draining_.store(false);
+  cancelQueued_.store(false);
   if (!config_.unixSocketPath.empty()) {
     listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd_ < 0) {
@@ -221,6 +265,9 @@ void VerificationService::start() {
 }
 
 void VerificationService::stop() {
+  // Phase 0: new admissions answer kBusy from here on, so the drain below
+  // is a race against a bounded backlog, not a live request stream.
+  draining_.store(true);
   if (!running_.exchange(false)) return;
   {
     std::lock_guard lock(shutdownMutex_);
@@ -232,6 +279,34 @@ void VerificationService::stop() {
   }
   if (acceptor_.joinable()) acceptor_.join();
   listenFd_ = -1;
+  // Phase 1: bounded drain -- give admitted requests drainTimeoutMs to
+  // finish (connections stay open so their responses still land). Workers
+  // keep popping because the queue is non-empty; they exit once it drains.
+  queueCv_.notify_all();
+  const auto drainDeadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max(0, config_.drainTimeoutMs));
+  while (std::chrono::steady_clock::now() < drainDeadline) {
+    if (queueDepthAtomic_.load(std::memory_order_relaxed) == 0 &&
+        executing_.load(std::memory_order_relaxed) == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Phase 2: deadline expired (or drain done) -- remaining queued requests
+  // are answered kTimeout by the workers, typed rather than dropped. The
+  // flush is quick (no execution), so wait for it unboundedly short of the
+  // executing requests, which cannot be preempted.
+  cancelQueued_.store(true);
+  queueCv_.notify_all();
+  const auto flushDeadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+  while ((queueDepthAtomic_.load(std::memory_order_relaxed) > 0 ||
+          executing_.load(std::memory_order_relaxed) > 0) &&
+         std::chrono::steady_clock::now() < flushDeadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Phase 3: tear the connections down and join everything.
   {
     std::lock_guard lock(connectionsMutex_);
     for (const auto& conn : connections_) {
@@ -252,6 +327,8 @@ void VerificationService::stop() {
   if (!config_.unixSocketPath.empty()) {
     ::unlink(config_.unixSocketPath.c_str());
   }
+  draining_.store(false);
+  cancelQueued_.store(false);
 }
 
 void VerificationService::waitForShutdown() {
@@ -295,6 +372,19 @@ void VerificationService::acceptLoop() {
       ::close(fd);
       return;
     }
+    {
+      // Injected accept failure: the connection is refused (closed before
+      // any frame) -- connection-level, so the client sees a reset, not a
+      // silent request drop.
+      const auto fault = FAULT_POINT("service.accept");
+      if (fault.action == fp::Action::kErrno ||
+          fault.action == fp::Action::kDrop) {
+        ::close(fd);
+        std::lock_guard lock(countersMutex_);
+        ++counters_.connectionsRejected;
+        continue;
+      }
+    }
     if (liveConnections_.fetch_add(1) >= config_.maxConnections) {
       liveConnections_.fetch_sub(1);
       ::close(fd);
@@ -305,6 +395,14 @@ void VerificationService::acceptLoop() {
     {
       std::lock_guard lock(countersMutex_);
       ++counters_.connectionsAccepted;
+    }
+    if (config_.sendTimeoutMs > 0) {
+      // Bounds a worker blocked in send() against a wedged peer; a timed
+      // out response write is absorbed like a disconnect.
+      timeval tv{};
+      tv.tv_sec = config_.sendTimeoutMs / 1000;
+      tv.tv_usec = (config_.sendTimeoutMs % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
@@ -437,13 +535,29 @@ void VerificationService::jsonLoop(const std::shared_ptr<Connection>& conn) {
 
 bool VerificationService::admit(Task task) {
   Connection& conn = *task.conn;
+  // Shed mode halves the per-client budget: a client holding half its
+  // normal allotment already contributes its fair share of an overloaded
+  // queue. Draining means stop() is waiting for the queue to empty -- every
+  // new admission would extend the drain, so all of them answer kBusy.
+  const bool shedBudget = sheddingNow();
+  const int budget =
+      draining_.load(std::memory_order_acquire)
+          ? 0
+          : (shedBudget ? std::max(1, config_.maxQueuedPerClient / 2)
+                        : config_.maxQueuedPerClient);
   // Only this connection's reader increments, so load-then-add is not a
   // race against other admissions for the same client.
-  if (conn.inflight.load(std::memory_order_acquire) >=
-      config_.maxQueuedPerClient) {
+  if (conn.inflight.load(std::memory_order_acquire) >= budget) {
     {
       std::lock_guard lock(countersMutex_);
       ++counters_.busyRejections;
+      if (shedBudget &&
+          conn.inflight.load(std::memory_order_relaxed) <
+              config_.maxQueuedPerClient) {
+        // Would have been admitted under the full budget: this rejection
+        // is attributable to shedding, not the client's own backlog.
+        ++counters_.shedAdmission;
+      }
     }
     busyCounter_.increment();
     if (task.json) {
@@ -459,11 +573,14 @@ bool VerificationService::admit(Task task) {
     return true;
   }
   conn.inflight.fetch_add(1, std::memory_order_acq_rel);
+  task.admitted = std::chrono::steady_clock::now();
   std::size_t depth;
   {
     std::lock_guard lock(queueMutex_);
     queue_.push_back(std::move(task));
     depth = queue_.size();
+    queueDepthAtomic_.store(static_cast<std::int64_t>(depth),
+                            std::memory_order_relaxed);
   }
   queueCv_.notify_one();
   queueGauge_.set(static_cast<std::int64_t>(depth));
@@ -481,8 +598,10 @@ void VerificationService::workerLoop() {
     Task task;
     {
       std::unique_lock lock(queueMutex_);
-      queueCv_.wait(lock,
-                    [this] { return !queue_.empty() || !running_.load(); });
+      queueCv_.wait(lock, [this] {
+        return !queue_.empty() || !running_.load() ||
+               cancelQueued_.load(std::memory_order_relaxed);
+      });
       if (queue_.empty()) {
         if (!running_.load()) return;  // spurious wake with no work
         continue;
@@ -490,13 +609,33 @@ void VerificationService::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       counters_.queueDepth = static_cast<std::int64_t>(queue_.size());
+      queueDepthAtomic_.store(counters_.queueDepth,
+                              std::memory_order_relaxed);
       queueGauge_.set(counters_.queueDepth);
+      // Incremented under the queue lock so stop()'s drain wait can never
+      // observe queue == 0 && executing == 0 while a popped task is still
+      // between the pop and its execution.
+      executing_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (task.json) {
-      executeJson(task);
+    // Typed shed paths: a task still queued when the drain deadline
+    // expired, or whose queue-wait deadline passed, is answered kTimeout --
+    // the request was never executed, so a retry is always safe.
+    const bool cancelled = cancelQueued_.load(std::memory_order_acquire);
+    const bool expired =
+        config_.requestDeadlineMs > 0 &&
+        std::chrono::steady_clock::now() - task.admitted >=
+            std::chrono::milliseconds(config_.requestDeadlineMs);
+    if (cancelled || expired) {
+      sendTimeout(task);
     } else {
-      execute(task);
+      (void)FAULT_POINT("service.dispatch");
+      if (task.json) {
+        executeJson(task);
+      } else {
+        execute(task);
+      }
     }
+    executing_.fetch_sub(1, std::memory_order_relaxed);
     Connection& conn = *task.conn;
     if (conn.inflight.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
         conn.closeRequested.load(std::memory_order_acquire)) {
@@ -532,7 +671,7 @@ void VerificationService::execute(Task& task) {
       }
       case wire::FrameType::kVerify: {
         const VerifyRequestFrame request = decodeVerifyRequest(task.payload);
-        const VerifyResultFrame result = runVerify(request);
+        const VerifyResultFrame result = runVerify(request, sheddingNow());
         const std::vector<std::uint8_t> payload = encodeVerifyResult(result);
         sendFrame(conn, wire::FrameType::kVerifyResult, task.requestId,
                   payload);
@@ -620,6 +759,9 @@ void VerificationService::executeJson(Task& task) {
         if (const JsonValue* count = request.find("count")) {
           frame.countViolations = count->asBool();
         }
+        if (const JsonValue* degrade = request.find("allow_degrade")) {
+          frame.allowDegrade = degrade->asBool();
+        }
         if (const JsonValue* tier = request.find("tier")) {
           frame.tierPin = tierPinOf(tier->asString());
         }
@@ -644,12 +786,15 @@ void VerificationService::executeJson(Task& task) {
             frame.batch = static_cast<std::uint32_t>(batch->asInt());
           }
         }
-        const VerifyResultFrame result = runVerify(frame);
+        const VerifyResultFrame result = runVerify(frame, sheddingNow());
         JsonWriter json;
         json.beginObject();
         json.key("id").value(id);
         json.key("ok").value(true);
         json.key("feasible").value(result.feasible);
+        if (result.degraded) {
+          json.key("degraded").value(true);
+        }
         json.key("violations").value(
             static_cast<long long>(result.violations));
         json.key("labellings").value(
@@ -710,8 +855,33 @@ void VerificationService::executeJson(Task& task) {
 
 // --- request execution ------------------------------------------------------
 
+bool VerificationService::sheddingNow() const {
+  return config_.shedEnabled &&
+         queueDepthAtomic_.load(std::memory_order_relaxed) >=
+             static_cast<std::int64_t>(shedThreshold_);
+}
+
+void VerificationService::sendTimeout(Task& task) {
+  {
+    std::lock_guard lock(countersMutex_);
+    ++counters_.timeouts;
+  }
+  timeoutCounter_.increment();
+  Connection& conn = *task.conn;
+  if (task.json) {
+    JsonWriter json;
+    json.beginObject();
+    json.key("id").value(static_cast<long long>(task.requestId));
+    json.key("timeout").value(true);
+    json.endObject();
+    sendJsonLine(conn, json.str());
+  } else {
+    sendFrame(conn, wire::FrameType::kTimeout, task.requestId, {});
+  }
+}
+
 VerifyResultFrame VerificationService::runVerify(
-    const VerifyRequestFrame& frame) {
+    const VerifyRequestFrame& frame, bool shedActive) {
   VerifyRequest request;
   // The shared_ptrs keep cached problems alive across a concurrent
   // eviction for the duration of the call.
@@ -740,6 +910,19 @@ VerifyResultFrame VerificationService::runVerify(
   }
   request.options.tier = static_cast<TierPin>(frame.tierPin);
   request.options.countViolations = frame.countViolations;
+  // Graceful degradation: under shed pressure a countViolations request
+  // that opted in runs as early-exit verify instead -- same feasibility
+  // verdict, but the count becomes a lower bound; the result says so.
+  bool degraded = false;
+  if (shedActive && frame.allowDegrade && frame.countViolations) {
+    request.options.countViolations = false;
+    degraded = true;
+    {
+      std::lock_guard lock(countersMutex_);
+      ++counters_.shedDowngrades;
+    }
+    shedCounter_.increment();
+  }
   // Per-request parallelism is capped by the daemon's engineThreads budget
   // (0 on the wire asks for the daemon default).
   const int askedThreads =
@@ -768,6 +951,7 @@ VerifyResultFrame VerificationService::runVerify(
 
   VerifyResult result = verify(request);
   VerifyResultFrame out;
+  out.degraded = degraded;
   out.feasible = result.feasible;
   out.tier = static_cast<std::uint8_t>(result.tier);
   out.violations = result.violations;
@@ -855,6 +1039,11 @@ std::string VerificationService::statsJson() const {
   service.key("queue_depth").value(static_cast<long long>(counters.queueDepth));
   service.key("queue_peak_depth")
       .value(static_cast<long long>(counters.queuePeakDepth));
+  service.key("timeouts").value(static_cast<long long>(counters.timeouts));
+  service.key("shed_downgrades")
+      .value(static_cast<long long>(counters.shedDowngrades));
+  service.key("shed_admission")
+      .value(static_cast<long long>(counters.shedAdmission));
   const auto cacheObject = [&service](const char* name,
                                       const support::LruStats& stats) {
     service.key(name).beginObject();

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -77,6 +78,25 @@ struct ServiceConfig {
   int maxConnections = 64;
   /// Enables wire::FrameType::kSleep (tests drive the BUSY path with it).
   bool enableTestOps = false;
+  /// Per-request deadline: a request still queued this many ms after
+  /// admission is answered kTimeout instead of executed (0 = no deadline).
+  /// Bounds queue-wait latency; an already-executing request is never
+  /// preempted (docs/robustness.md).
+  int requestDeadlineMs = 0;
+  /// SO_SNDTIMEO on every connection socket: bounds a worker blocked
+  /// writing a response to a wedged peer (0 = no bound).
+  int sendTimeoutMs = 5000;
+  /// stop() drains admitted requests for this long, then answers the still
+  /// queued remainder with kTimeout -- a typed shed, never a silent drop.
+  /// The request currently executing on each worker still completes.
+  int drainTimeoutMs = 2000;
+  /// Load shedding engages while the queue is at least this deep
+  /// (0 = auto: 4 * serviceThreads). Under shed: countViolations requests
+  /// that set allowDegrade run as early-exit verify, and the per-client
+  /// admission budget halves.
+  int shedQueueDepth = 0;
+  /// Master switch for the shedding policy (the overload bench A/Bs it).
+  bool shedEnabled = true;
 };
 
 /// Point-in-time service counters (plain values, available regardless of
@@ -91,6 +111,15 @@ struct ServiceCounters {
   std::int64_t connectionsRejected = 0;
   std::int64_t queueDepth = 0;      // now
   std::int64_t queuePeakDepth = 0;  // high-water mark
+  /// kTimeout responses: queue-wait deadline expiries plus requests shed
+  /// while draining. Never silently dropped -- every one was answered.
+  std::int64_t timeouts = 0;
+  /// countViolations requests downgraded to early-exit verify under shed
+  /// pressure (the request allowed it; the result carried degraded).
+  std::int64_t shedDowngrades = 0;
+  /// kBusy rejections attributable to the halved shed-mode admission
+  /// budget (also counted in busyRejections).
+  std::int64_t shedAdmission = 0;
 };
 
 class VerificationService {
@@ -142,6 +171,8 @@ class VerificationService {
     std::vector<std::uint8_t> payload;   // binary frames
     support::JsonValue jsonRequest;      // debug-mode requests
     bool json = false;
+    /// Admission time; the worker enforces requestDeadlineMs against it.
+    std::chrono::steady_clock::time_point admitted;
   };
 
   /// Compiled problems by spec string, with a fingerprint index maintained
@@ -176,8 +207,14 @@ class VerificationService {
   void executeJson(Task& task);
   void requestShutdown();
   void closeConnection(Connection& conn);
+  /// True while the shedding policy is engaged (queue at/over threshold).
+  bool sheddingNow() const;
+  /// Answers a task kTimeout (binary) / {"timeout":true} (JSON) without
+  /// executing it; counts it.
+  void sendTimeout(Task& task);
 
-  VerifyResultFrame runVerify(const VerifyRequestFrame& frame);
+  VerifyResultFrame runVerify(const VerifyRequestFrame& frame,
+                              bool shedActive);
   std::string runClassify(const ClassifyRequestFrame& frame);
 
   void sendFrame(Connection& conn, wire::FrameType type,
@@ -190,8 +227,18 @@ class VerificationService {
   ServiceConfig config_;
   int listenFd_ = -1;
   int port_ = -1;
+  int shedThreshold_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> shutdownRequested_{false};
+  /// stop() is draining: admissions answer kBusy, keeping the drain bound.
+  std::atomic<bool> draining_{false};
+  /// The drain deadline expired: workers answer queued tasks kTimeout.
+  std::atomic<bool> cancelQueued_{false};
+  /// Queue depth mirrored atomically for lock-free shed checks.
+  std::atomic<std::int64_t> queueDepthAtomic_{0};
+  /// Requests currently executing on workers (the drain wait's second
+  /// condition next to an empty queue).
+  std::atomic<int> executing_{0};
   std::mutex shutdownMutex_;
   std::condition_variable shutdownCv_;
 
@@ -214,6 +261,8 @@ class VerificationService {
   support::telemetry::Counter requestCounter_;
   support::telemetry::Counter busyCounter_;
   support::telemetry::Counter errorCounter_;
+  support::telemetry::Counter timeoutCounter_;
+  support::telemetry::Counter shedCounter_;
   support::telemetry::Gauge queueGauge_;
 };
 

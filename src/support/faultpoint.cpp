@@ -1,0 +1,367 @@
+#include "support/faultpoint.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+namespace lclgrid::support::faultpoint {
+
+namespace detail {
+std::atomic<int> gArmedPoints{0};
+}  // namespace detail
+
+namespace {
+
+using detail::gArmedPoints;
+
+struct Slot {
+  std::string name;
+  std::atomic<bool> armed{false};
+  std::atomic<long long> hits{0};
+  std::atomic<long long> fired{0};
+  FaultSpec spec;              // guarded by the registry mutex
+  std::uint64_t rngState = 0;  // ditto
+};
+
+struct Registry {
+  std::mutex mutex;
+  // Slot pointers are stable: registerPoint never moves them.
+  std::vector<std::unique_ptr<Slot>> slots;
+  std::unordered_map<std::string, std::uint32_t> byName;
+  bool envLoaded = false;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: probe sites may
+  return *instance;                            // fire during static teardown
+}
+
+std::uint64_t xorshift(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+// Callers hold registry().mutex for all *Locked helpers.
+void armSlotLocked(Slot& slot, const FaultSpec& spec) {
+  if (!slot.armed.exchange(true)) {
+    gArmedPoints.fetch_add(1, std::memory_order_relaxed);
+  }
+  slot.spec = spec;
+  slot.rngState = spec.seed ? spec.seed : 0x9e3779b97f4a7c15ull;
+  slot.hits.store(0, std::memory_order_relaxed);
+}
+
+void disarmSlotLocked(Slot& slot) {
+  if (slot.armed.exchange(false)) {
+    gArmedPoints.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t registerLocked(Registry& reg, std::string_view name) {
+  auto it = reg.byName.find(std::string(name));
+  if (it != reg.byName.end()) return it->second;
+  const auto index = static_cast<std::uint32_t>(reg.slots.size());
+  reg.slots.push_back(std::make_unique<Slot>());
+  reg.slots.back()->name = std::string(name);
+  reg.byName.emplace(std::string(name), index);
+  return index;
+}
+
+[[noreturn]] void badEntry(std::string_view entry, const char* why) {
+  throw std::invalid_argument("faultpoint: bad spec entry '" +
+                              std::string(entry) + "': " + why);
+}
+
+int errnoByName(std::string_view name) {
+  struct Pair {
+    const char* name;
+    int value;
+  };
+  static constexpr Pair kNames[] = {
+      {"EPIPE", EPIPE},           {"ECONNRESET", ECONNRESET},
+      {"EINTR", EINTR},           {"EIO", EIO},
+      {"ENOSPC", ENOSPC},         {"EAGAIN", EAGAIN},
+      {"ETIMEDOUT", ETIMEDOUT},   {"EBADF", EBADF},
+      {"ENOMEM", ENOMEM},         {"ECONNREFUSED", ECONNREFUSED},
+      {"EACCES", EACCES},         {"ENOENT", ENOENT},
+  };
+  for (const Pair& pair : kNames) {
+    if (name == pair.name) return pair.value;
+  }
+  return 0;
+}
+
+long long parseNumber(std::string_view text, std::string_view entry,
+                      const char* what) {
+  if (text.empty()) badEntry(entry, what);
+  long long value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') badEntry(entry, what);
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+// Split a spec string on commas, applying `each` to every nonempty entry.
+template <typename Fn>
+void forEachEntry(std::string_view spec, Fn&& each) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view entry = spec.substr(start, comma - start);
+    if (!entry.empty()) each(entry);
+    if (comma == spec.size()) break;
+    start = comma + 1;
+  }
+}
+
+void loadEnvLocked(Registry& reg) {
+  if (reg.envLoaded) return;
+  reg.envLoaded = true;
+  const char* env = std::getenv("LCLGRID_FAULTS");
+  if (env == nullptr || *env == '\0') return;
+  // A daemon must not die on a typo in its environment: warn and skip the
+  // bad entry. (The test API throws instead.)
+  forEachEntry(env, [&](std::string_view entry) {
+    try {
+      std::string name;
+      const FaultSpec parsed = parseEntry(entry, &name);
+      armSlotLocked(*reg.slots[registerLocked(reg, name)], parsed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "lclgrid: ignoring bad LCLGRID_FAULTS entry '%.*s': %s\n",
+                   static_cast<int>(entry.size()), entry.data(), e.what());
+    }
+  });
+}
+
+Slot* findSlot(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  loadEnvLocked(reg);
+  auto it = reg.byName.find(std::string(name));
+  return it == reg.byName.end() ? nullptr : reg.slots[it->second].get();
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint32_t registerPoint(const char* name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  loadEnvLocked(reg);
+  return registerLocked(reg, name);
+}
+
+Fired fireSlow(std::uint32_t index) {
+  Registry& reg = registry();
+  Fired result;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    Slot& slot = *reg.slots[index];
+    if (!slot.armed.load(std::memory_order_relaxed)) return {};
+    const long long hit =
+        slot.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    const FaultSpec& spec = slot.spec;
+    if (spec.nth > 0 && hit != spec.nth) return {};
+    if (spec.probability < 1.0) {
+      const double draw =
+          static_cast<double>(xorshift(slot.rngState) >> 11) * 0x1.0p-53;
+      if (draw >= spec.probability) return {};
+    }
+    slot.fired.fetch_add(1, std::memory_order_relaxed);
+    if (spec.oneShot || spec.nth > 0) disarmSlotLocked(slot);
+    result = Fired{spec.action, spec.errnoValue, spec.arg};
+  }
+  // Framework-applied actions run outside the lock.
+  if (result.action == Action::kDelay) {
+    if (result.arg > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(result.arg));
+    }
+    return {};
+  }
+  if (result.action == Action::kAbort) std::abort();
+  return result;
+}
+
+}  // namespace detail
+
+const char* actionName(Action action) {
+  switch (action) {
+    case Action::kNone: return "none";
+    case Action::kErrno: return "errno";
+    case Action::kShort: return "short";
+    case Action::kDelay: return "delay";
+    case Action::kDrop: return "drop";
+    case Action::kAbort: return "abort";
+  }
+  return "?";
+}
+
+FaultSpec parseEntry(std::string_view entry, std::string* pointName) {
+  const std::size_t colon = entry.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    badEntry(entry, "expected 'point:action'");
+  }
+  if (pointName != nullptr) *pointName = std::string(entry.substr(0, colon));
+  std::string_view rest = entry.substr(colon + 1);
+
+  // Split on '@' into the action token and trigger tokens.
+  std::vector<std::string_view> tokens;
+  while (!rest.empty()) {
+    const std::size_t at = rest.find('@');
+    tokens.push_back(rest.substr(0, at));
+    if (at == std::string_view::npos) break;
+    rest = rest.substr(at + 1);
+  }
+  if (tokens.empty() || tokens[0].empty()) badEntry(entry, "missing action");
+
+  auto splitKv = [](std::string_view token, std::string_view* value) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      *value = {};
+      return token;
+    }
+    *value = token.substr(eq + 1);
+    return token.substr(0, eq);
+  };
+
+  FaultSpec spec;
+  std::string_view value;
+  const std::string_view action = splitKv(tokens[0], &value);
+  if (action == "errno") {
+    spec.action = Action::kErrno;
+    spec.errnoValue = errnoByName(value);
+    if (spec.errnoValue == 0) {
+      spec.errnoValue =
+          static_cast<int>(parseNumber(value, entry, "bad errno value"));
+    }
+    if (spec.errnoValue == 0) badEntry(entry, "errno needs a nonzero value");
+  } else if (action == "short") {
+    spec.action = Action::kShort;
+    spec.arg = parseNumber(value, entry, "short needs a byte count");
+  } else if (action == "delay") {
+    spec.action = Action::kDelay;
+    spec.arg = parseNumber(value, entry, "delay needs milliseconds");
+  } else if (action == "drop") {
+    if (!value.empty()) badEntry(entry, "drop takes no value");
+    spec.action = Action::kDrop;
+  } else if (action == "abort") {
+    if (!value.empty()) badEntry(entry, "abort takes no value");
+    spec.action = Action::kAbort;
+  } else {
+    badEntry(entry, "unknown action");
+  }
+
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string_view key = splitKv(tokens[i], &value);
+    if (key == "nth") {
+      spec.nth = parseNumber(value, entry, "nth needs a hit index");
+      if (spec.nth <= 0) badEntry(entry, "nth must be >= 1");
+    } else if (key == "once") {
+      if (!value.empty()) badEntry(entry, "once takes no value");
+      spec.oneShot = true;
+    } else if (key == "p") {
+      if (value.empty()) badEntry(entry, "p needs a probability");
+      try {
+        spec.probability = std::stod(std::string(value));
+      } catch (const std::exception&) {
+        badEntry(entry, "bad probability");
+      }
+      if (spec.probability < 0.0 || spec.probability > 1.0) {
+        badEntry(entry, "probability out of [0,1]");
+      }
+    } else if (key == "seed") {
+      spec.seed =
+          static_cast<std::uint64_t>(parseNumber(value, entry, "bad seed"));
+    } else {
+      badEntry(entry, "unknown trigger");
+    }
+  }
+  return spec;
+}
+
+void arm(std::string_view point, const FaultSpec& spec) {
+  if (spec.action == Action::kNone) {
+    throw std::invalid_argument("faultpoint: cannot arm an empty spec");
+  }
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  loadEnvLocked(reg);
+  // Registering here means arming a not-yet-executed point simply creates
+  // its slot; the probe site binds to it on first execution.
+  armSlotLocked(*reg.slots[registerLocked(reg, point)], spec);
+}
+
+void armEntry(std::string_view entry) {
+  std::string name;
+  const FaultSpec spec = parseEntry(entry, &name);
+  arm(name, spec);
+}
+
+int armSpecString(std::string_view spec) {
+  int armed = 0;
+  forEachEntry(spec, [&](std::string_view entry) {
+    armEntry(entry);
+    ++armed;
+  });
+  return armed;
+}
+
+void disarm(std::string_view point) {
+  Slot* slot = findSlot(point);
+  if (slot == nullptr) return;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  disarmSlotLocked(*slot);
+}
+
+void disarmAll() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  loadEnvLocked(reg);
+  for (auto& slot : reg.slots) disarmSlotLocked(*slot);
+}
+
+long long hitCount(std::string_view point) {
+  Slot* slot = findSlot(point);
+  return slot == nullptr ? 0 : slot->hits.load(std::memory_order_relaxed);
+}
+
+long long firedCount(std::string_view point) {
+  Slot* slot = findSlot(point);
+  return slot == nullptr ? 0 : slot->fired.load(std::memory_order_relaxed);
+}
+
+std::vector<PointInfo> registeredPoints() {
+  Registry& reg = registry();
+  std::vector<PointInfo> out;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    out.reserve(reg.slots.size());
+    for (const auto& slot : reg.slots) {
+      out.push_back(PointInfo{slot->name,
+                              slot->armed.load(std::memory_order_relaxed),
+                              slot->hits.load(std::memory_order_relaxed),
+                              slot->fired.load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PointInfo& a, const PointInfo& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace lclgrid::support::faultpoint

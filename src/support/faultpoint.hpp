@@ -1,0 +1,157 @@
+// Fault injection for robustness testing (docs/robustness.md).
+//
+// A fault point is a named site on an I/O or lifecycle edge:
+//
+//   const auto fault = FAULT_POINT("service.write_response");
+//   if (fault.action == faultpoint::Action::kErrno) { errno = fault.errnoValue; ... }
+//
+// Unarmed cost is one relaxed atomic load of a global counter and a
+// predicted-not-taken branch -- the same discipline as the telemetry
+// layer's disabled path -- so points stay compiled into release binaries
+// (scripts/bench_smoke.sh proves the armed-but-not-firing cost is inside
+// the noise; see docs/robustness.md).
+//
+// Arming: either the test API below (arm / armSpecString / disarmAll) or
+// the environment, read once at first use:
+//
+//   LCLGRID_FAULTS="service.write_response:errno=EPIPE@nth=3,stream.slab:delay=5@p=0.1@seed=7"
+//
+// Spec grammar (comma-separated entries):
+//
+//   entry   := point ':' action [ '@' trigger ]*
+//   action  := 'errno' '=' (NAME|NUM)   -- site fails with this errno
+//            | 'short' '=' BYTES        -- one send/recv/write clamped to BYTES
+//            | 'delay' '=' MILLIS       -- framework sleeps here, then continues
+//            | 'drop'                   -- site skips the operation (e.g. a frame)
+//            | 'abort'                  -- std::abort() here (crash tests)
+//   trigger := 'nth' '=' N              -- fire on the Nth hit after arming only
+//            | 'once'                   -- fire on the first hit, then disarm
+//            | 'p' '=' PROB             -- fire with probability PROB per hit
+//            | 'seed' '=' N             -- seed for the p= RNG (deterministic)
+//
+// `delay` and `abort` are applied by the framework inside fire(); `errno`,
+// `short` and `drop` are returned to the call site, which applies the
+// semantics it documents (see the registry table in docs/robustness.md).
+// Call sites ignore actions they do not support.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lclgrid::support::faultpoint {
+
+enum class Action : std::uint8_t {
+  kNone = 0,
+  kErrno,   // fail with errnoValue
+  kShort,   // clamp one I/O call to `arg` bytes
+  kDelay,   // sleep `arg` ms (applied inside fire())
+  kDrop,    // skip the operation entirely
+  kAbort,   // std::abort() (applied inside fire())
+};
+
+const char* actionName(Action action);
+
+/// What a fault point returned for one hit. kNone (the common case) means
+/// "proceed normally".
+struct Fired {
+  Action action = Action::kNone;
+  int errnoValue = 0;   // kErrno
+  long long arg = 0;    // kShort: byte clamp; kDelay: milliseconds
+  explicit operator bool() const { return action != Action::kNone; }
+};
+
+/// One armed behaviour for a point.
+struct FaultSpec {
+  Action action = Action::kNone;
+  int errnoValue = 0;
+  long long arg = 0;
+  /// Fire on exactly the Nth hit after arming (1-based); 0 = every
+  /// eligible hit. Firing an nth trigger disarms the point.
+  long long nth = 0;
+  /// Disarm after the first firing.
+  bool oneShot = false;
+  /// Fire with this probability per hit (1.0 = always), from a seeded
+  /// xorshift stream so chaos runs are reproducible.
+  double probability = 1.0;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+namespace detail {
+// Count of currently armed points across the process. The fast path is a
+// single relaxed load of this.
+extern std::atomic<int> gArmedPoints;
+Fired fireSlow(std::uint32_t index);
+std::uint32_t registerPoint(const char* name);
+}  // namespace detail
+
+/// A registered fault point. Construct through FAULT_POINT (a
+/// function-local static, mirroring telemetry's probe-site idiom);
+/// registration is idempotent per name.
+class FaultPoint {
+ public:
+  explicit FaultPoint(const char* name) : index_(detail::registerPoint(name)) {}
+
+  /// Returns the action to apply at this site for this hit (kNone unless
+  /// an armed spec's trigger fires). kDelay sleeps and kAbort aborts
+  /// before returning.
+  Fired fire() const {
+    if (detail::gArmedPoints.load(std::memory_order_relaxed) == 0) return {};
+    return detail::fireSlow(index_);
+  }
+
+ private:
+  std::uint32_t index_;
+};
+
+/// The probe-site macro: registers once, evaluates the point's armed spec
+/// for this hit.
+#define FAULT_POINT(name_literal)                                       \
+  ([]() -> ::lclgrid::support::faultpoint::Fired {                      \
+    static ::lclgrid::support::faultpoint::FaultPoint point(            \
+        name_literal);                                                  \
+    return point.fire();                                                \
+  }())
+
+// --- control API (tests, chaos harnesses) ----------------------------------
+
+/// Arm `point` with `spec`. The point need not be registered yet -- the
+/// arming binds when the first FAULT_POINT with that name executes. Resets
+/// the point's hit counter. Throws std::invalid_argument on a kNone spec.
+void arm(std::string_view point, const FaultSpec& spec);
+
+/// Parse and arm one grammar entry ("point:action[@trigger...]"). Throws
+/// std::invalid_argument on a malformed entry.
+void armEntry(std::string_view entry);
+
+/// Parse and arm a full comma-separated spec string; returns the number of
+/// entries armed. Throws std::invalid_argument on the first malformed entry.
+int armSpecString(std::string_view spec);
+
+/// Disarm one point / all points. Counters are retained until re-arm.
+void disarm(std::string_view point);
+void disarmAll();
+
+/// Hits observed by `point` since it was last armed (0 when never armed;
+/// the unarmed fast path does not count).
+long long hitCount(std::string_view point);
+/// Times `point`'s trigger fired since registration.
+long long firedCount(std::string_view point);
+
+struct PointInfo {
+  std::string name;
+  bool armed = false;
+  long long hits = 0;
+  long long fired = 0;
+};
+
+/// Every point registered so far, sorted by name. Registration is lazy
+/// (first execution of the FAULT_POINT site), so run the code paths first.
+std::vector<PointInfo> registeredPoints();
+
+/// Parse one grammar entry without arming (exposed for tests).
+FaultSpec parseEntry(std::string_view entry, std::string* pointName);
+
+}  // namespace lclgrid::support::faultpoint

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/faultpoint.hpp"
+
 #if defined(__has_include)
 #if __has_include(<sys/mman.h>)
 #define LCLGRID_HAVE_MMAP 1
@@ -42,6 +44,15 @@ std::size_t pageSize() {
 }  // namespace
 
 MmapFile::MmapFile(const std::string& path) {
+  {
+    // Injected open/map failure surfaces as the same typed error a real
+    // one would (docs/robustness.md).
+    const auto fault = FAULT_POINT("mmap.open");
+    if (fault.action == faultpoint::Action::kErrno) {
+      errno = fault.errnoValue;
+      throwErrno("open", path);
+    }
+  }
 #if defined(LCLGRID_HAVE_MMAP)
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) throwErrno("open", path);

@@ -10,6 +10,9 @@
 //                      [--engine-threads N] [--max-queued N] [--cache N]
 //                      [--report-cache N] [--max-payload BYTES]
 //                      [--max-connections N] [--test-ops]
+//                      [--drain-timeout-ms N] [--deadline-ms N]
+//                      [--send-timeout-ms N] [--shed | --no-shed]
+//                      [--shed-depth N]
 //   --unix PATH        listen on a Unix socket (default: TCP loopback)
 //   --port N           TCP port (default 0 = ephemeral; resolved port is
 //                      printed on stdout)
@@ -21,6 +24,17 @@
 //   --max-payload B    frame payload size limit in bytes (default 64 MiB)
 //   --max-connections N  concurrent connections (default 64)
 //   --test-ops         enable the kSleep test operation
+//   --drain-timeout-ms N  shutdown drains admitted requests this long, then
+//                      answers the queued remainder kTimeout (default 2000)
+//   --deadline-ms N    per-request queue-wait deadline; expired requests
+//                      answer kTimeout, never execute (default 0 = none)
+//   --send-timeout-ms N  SO_SNDTIMEO per connection (default 5000)
+//   --shed / --no-shed enable / disable load shedding (default on)
+//   --shed-depth N     queue depth where shedding engages (default
+//                      4 * threads)
+//
+// Fault injection (docs/robustness.md): set LCLGRID_FAULTS, e.g.
+//   LCLGRID_FAULTS='service.write_response:drop@nth=3' lclgrid_serve ...
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -59,8 +73,16 @@ int main(int argc, char** argv) {
                intArg("--threads", &config.serviceThreads) ||
                intArg("--engine-threads", &config.engineThreads) ||
                intArg("--max-queued", &config.maxQueuedPerClient) ||
-               intArg("--max-connections", &config.maxConnections)) {
+               intArg("--max-connections", &config.maxConnections) ||
+               intArg("--drain-timeout-ms", &config.drainTimeoutMs) ||
+               intArg("--deadline-ms", &config.requestDeadlineMs) ||
+               intArg("--send-timeout-ms", &config.sendTimeoutMs) ||
+               intArg("--shed-depth", &config.shedQueueDepth)) {
       // parsed in place
+    } else if (std::strcmp(argv[i], "--shed") == 0) {
+      config.shedEnabled = true;
+    } else if (std::strcmp(argv[i], "--no-shed") == 0) {
+      config.shedEnabled = false;
     } else if (intArg("--cache", &value)) {
       config.problemCacheCapacity = static_cast<std::size_t>(value);
     } else if (intArg("--report-cache", &value)) {
